@@ -1,0 +1,76 @@
+"""Benchmark-harness plumbing.
+
+Every bench regenerates one of the paper's tables or figures on scaled
+workloads (DESIGN.md §4 maps experiment → bench).  Each bench calls
+:func:`record` with a paper-vs-measured comparison; at session end the
+collected tables are written to ``benchmarks/RESULTS.md`` so
+EXPERIMENTS.md can be audited against a fresh run.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+_RESULTS: list[tuple[str, str]] = []
+_RESULTS_PATH = Path(__file__).parent / "RESULTS.md"
+
+
+def record(title: str, text: str) -> None:
+    """Register one experiment's comparison table (also echoed so
+    ``pytest -s`` shows it live)."""
+    _RESULTS.append((title, text))
+    print(f"\n{text}\n")
+
+
+@pytest.fixture
+def sink():
+    return record
+
+
+def _existing_sections() -> dict[str, str]:
+    """Parse titles → fenced bodies out of a previous RESULTS.md so a
+    partial bench run updates its sections without clobbering the rest."""
+    if not _RESULTS_PATH.exists():
+        return {}
+    sections: dict[str, str] = {}
+    title = None
+    body: list[str] = []
+    in_fence = False
+    for line in _RESULTS_PATH.read_text().splitlines():
+        if line.startswith("## "):
+            title = line[3:].strip()
+            body = []
+        elif line.strip() == "```":
+            if in_fence and title is not None:
+                sections[title] = "\n".join(body)
+                title = None
+            in_fence = not in_fence
+        elif in_fence:
+            body.append(line)
+    return sections
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RESULTS:
+        return
+    sections = _existing_sections()
+    order = list(sections)
+    for title, text in _RESULTS:
+        if title not in sections:
+            order.append(title)
+        sections[title] = text
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+    lines = [
+        "# Benchmark results",
+        "",
+        f"Last updated by `pytest benchmarks/ --benchmark-only` on {stamp}.",
+        "Workloads are scaled relative to the paper (see EXPERIMENTS.md);",
+        "shape, not absolute numbers, is the reproduction claim.",
+        "",
+    ]
+    for title in order:
+        lines += [f"## {title}", "", "```", sections[title], "```", ""]
+    _RESULTS_PATH.write_text("\n".join(lines))

@@ -1,0 +1,65 @@
+"""Ablation — adaptive grids vs uniform grids (§3.1, §5.5).
+
+The paper's central design choice: adaptive bins "greatly reduce the
+computation time by forming as few bins as required in each dimension".
+This ablation holds everything else fixed (same data, same any-(k−2)
+join, no pruning) and swaps only the grid: pMAFIA's adaptive bins vs a
+uniform 10-bin grid at an equivalent density target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import pmafia
+from repro.analysis import format_table
+from repro.clique import pclique
+from repro.params import CliqueParams
+
+from .workloads import bench_params, clustered_dataset, domains
+
+N_RECORDS = 60_000
+N_DIMS = 10
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return clustered_dataset(N_RECORDS, N_DIMS, n_clusters=1,
+                             cluster_dim=6, seed=67)
+
+
+def test_ablation_adaptive_vs_uniform_grid(benchmark, dataset, sink):
+    adaptive_params = bench_params(chunk_records=15_000)
+    uniform_params = CliqueParams(bins=10, threshold=0.01,
+                                  modified_join=True, apriori_prune=False,
+                                  chunk_records=15_000)
+
+    def run_both():
+        a = pmafia(dataset.records, 1, adaptive_params, backend="sim",
+                   domains=domains(N_DIMS))
+        u = pclique(dataset.records, 1, uniform_params, backend="sim",
+                    domains=domains(N_DIMS))
+        return a, u
+
+    a, u = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    a_cdus = sum(v for k, v in a.result.cdus_per_level().items() if k >= 2)
+    u_cdus = sum(v for k, v in u.result.cdus_per_level().items() if k >= 2)
+    rows = [
+        ["adaptive (pMAFIA)", a_cdus, round(a.makespan, 2),
+         len(a.result.clusters)],
+        ["uniform 10 bins", u_cdus, round(u.makespan, 2),
+         len(u.result.clusters)],
+    ]
+    sink("Ablation — adaptive vs uniform grid",
+         format_table(["grid", "CDUs (levels >= 2)", "sim seconds",
+                       "clusters reported"], rows,
+                      title="Same data, same join; only the grid differs"))
+
+    # adaptive grids explore orders of magnitude fewer candidates ...
+    assert u_cdus > 30 * a_cdus
+    # ... in far less time ...
+    assert u.makespan > 10 * a.makespan
+    # ... and report the single true cluster instead of hundreds
+    assert len(a.result.clusters) == 1
+    assert len(u.result.clusters) > len(a.result.clusters)

@@ -1,0 +1,110 @@
+"""Ablations — repeat elimination, β sensitivity, τ task-parallel cut.
+
+* **Repeat elimination** (§4.3): the any-(k−2) join regenerates each
+  level-k unit from up to C(k, k−2)-ish pairs; Eliminate-repeat-CDUs
+  keeps the population pass linear in *unique* units.  Measured: the
+  repeats removed per level (trace's raw-vs-unique gap).
+* **β sensitivity** (§4.4): "our algorithm is not very sensitive to the
+  value of β ... 25 % to 75 % has worked well" — the same clusters must
+  be found across the plateau.
+* **τ** (§4.3): below τ all ranks redundantly process every unit;
+  above it the equation-(1) split shares the pair work.  Virtual time
+  with τ = 0 (always split) must not exceed the τ = ∞ (never split)
+  time on a join-heavy workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import pmafia
+from repro.analysis import format_table
+from repro.params import MafiaParams
+
+from .workloads import bench_params, clustered_dataset, domains
+
+N_RECORDS = 50_000
+N_DIMS = 12
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return clustered_dataset(N_RECORDS, N_DIMS, n_clusters=2,
+                             cluster_dim=6, seed=83)
+
+
+def test_ablation_repeat_elimination(benchmark, dataset, sink):
+    params = bench_params(chunk_records=12_500)
+
+    run = benchmark.pedantic(
+        lambda: pmafia(dataset.records, 1, params, domains=domains(N_DIMS)),
+        rounds=1, iterations=1)
+
+    rows = []
+    for t in run.result.trace:
+        if t.level < 3:
+            continue
+        rows.append([t.level, t.n_cdus_raw, t.n_cdus, t.n_repeats])
+    sink("Ablation — repeat-CDU elimination",
+         format_table(["level", "raw CDUs", "unique CDUs", "repeats removed"],
+                      rows, title="Eliminate-repeat-CDUs per level"))
+
+    # from level 3 upward the join builds each unique unit from several
+    # pairs; dedup must be removing a growing share
+    deep = [t for t in run.result.trace if t.level >= 3 and t.n_cdus_raw]
+    assert deep, "expected levels >= 3"
+    for t in deep:
+        assert t.n_repeats >= t.n_cdus_raw - t.n_cdus  # consistency
+    assert any(t.n_repeats > t.n_cdus for t in deep), \
+        "repeats should outnumber unique units at some deep level"
+
+
+def test_ablation_beta_sensitivity(benchmark, dataset, sink):
+    def sweep():
+        found = {}
+        for beta in (0.25, 0.35, 0.5, 0.65, 0.75):
+            params = bench_params(chunk_records=12_500, beta=beta)
+            run = pmafia(dataset.records, 1, params,
+                         domains=domains(N_DIMS))
+            found[beta] = sorted(c.subspace.dims for c in run.result.clusters
+                                 if c.dimensionality >= 3)
+        return found
+
+    found = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [[beta, len(subspaces), str(subspaces[:3])]
+            for beta, subspaces in found.items()]
+    sink("Ablation — beta sensitivity (25-75% plateau)",
+         format_table(["beta", "clusters (>=3-d)", "first subspaces"], rows,
+                      title="Same clusters across the paper's beta range"))
+
+    reference = found[0.35]
+    truth = sorted(spec.dims for spec in dataset.clusters)
+    assert reference == truth
+    for beta, subspaces in found.items():
+        assert subspaces == reference, f"beta={beta} changed the clusters"
+
+
+def test_ablation_tau_task_split(benchmark, dataset, sink):
+    def run_pair():
+        never = pmafia(dataset.records, 8,
+                       bench_params(chunk_records=12_500, tau=10**9),
+                       backend="sim", domains=domains(N_DIMS))
+        always = pmafia(dataset.records, 8,
+                        bench_params(chunk_records=12_500, tau=0),
+                        backend="sim", domains=domains(N_DIMS))
+        return never, always
+
+    never, always = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+
+    sink("Ablation — tau (task-parallel threshold)",
+         format_table(
+             ["policy", "sim seconds"],
+             [["tau = inf (all ranks redundant)", round(never.makespan, 3)],
+              ["tau = 0 (always split by eq. 1)", round(always.makespan, 3)]],
+             title="p=8; identical results, different task placement"))
+
+    assert always.result.dense_per_level() == never.result.dense_per_level()
+    # splitting the triangular work never loses to full redundancy by
+    # more than the extra collectives it introduces
+    assert always.makespan <= never.makespan * 1.05

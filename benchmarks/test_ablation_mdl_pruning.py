@@ -1,0 +1,79 @@
+"""Ablation — CLIQUE's MDL subspace pruning (§3).
+
+"In [CLIQUE] candidate dense units are pruned based on a minimum
+description length technique to find the dense units only in
+interesting subspaces.  However, as noted in [CLIQUE] this could result
+in missing some dense units in the pruned subspaces.  In order to
+maintain the high quality of clustering we do not use this pruning
+technique."
+
+This ablation quantifies the paper's reason for dropping MDL: on data
+with one dominant and one weaker cluster, MDL pruning keeps the
+high-coverage subspaces and silently discards the weaker cluster's,
+losing dense units (and possibly the cluster) that the unpruned run
+retains.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.clique import clique
+from repro.datagen import ClusterSpec, generate
+from repro.params import CliqueParams
+
+from .workloads import domains
+
+N_RECORDS = 50_000
+
+SPECS = [
+    # dominant cluster: 3x the records of the weak one
+    ClusterSpec.box([0, 2, 4], [(10, 22), (30, 42), (60, 72)], weight=3.0,
+                    name="dominant"),
+    ClusterSpec.box([5, 6, 7], [(15, 23), (45, 53), (75, 83)], weight=1.0,
+                    name="weak"),
+]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(N_RECORDS, 9, SPECS, seed=97)
+
+
+def test_ablation_mdl_pruning(benchmark, dataset, sink):
+    base = CliqueParams(bins=10, threshold=0.012, chunk_records=12_500)
+
+    def run_both():
+        unpruned = clique(dataset.records, base, domains=domains(9))
+        pruned = clique(dataset.records, base.with_(mdl_prune=True),
+                        domains=domains(9))
+        return unpruned, pruned
+
+    unpruned, pruned = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    u_dense = sum(unpruned.dense_per_level().values())
+    p_dense = sum(pruned.dense_per_level().values())
+    u_subspaces = {c.subspace.dims for c in unpruned.clusters
+                   if c.dimensionality == 3}
+    p_subspaces = {c.subspace.dims for c in pruned.clusters
+                   if c.dimensionality == 3}
+    rows = [
+        ["MDL off (as the paper runs CLIQUE)", u_dense,
+         (5, 6, 7) in u_subspaces],
+        ["MDL on (original CLIQUE)", p_dense, (5, 6, 7) in p_subspaces],
+    ]
+    sink("Ablation — CLIQUE MDL subspace pruning",
+         format_table(["configuration", "total dense units",
+                       "weak cluster (5,6,7) found"], rows,
+                      title="Why pMAFIA refuses MDL pruning (§3)"))
+
+    # both find the dominant cluster
+    assert (0, 2, 4) in u_subspaces
+    assert (0, 2, 4) in p_subspaces
+    # the unpruned run keeps the weak cluster; MDL pruning loses dense
+    # units — the paper's stated reason for disabling it
+    assert (5, 6, 7) in u_subspaces
+    assert p_dense < u_dense
+    assert (5, 6, 7) not in p_subspaces, \
+        "MDL pruning was expected to discard the weak cluster's subspace"

@@ -1,0 +1,67 @@
+"""Figure 5 — scalability with database size.
+
+Paper: 20-d data, 5 clusters each in a different 5-d subspace, 16
+processors; records swept 1.45 M → 11.8 M.  "The time spent in cluster
+detection almost shows a direct linear relationship with the database
+size" because the pass count depends only on the cluster
+dimensionality.
+
+Here: the same sweep at 1/40 scale (36 k → 295 k records) on the
+simulated SP2; a least-squares fit of time vs N must be essentially
+linear (R² > 0.99) with near-proportional endpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import pmafia
+from repro.analysis import paper_vs_measured
+
+from .workloads import bench_params, clustered_dataset, domains
+
+PAPER_SERIES = {1_450_000: 25.0, 2_900_000: 49.0, 5_900_000: 98.0,
+                11_800_000: 193.0}  # Figure 5 trend (read off the plot)
+SCALE = 40
+N_DIMS = 20
+PROCS = 16
+
+
+def test_fig5_database_size_scaling(benchmark, sink):
+    params = bench_params(chunk_records=20_000)
+    sizes = [n // SCALE for n in PAPER_SERIES]
+
+    def sweep():
+        times = {}
+        for n in sizes:
+            ds = clustered_dataset(n, N_DIMS, n_clusters=5, cluster_dim=5,
+                                   seed=31)
+            run = pmafia(ds.records, PROCS, params, backend="sim",
+                         domains=domains(N_DIMS))
+            times[n] = run.makespan
+            assert sum(1 for c in run.result.clusters
+                       if c.dimensionality == 5) == 5
+        return times
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    sink("Figure 5 — scalability with database size (p=16, seconds)",
+         paper_vs_measured(
+             "Figure 5: 20-d, 5 clusters in 5-d subspaces", "records",
+             {n: t for n, t in PAPER_SERIES.items()},
+             {n * SCALE: round(t, 2) for n, t in times.items()},
+             note=f"measured at records/{SCALE}, keyed by paper-scale N"))
+
+    ns = np.array(sizes, dtype=float)
+    ts = np.array([times[n] for n in sizes])
+    # linear fit quality
+    coeffs = np.polyfit(ns, ts, 1)
+    pred = np.polyval(coeffs, ns)
+    ss_res = float(((ts - pred) ** 2).sum())
+    ss_tot = float(((ts - ts.mean()) ** 2).sum())
+    r2 = 1 - ss_res / ss_tot
+    assert r2 > 0.99, f"time vs N not linear (R^2 = {r2:.4f})"
+    # 8.1x more records must cost no more than ~9x the time
+    ratio = (ts[-1] / ts[0]) / (ns[-1] / ns[0])
+    assert 0.8 < ratio < 1.25

@@ -1,0 +1,65 @@
+"""Figure 6 — scalability with data dimensionality.
+
+Paper: 250 k records, 3 clusters each in a 5-d subspace (9 distinct
+cluster dimensions), 16 processors; data dimensionality swept 10 → 100.
+pMAFIA "scales very well ... linear behavior is due to the fact that
+our algorithm makes use of data distribution in every dimension and
+only depends on the number of distinct cluster dimensions", whereas
+CLIQUE is quadratic in d.
+
+Here: 50 k records, d ∈ {10, 20, 40, 70, 100}; the virtual time must
+grow sub-quadratically — a linear fit must beat a quadratic-dominant
+one, and the 10→100 cost ratio must stay near the dimensional ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import pmafia
+from repro.analysis import paper_vs_measured
+
+from .workloads import bench_params, clustered_dataset, domains
+
+PAPER_TREND = {10: 9.0, 20: 11.0, 40: 15.0, 70: 22.0, 100: 30.0}
+N_RECORDS = 50_000
+PROCS = 16
+DIMS = (10, 20, 40, 70, 100)
+
+
+def test_fig6_data_dimension_scaling(benchmark, sink):
+    params = bench_params(chunk_records=25_000)
+
+    def sweep():
+        times = {}
+        for d in DIMS:
+            ds = clustered_dataset(N_RECORDS, d, n_clusters=3,
+                                   cluster_dim=5, seed=41)
+            run = pmafia(ds.records, PROCS, params, backend="sim",
+                         domains=domains(d))
+            times[d] = run.makespan
+            assert sum(1 for c in run.result.clusters
+                       if c.dimensionality == 5) == 3
+        return times
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    sink("Figure 6 — scalability with data dimension (p=16, seconds)",
+         paper_vs_measured(
+             "Figure 6: 3 clusters in 5-d subspaces", "data dims",
+             PAPER_TREND, {d: round(t, 2) for d, t in times.items()},
+             note=f"paper: 250k records; here {N_RECORDS}"))
+
+    ds_arr = np.array(DIMS, dtype=float)
+    ts = np.array([times[d] for d in DIMS])
+    # time grows with d but only linearly: the d=100 run must cost less
+    # than (100/10)^1.3 of the d=10 run (quadratic would be 100x)
+    assert ts[-1] > ts[0]
+    assert ts[-1] / ts[0] < (ds_arr[-1] / ds_arr[0]) ** 1.3
+    # linear fit explains the series
+    coeffs = np.polyfit(ds_arr, ts, 1)
+    pred = np.polyval(coeffs, ds_arr)
+    r2 = 1 - float(((ts - pred) ** 2).sum()) / \
+        float(((ts - ts.mean()) ** 2).sum())
+    assert r2 > 0.98, f"time vs d not linear (R^2 = {r2:.4f})"

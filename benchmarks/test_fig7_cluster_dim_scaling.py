@@ -1,0 +1,70 @@
+"""Figure 7 — scalability with hidden-cluster dimensionality.
+
+Paper: 50-d data, 650 k records, one embedded cluster, 16 processors;
+the hidden cluster's dimensionality swept 3 → 10.  "The time increase
+with cluster dimensionality reflects the time complexity of the
+algorithm, which is exponential in the number of distinct cluster
+dimensions" — a dense k-d cell makes all 2^k projections dense.
+
+Here: 65 k records, cluster dimensionality 3 → 10; successive time
+ratios must *grow* (super-linear, convex) and the dense-unit lattice
+must double per added dimension (2^k - 1 units).  (The paper's own
+Figure 7 flattens at k = 9-10 only because its y-axis tops out; the
+2^k lattice term keeps growing.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import pmafia
+from repro.analysis import paper_vs_measured
+
+from .workloads import bench_params, clustered_dataset, domains
+
+PAPER_TREND = {3: 10.0, 4: 12.0, 5: 16.0, 6: 24.0, 7: 45.0, 8: 92.0,
+               9: 94.0, 10: 96.0}
+N_RECORDS = 65_000
+N_DIMS = 50
+PROCS = 16
+CLUSTER_DIMS = (3, 4, 5, 6, 7, 8, 9, 10)
+
+
+def test_fig7_cluster_dimension_scaling(benchmark, sink):
+    params = bench_params(chunk_records=20_000)
+
+    def sweep():
+        times = {}
+        lattice = {}
+        for k in CLUSTER_DIMS:
+            ds = clustered_dataset(N_RECORDS, N_DIMS, n_clusters=1,
+                                   cluster_dim=k, seed=53)
+            run = pmafia(ds.records, PROCS, params, backend="sim",
+                         domains=domains(N_DIMS))
+            times[k] = run.makespan
+            lattice[k] = sum(run.result.dense_per_level().values())
+            assert any(c.subspace.dims == ds.clusters[0].dims
+                       for c in run.result.clusters)
+        return times, lattice
+
+    times, lattice = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    sink("Figure 7 — scalability with cluster dimension (p=16, seconds)",
+         paper_vs_measured(
+             "Figure 7: 50-d data, one hidden cluster", "cluster dim",
+             PAPER_TREND, {k: round(t, 2) for k, t in times.items()},
+             note=f"paper: 650k records, k to 10; here {N_RECORDS}, k to 10"))
+
+    # the dense-unit lattice doubles per added cluster dimension
+    for k in CLUSTER_DIMS:
+        assert lattice[k] >= 2 ** k - 1
+
+    # exponential shape: strictly increasing and convex at the tail —
+    # the marginal cost of the last dimension exceeds the first's
+    ts = [times[k] for k in CLUSTER_DIMS]
+    assert all(a < b for a, b in zip(ts, ts[1:]))
+    first_ratio = ts[1] / ts[0]
+    last_ratio = ts[-1] / ts[-2]
+    assert last_ratio > first_ratio
+    assert ts[-1] / ts[0] > 3.0

@@ -1,0 +1,101 @@
+"""Micro-benchmarks of the hot paths (real wall time, not virtual).
+
+These exist to catch performance regressions in the vectorised kernels
+the whole system leans on — population matching, the CDU join, repeat
+elimination, histogramming — following the guide's rule: no
+optimisation without measurement.  pytest-benchmark tracks them across
+runs (``--benchmark-autosave`` / ``--benchmark-compare``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import join_all
+from repro.core.histogram import fine_histogram_local
+from repro.core.population import populate_local
+from repro.core.units import UnitTable
+from repro.io import ArraySource
+from repro.parallel import SerialComm
+from repro.types import DimensionGrid, Grid
+
+
+def uniform_grid(d: int, nbins: int) -> Grid:
+    dims = []
+    for j in range(d):
+        edges = tuple(np.linspace(0, 100, nbins + 1))
+        dims.append(DimensionGrid(dim=j, edges=edges,
+                                  thresholds=(1.0,) * nbins))
+    return Grid(dims=tuple(dims))
+
+
+@pytest.fixture(scope="module")
+def records():
+    rng = np.random.default_rng(7)
+    return rng.random((200_000, 15)) * 100.0
+
+
+@pytest.fixture(scope="module")
+def many_units():
+    """~3000 units across many 4-d subspaces — a mid-run CLIQUE load."""
+    rng = np.random.default_rng(8)
+    units = []
+    for _ in range(3000):
+        dims = sorted(rng.choice(15, size=4, replace=False).tolist())
+        units.append([(d, int(rng.integers(0, 10))) for d in dims])
+    return UnitTable.from_pairs(units).unique()
+
+
+def test_micro_population_pass(benchmark, records, many_units):
+    """One full population pass: 200k records x ~3000 4-d CDUs."""
+    grid = uniform_grid(15, 10)
+    source = ArraySource(records)
+
+    counts = benchmark(populate_local, source, SerialComm(), grid,
+                       many_units, 50_000)
+    assert counts.sum() > 0
+
+
+def test_micro_fine_histogram(benchmark, records):
+    """First-pass histogramming: 200k records x 15 dims x 1000 bins."""
+    domains = np.array([[0.0, 100.0]] * 15)
+
+    hist = benchmark(fine_histogram_local, ArraySource(records),
+                     SerialComm(), domains, 1000, 50_000)
+    assert hist.sum() == records.shape[0] * 15
+
+
+def test_micro_cdu_join(benchmark):
+    """The any-(k−2) join on 800 3-d dense units (~320k pairs)."""
+    rng = np.random.default_rng(9)
+    units = []
+    for _ in range(800):
+        dims = sorted(rng.choice(12, size=3, replace=False).tolist())
+        units.append([(d, int(rng.integers(0, 6))) for d in dims])
+    dense = UnitTable.from_pairs(units).unique()
+
+    result = benchmark(join_all, dense)
+    assert result.pairs_examined > 100_000
+
+
+def test_micro_repeat_elimination(benchmark):
+    """Dedup of 50k CDUs with heavy duplication."""
+    rng = np.random.default_rng(10)
+    base = []
+    for _ in range(5000):
+        dims = sorted(rng.choice(12, size=4, replace=False).tolist())
+        base.append([(d, int(rng.integers(0, 6))) for d in dims])
+    table = UnitTable.from_pairs(base * 10)
+
+    mask = benchmark(table.repeat_mask)
+    assert mask.sum() >= 9 * 5000 - 5000  # at least the literal repeats
+
+
+def test_micro_unit_serialisation(benchmark, many_units):
+    """Byte-array round-trip of ~3000 units (the per-level message)."""
+    def roundtrip():
+        return UnitTable.frombytes(many_units.tobytes())
+
+    back = benchmark(roundtrip)
+    assert back == many_units

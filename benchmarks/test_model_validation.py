@@ -1,0 +1,68 @@
+"""§4.5 — validating the paper's closed-form time model against the
+measured (simulated) system.
+
+The paper gives T = O(c^k + (N/(B·p))·k·γ + α·S·p·k).  The repo
+implements that formula (:mod:`repro.analysis.complexity`); this bench
+checks it *predicts* the measured virtual times' behaviour on the same
+machine constants: monotone in N, near-linear speedup in p, and within
+a constant factor of the measured makespans across a 4x record sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import pmafia
+from repro.analysis import Workload, format_table, predicted_seconds
+from repro.parallel import MachineSpec
+
+from .workloads import bench_params, clustered_dataset, domains
+
+N_DIMS = 15
+CLUSTER_DIM = 5
+SIZES = (30_000, 60_000, 120_000)
+PROCS = (1, 4, 16)
+
+
+def test_model_vs_measured(benchmark, sink):
+    machine = MachineSpec.ibm_sp2()
+    params = bench_params(chunk_records=15_000)
+
+    def sweep():
+        measured = {}
+        for n in SIZES:
+            ds = clustered_dataset(n, N_DIMS, n_clusters=1,
+                                   cluster_dim=CLUSTER_DIM, seed=113)
+            for p in PROCS:
+                run = pmafia(ds.records, p, params, backend="sim",
+                             machine=machine, domains=domains(N_DIMS))
+                measured[(n, p)] = run.makespan
+        return measured
+
+    measured = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    ratios = []
+    for n in SIZES:
+        for p in PROCS:
+            predicted = predicted_seconds(machine, Workload(
+                n_records=n, n_dims=N_DIMS, cluster_dim=CLUSTER_DIM,
+                nprocs=p, chunk_records=params.chunk_records,
+                noise_bins_per_dim=3))
+            ratio = measured[(n, p)] / predicted
+            ratios.append(ratio)
+            rows.append([n, p, round(predicted, 3),
+                         round(measured[(n, p)], 3), round(ratio, 2)])
+    sink("Model validation — §4.5 closed form vs simulated system",
+         format_table(["records", "procs", "model seconds",
+                       "measured seconds", "ratio"], rows,
+                      title="T = O(c^k + (N/Bp)·k·γ + α·S·p·k)"))
+
+    # the model tracks the system within a modest constant factor
+    assert max(ratios) / min(ratios) < 5.0
+    assert all(0.2 < r < 5.0 for r in ratios)
+    # and preserves orderings: more records cost more, more procs less
+    for p in PROCS:
+        assert measured[(SIZES[0], p)] < measured[(SIZES[-1], p)]
+    for n in SIZES:
+        assert measured[(n, PROCS[-1])] < measured[(n, PROCS[0])]

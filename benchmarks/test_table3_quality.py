@@ -1,0 +1,119 @@
+"""Table 3 — quality of clustering: CLIQUE (fixed / variable bins) vs
+pMAFIA.
+
+Paper: 400 k records, 10-d, two clusters each in a different 4-d
+subspace ({1,7,8,9} and {2,3,4,5}, 1-indexed).  CLIQUE with 10 fixed
+bins and a 1 % threshold finds the right subspaces but "detected the 2
+clusters only partially and large parts of the clusters were thrown
+away as outliers"; with arbitrary per-dimension bins (5..20) it
+"completely failed to detect one of the clusters"; pMAFIA reports both
+clusters and their boundaries accurately.
+
+Here: 1/6.7-scale records, clusters in (0-indexed) subspaces (0,6,7,8)
+and (1,2,3,4) with extents deliberately off the 10-bin grid.  Claims
+checked: pMAFIA's recall ≈ 1 with tight boundaries; fixed-bin CLIQUE's
+best-matching clusters lose a visible fraction of the records; the
+variable-bin run loses one cluster entirely or detects it worse than
+fixed bins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MafiaParams, mafia
+from repro.analysis import format_table, match_clusters
+from repro.clique import clique
+from repro.core.result import ClusteringResult
+from repro.datagen import ClusterSpec, generate
+from repro.params import CliqueParams
+
+from .workloads import domains
+
+N_RECORDS = 60_000
+
+SPECS = [
+    # extents straddle the 10-bin grid lines (multiples of 10) so fixed
+    # bins cannot align with the true boundaries — the Table 3 setup
+    ClusterSpec.box([0, 6, 7, 8], [(23, 36), (51, 64), (12, 25), (67, 78)],
+                    name="A"),
+    ClusterSpec.box([1, 2, 3, 4], [(5, 16), (43, 56), (71, 84), (33, 44)],
+                    name="B"),
+]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(N_RECORDS, 10, SPECS, seed=19)
+
+
+def _recalls(result: ClusteringResult, dataset) -> list[float]:
+    return [m.recall for m in match_clusters(result, dataset)]
+
+
+def test_table3_quality(benchmark, dataset, sink):
+    doms = domains(10)
+
+    def run_all():
+        fixed = clique(dataset.records,
+                       CliqueParams(bins=10, threshold=0.01,
+                                    chunk_records=15_000), domains=doms)
+        variable = clique(dataset.records,
+                          CliqueParams(bins=(7, 13, 9, 17, 6, 11, 19, 5,
+                                             8, 15),
+                                       threshold=0.01,
+                                       chunk_records=15_000), domains=doms)
+        m = mafia(dataset.records,
+                  MafiaParams(fine_bins=200, window_size=2,
+                              chunk_records=15_000), domains=doms)
+        return fixed, variable, m
+
+    fixed, variable, m = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    fixed_m = match_clusters(fixed, dataset)
+    var_m = match_clusters(variable, dataset)
+    mafia_m = match_clusters(m, dataset)
+
+    def fmt(matches):
+        return ", ".join(f"{x.recall:.2f}" for x in matches)
+
+    rows = [
+        ["CLIQUE (fixed 10 bins)",
+         str(sorted({c.subspace.dims for c in fixed.clusters
+                     if c.dimensionality == 4})), fmt(fixed_m)],
+        ["CLIQUE (variable bins)",
+         str(sorted({c.subspace.dims for c in variable.clusters
+                     if c.dimensionality == 4})), fmt(var_m)],
+        ["pMAFIA",
+         str(sorted(c.subspace.dims for c in m.clusters)), fmt(mafia_m)],
+    ]
+    table = format_table(
+        ["algorithm", "4-d cluster subspaces found", "record recall A, B"],
+        rows,
+        title="Table 3: quality of clustering (paper: CLIQUE partial / "
+              "missing, pMAFIA exact)")
+    sink("Table 3 — quality of clustering", table)
+
+    # pMAFIA: both clusters, exact subspaces, near-total recall, exact
+    # boundaries (within one 0.5-unit fine bin)
+    assert sorted(c.subspace.dims for c in m.clusters) == [
+        (0, 6, 7, 8), (1, 2, 3, 4)]
+    for match in mafia_m:
+        assert match.subspace_exact
+        assert match.recall > 0.99
+        # boundaries exact to within one 1.0-unit window of the grid
+        assert match.boundary_error < 1.05 / 11.0
+
+    # fixed-bin CLIQUE: finds the subspaces but throws records away
+    fixed_subspaces = {c.subspace.dims for c in fixed.clusters}
+    assert (0, 6, 7, 8) in fixed_subspaces
+    assert (1, 2, 3, 4) in fixed_subspaces
+    assert min(x.recall for x in fixed_m) < 0.98, \
+        "fixed-grid CLIQUE should only partially detect the clusters"
+    assert min(x.recall for x in mafia_m) > max(
+        min(x.recall for x in fixed_m), 0.99)
+
+    # variable-bin CLIQUE: one cluster essentially lost (paper: the
+    # second run "completely failed to detect one of the clusters")
+    assert min(x.recall for x in var_m) < 0.5

@@ -1,0 +1,88 @@
+"""Shared workload builders for the benchmark harness.
+
+Each builder reproduces one of the paper's experimental data sets at a
+documented scale factor (EXPERIMENTS.md records paper-vs-scaled sizes).
+Data sets are memoised per session — several benches sweep the same
+records over processor counts.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.datagen import ClusterSpec, generate
+from repro.params import MafiaParams
+
+
+def domains(d: int) -> np.ndarray:
+    """Grid-aligned [0, 100) domains for d dimensions."""
+    return np.array([[0.0, 100.0]] * d)
+
+
+def spread_subspaces(n_clusters: int, cluster_dim: int, n_dims: int,
+                     seed: int) -> list[tuple[int, ...]]:
+    """Distinct random subspaces for embedded clusters."""
+    rng = np.random.default_rng(seed)
+    out: list[tuple[int, ...]] = []
+    while len(out) < n_clusters:
+        dims = tuple(sorted(rng.choice(n_dims, size=cluster_dim,
+                                       replace=False).tolist()))
+        if dims not in out:
+            out.append(dims)
+    return out
+
+
+def boxes_for(dims: tuple[int, ...], seed: int,
+              used: dict[int, list[tuple[float, float]]] | None = None
+              ) -> list[tuple[float, float]]:
+    """Window-aligned extents (multiples of 1.0) per dim.
+
+    Widths stay at 5-9 units: a unit is dense only when the cluster's
+    population exceeds ``alpha * N * widest_extent / 100`` (the
+    max-of-bin-thresholds rule), so clusters sharing a record budget
+    must keep extents narrow to be detectable — as in the paper, whose
+    generator makes clusters dense by construction.  When ``used`` is
+    given, extents in a shared dimension are kept disjoint (with a
+    2-unit gap) so one cluster's range is never split by another's bin
+    boundary.
+    """
+    rng = np.random.default_rng(seed)
+    extents = []
+    for dim in dims:
+        taken = used.get(dim, []) if used is not None else []
+        for _ in range(300):
+            lo = float(rng.integers(5, 85))
+            width = float(rng.integers(5, 10))
+            if all(lo + width + 2 <= t_lo or lo >= t_hi + 2
+                   for t_lo, t_hi in taken):
+                break
+        else:
+            raise RuntimeError(f"cannot place an extent in dimension {dim}")
+        if used is not None:
+            used.setdefault(dim, []).append((lo, lo + width))
+        extents.append((lo, lo + width))
+    return extents
+
+
+@lru_cache(maxsize=None)
+def clustered_dataset(n_records: int, n_dims: int, n_clusters: int,
+                      cluster_dim: int, seed: int = 0):
+    """The paper's synthetic workload family: ``n_clusters`` clusters,
+    each in its own ``cluster_dim``-dimensional subspace, 10 % noise."""
+    subs = spread_subspaces(n_clusters, cluster_dim, n_dims, seed)
+    used: dict[int, list[tuple[float, float]]] = {}
+    specs = [ClusterSpec.box(dims, boxes_for(dims, seed + 17 * i, used),
+                             name=f"c{i}")
+             for i, dims in enumerate(subs)]
+    return generate(n_records, n_dims, specs, seed=seed)
+
+
+def bench_params(chunk_records: int = 25_000, **kw) -> MafiaParams:
+    """MAFIA parameters used across the benches: 200 fine bins windowed
+    in pairs → 1.0-unit window pitch matching the aligned extents."""
+    defaults = dict(fine_bins=200, window_size=2,
+                    chunk_records=chunk_records)
+    defaults.update(kw)
+    return MafiaParams(**defaults)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""pMAFIA vs CLIQUE head-to-head: supervision, cost, and quality.
+
+Reproduces the paper's argument in one script:
+
+1. CLIQUE needs the user to guess a grid size and density threshold;
+   a wrong guess silently degrades or destroys the clustering (Table 3).
+2. The uniform grid explodes the candidate space — adaptive grids visit
+   orders of magnitude fewer candidate dense units (Table 2 / Fig. 4).
+3. pMAFIA's adaptive bin edges report cluster boundaries accurately;
+   CLIQUE's snap to the fixed grid (Figure 1.2).
+
+Run:  python examples/clique_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CliqueParams, MafiaParams, mafia
+from repro.analysis import format_table, match_clusters
+from repro.clique import clique
+from repro.datagen import ClusterSpec, generate
+
+
+def main() -> None:
+    # a cluster whose boundaries sit between the 10-bin grid lines
+    specs = [ClusterSpec.box([0, 4, 7], [(23, 37), (51, 66), (12, 28)],
+                             name="truth")]
+    dataset = generate(40_000, 8, specs, seed=9)
+    domains = np.array([[0.0, 100.0]] * 8)
+
+    m = mafia(dataset.records,
+              MafiaParams(fine_bins=200, window_size=2, chunk_records=10_000),
+              domains=domains)
+    good = clique(dataset.records,
+                  CliqueParams(bins=10, threshold=0.01, chunk_records=10_000),
+                  domains=domains)
+    bad = clique(dataset.records,
+                 CliqueParams(bins=4, threshold=0.05, chunk_records=10_000),
+                 domains=domains)
+
+    rows = []
+    for name, res in (("pMAFIA (unsupervised)", m),
+                      ("CLIQUE xi=10, tau=1%", good),
+                      ("CLIQUE xi=4,  tau=5%", bad)):
+        [match] = match_clusters(res, dataset)
+        cdus = sum(res.cdus_per_level().values())
+        rows.append([name, cdus,
+                     "yes" if match.subspace_exact else "NO",
+                     f"{match.recall:.2f}", f"{match.precision:.2f}"])
+    print(format_table(
+        ["algorithm", "CDUs explored", "subspace found", "recall",
+         "precision"], rows,
+        title="one 3-d cluster at (23-37) x (51-66) x (12-28)"))
+
+    print("\nreported boundaries in dimension 0 (truth: [23, 37)):")
+    for name, res in (("pMAFIA", m), ("CLIQUE xi=10", good)):
+        target = [c for c in res.clusters if 0 in c.subspace.dims]
+        if not target:
+            print(f"  {name}: cluster not found")
+            continue
+        los = [t.intervals[0][0] for t in target[0].dnf]
+        his = [t.intervals[0][1] for t in target[0].dnf]
+        print(f"  {name}: [{min(los):.1f}, {max(his):.1f})")
+
+    print("\npMAFIA hugs the true boundary; CLIQUE snaps to its grid, "
+          "and a poorly guessed grid loses the cluster entirely.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Mining a rating log: the paper's EachMovie scenario (§5.9.3).
+
+A 4-dimensional data set of (user-id, movie-id, score, weight) ratings:
+pMAFIA discovers which *sets of movies* are rated most by which *sets
+of users* — 2-dimensional clusters in the (user, movie) and
+(movie, score) subspaces — with no supervision at all.
+
+Run:  python examples/movie_ratings.py
+"""
+
+from __future__ import annotations
+
+from repro import mafia
+from repro.datagen import eachmovie_like
+from repro.datagen.real import eachmovie_params
+
+COLUMNS = ["user-id", "movie-id", "score", "weight"]
+
+
+def main() -> None:
+    n = 120_000
+    ratings = eachmovie_like(n_records=n)
+    params, domains = eachmovie_params(n)
+    print(f"rating log: {n} ratings x {ratings.shape[1]} attributes "
+          f"{COLUMNS}")
+
+    result = mafia(ratings, params, domains=domains)
+
+    two_d = [c for c in result.clusters if c.dimensionality == 2]
+    print(f"\ndiscovered {len(two_d)} two-dimensional clusters "
+          f"(paper found 7):\n")
+    for cluster in two_d:
+        names = [COLUMNS[d] for d in cluster.subspace.dims]
+        print(f"  {names[0]} x {names[1]}  ({cluster.point_count} ratings)")
+        for term in cluster.dnf:
+            parts = []
+            for d, (lo, hi) in zip(term.subspace.dims, term.intervals):
+                parts.append(f"{COLUMNS[d]} in [{lo:.4g}, {hi:.4g})")
+            print(f"      {' AND '.join(parts)}")
+
+    blocks = [c for c in two_d if c.subspace.dims == (0, 1)]
+    print(f"\n-> {len(blocks)} user-group x movie-group blocks: "
+          "these user cohorts rate these movie slates far more often "
+          "than chance — the paper's 'which set of movies were rated "
+          "most by which set of users'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Mining a financial indicator panel: the paper's DAX scenario
+(§5.9.1, Table 4).
+
+A 22-dimensional panel of daily market indicators.  Partially
+correlated "market regimes" create dense regions in many low
+dimensional subspaces; pMAFIA enumerates them per dimensionality —
+note how higher-dimensional co-movements are progressively rarer, the
+Table 4 signature.  Also shows the α knob: α = 2 vs a stricter α = 3.
+
+Run:  python examples/stock_indicators.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import mafia
+from repro.datagen import dax_like
+from repro.datagen.real import dax_params
+
+
+def main() -> None:
+    panel = dax_like()
+    params, domains = dax_params()
+    print(f"indicator panel: {panel.shape[0]} trading days x "
+          f"{panel.shape[1]} indicators, alpha = {params.alpha}")
+
+    result = mafia(panel, params, domains=domains)
+
+    by_dim = result.clusters_by_dimensionality()
+    print("\nclusters per subspace dimensionality "
+          "(paper Table 4: 161/134/104/24 at dims 3-6):")
+    for dim in sorted(by_dim):
+        if dim >= 3:
+            print(f"  {dim}-dimensional: {by_dim[dim]}")
+
+    print("\nhighest-dimensional co-movement regimes:")
+    top = max(c.dimensionality for c in result.clusters)
+    for cluster in result.clusters:
+        if cluster.dimensionality == top:
+            print(f"  indicators {cluster.subspace.dims}: "
+                  f"{cluster.point_count} days, {cluster.describe()}")
+
+    # stricter significance: only the most dominant regimes survive
+    strict = mafia(panel, params.with_(alpha=3.0), domains=domains)
+    strict_counts = Counter(c.dimensionality for c in strict.clusters
+                            if c.dimensionality >= 3)
+    print(f"\nwith alpha = 3: {sum(strict_counts.values())} clusters "
+          f"(>=3-d) remain — raising alpha keeps only regimes that "
+          "dominate their indicators")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim for environments without wheel/PEP-517 isolation
+(e.g. offline boxes): `python setup.py develop` gives an editable
+install equivalent to `pip install -e .`.  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

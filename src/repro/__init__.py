@@ -1,0 +1,48 @@
+"""repro — reproduction of *"A Scalable Parallel Subspace Clustering
+Algorithm for Massive Data Sets"* (Nagesh, Goil, Choudhary — ICPP 2000).
+
+Public API highlights:
+
+* :func:`repro.mafia` / :func:`repro.pmafia` — the paper's algorithm,
+  serial and SPMD-parallel (thread or simulated-IBM-SP2 backends);
+* :func:`repro.clique.clique` — the CLIQUE baseline it is evaluated
+  against;
+* :mod:`repro.datagen` — the §5.1 synthetic generator plus surrogates
+  for the paper's real data sets;
+* :mod:`repro.parallel` — the from-scratch message-passing substrate;
+* :mod:`repro.analysis` — clustering quality metrics and the paper's
+  closed-form complexity model.
+"""
+
+from .core import ClusteringResult, PMafiaRun, mafia, pmafia
+from .errors import (CommAborted, CommError, DataError, GridError,
+                     ParameterError, RecordFileError, ReproError)
+from .params import CliqueParams, MafiaParams
+from .parallel import MachineSpec, run_spmd
+from .types import Cluster, DimensionGrid, DNFTerm, Grid, Subspace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CliqueParams",
+    "Cluster",
+    "ClusteringResult",
+    "CommAborted",
+    "CommError",
+    "DNFTerm",
+    "DataError",
+    "DimensionGrid",
+    "Grid",
+    "GridError",
+    "MachineSpec",
+    "MafiaParams",
+    "PMafiaRun",
+    "ParameterError",
+    "RecordFileError",
+    "ReproError",
+    "Subspace",
+    "__version__",
+    "mafia",
+    "pmafia",
+    "run_spmd",
+]

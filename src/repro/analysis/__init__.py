@@ -1,0 +1,39 @@
+"""Quality metrics, the paper's closed-form complexity model, and
+paper-vs-measured report formatting."""
+
+from .alpha import AlphaPoint, alpha_profile, stable_alpha
+from .charts import bar_chart, scaling_chart
+from .lattice import (LatticeSummary, dense_unit_lattice, summarize_lattice,
+                      support_path, unit_key)
+from .complexity import Workload, expected_cdus, predicted_seconds, predicted_speedup
+from .quality import (ClusterMatch, assign_records, match_clusters,
+                      points_in_cluster, subspace_scores)
+from .reporting import format_table, paper_vs_measured, speedup_series
+from .verify import VerificationReport, verify_result
+
+__all__ = [
+    "AlphaPoint",
+    "ClusterMatch",
+    "alpha_profile",
+    "stable_alpha",
+    "LatticeSummary",
+    "assign_records",
+    "dense_unit_lattice",
+    "summarize_lattice",
+    "support_path",
+    "unit_key",
+    "bar_chart",
+    "scaling_chart",
+    "VerificationReport",
+    "Workload",
+    "expected_cdus",
+    "format_table",
+    "match_clusters",
+    "paper_vs_measured",
+    "points_in_cluster",
+    "predicted_seconds",
+    "predicted_speedup",
+    "speedup_series",
+    "subspace_scores",
+    "verify_result",
+]

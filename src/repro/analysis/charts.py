@@ -1,0 +1,58 @@
+"""Dependency-free ASCII charts for terminal reports.
+
+The paper presents its scalability results as figures; the benches and
+examples render the same series as horizontal bar charts so a terminal
+run can eyeball curve shapes (linear vs exponential, speedup decay)
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import DataError
+
+#: glyph resolution within one character cell
+_PARTIALS = " ▏▎▍▌▋▊▉█"
+
+
+def bar_chart(series: Mapping[object, float], width: int = 40,
+              title: str = "", unit: str = "") -> str:
+    """Horizontal bar chart of a label → value series.
+
+    Bars are scaled to the maximum value; values must be non-negative.
+    """
+    if not series:
+        raise DataError("cannot chart an empty series")
+    values = list(series.values())
+    if any(v < 0 for v in values):
+        raise DataError("bar_chart needs non-negative values")
+    if width < 1:
+        raise DataError(f"width must be >= 1, got {width}")
+    peak = max(values) or 1.0
+    label_width = max(len(str(k)) for k in series)
+    lines = [title] if title else []
+    for key, value in series.items():
+        cells = value / peak * width
+        full = int(cells)
+        frac = cells - full
+        partial = _PARTIALS[int(frac * (len(_PARTIALS) - 1))] if full < width else ""
+        bar = "█" * full + partial
+        lines.append(f"{str(key).rjust(label_width)} | "
+                     f"{bar.ljust(width)} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def scaling_chart(series: Mapping[object, float], width: int = 40,
+                  title: str = "", unit: str = "s") -> str:
+    """A bar chart plus the step-to-step growth ratios — the quickest
+    way to tell linear (flat ratios) from exponential (growing ratios)
+    series in a terminal."""
+    chart = bar_chart(series, width=width, title=title, unit=unit)
+    values = list(series.values())
+    ratios = [b / a if a else float("inf")
+              for a, b in zip(values, values[1:])]
+    if ratios:
+        chart += ("\n  step ratios: "
+                  + ", ".join(f"{r:.2f}" for r in ratios))
+    return chart

@@ -1,0 +1,86 @@
+"""The paper's closed-form time model (§4.5).
+
+"The total time complexity of the algorithm is then
+``O(c^k + (N/(B·p))·k·γ + α·S·p·k)``" — compute exponential in the
+hidden cluster dimensionality ``k``, I/O linear in the per-processor
+data with ``k`` passes, and communication linear in processors and
+passes.  :func:`predicted_seconds` instantiates the model on a
+:class:`~repro.parallel.machine.MachineSpec`; the scaling benches check
+the *measured* virtual times against its monotonicity/shape claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+from ..errors import ParameterError
+from ..parallel.machine import MachineSpec
+
+
+@dataclass(frozen=True)
+class Workload:
+    """The knobs of the paper's model for one run."""
+
+    n_records: int
+    n_dims: int
+    cluster_dim: int          # k: highest dense-unit dimensionality
+    nprocs: int = 1
+    chunk_records: int = 50_000
+    bins_per_cluster_dim: int = 1
+    noise_bins_per_dim: int = 5
+    record_bytes: int = 8     # per attribute value
+    message_bytes: int = 4096  # S: typical collective payload
+
+    def __post_init__(self) -> None:
+        for name in ("n_records", "n_dims", "cluster_dim", "nprocs",
+                     "chunk_records"):
+            if getattr(self, name) <= 0:
+                raise ParameterError(f"{name} must be positive")
+        if self.cluster_dim > self.n_dims:
+            raise ParameterError("cluster_dim cannot exceed n_dims")
+
+
+def expected_cdus(workload: Workload) -> dict[int, int]:
+    """CDU counts per level under adaptive grids: a clean k-dimensional
+    cluster yields exactly C(k, l) units at level l (Table 2's pMAFIA
+    row), plus the level-1 bins of every dimension."""
+    k = workload.cluster_dim
+    out = {1: (workload.n_dims * workload.noise_bins_per_dim
+               + k * workload.bins_per_cluster_dim)}
+    for level in range(2, k + 2):
+        out[level] = comb(k, level) if level <= k else 0
+    return out
+
+
+def predicted_seconds(machine: MachineSpec, workload: Workload) -> float:
+    """Total predicted run time on ``machine`` per the §4.5 model."""
+    k = workload.cluster_dim
+    passes = k + 1  # one populate pass per level until no dense units
+    n_local = workload.n_records / workload.nprocs
+
+    compute = 0.0
+    for level, ncdu in expected_cdus(workload).items():
+        compute += machine.cell_seconds(n_local * ncdu * level)
+    # domain + fine histogram passes
+    compute += 2 * machine.cell_seconds(n_local * workload.n_dims)
+
+    bytes_per_pass = n_local * workload.n_dims * workload.record_bytes
+    chunks = max(1, int(n_local // workload.chunk_records))
+    io = (passes + 2) * machine.io_seconds(bytes_per_pass, chunks)
+
+    comm = 0.0
+    if workload.nprocs > 1:
+        per_collective = (workload.nprocs - 1) * machine.message_seconds(
+            workload.message_bytes)
+        comm = (passes + 2) * 2 * per_collective
+    return compute + io + comm
+
+
+def predicted_speedup(machine: MachineSpec, workload: Workload,
+                      nprocs: int) -> float:
+    """Predicted speedup of ``nprocs`` ranks over the serial run."""
+    from dataclasses import replace
+    serial = predicted_seconds(machine, replace(workload, nprocs=1))
+    parallel = predicted_seconds(machine, replace(workload, nprocs=nprocs))
+    return serial / parallel

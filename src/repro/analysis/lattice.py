@@ -1,0 +1,122 @@
+"""The dense-unit lattice as a graph.
+
+The bottom-up search explores the subset lattice of dense units — "if a
+dense cell exists in k dimensions, then all its projections ... are
+also dense" (§4.5).  This module materialises that lattice as a
+networkx DiGraph (edges from each dense unit to its one-level
+projections' dense units), giving downstream users the paper's search
+structure for inspection: which subspaces supported which clusters, how
+counts decay with dimensionality, where the search stopped extending.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..core.result import ClusteringResult
+from ..errors import DataError
+
+#: node key: ((dims...), (bins...))
+UnitKey = tuple[tuple[int, ...], tuple[int, ...]]
+
+
+def unit_key(dims, bins) -> UnitKey:
+    """Canonical hashable node key for a dense unit."""
+    return (tuple(int(d) for d in dims), tuple(int(b) for b in bins))
+
+
+def dense_unit_lattice(result: ClusteringResult) -> "nx.DiGraph":
+    """Build the dense-unit lattice of a clustering run.
+
+    Nodes are dense units keyed by ``((dims...), (bins...))`` with
+    attributes ``level`` and ``count``; an edge ``u -> v`` means ``v``
+    is the projection of ``u`` with one dimension removed (and was
+    itself found dense).
+    """
+    graph = nx.DiGraph()
+    by_level: dict[int, set[UnitKey]] = {}
+    for trace in result.trace:
+        dense = trace.dense
+        keys = set()
+        for i in range(dense.n_units):
+            key = unit_key(dense.dims[i], dense.bins[i])
+            graph.add_node(key, level=trace.level,
+                           count=int(trace.dense_counts[i]))
+            keys.add(key)
+        by_level[trace.level] = keys
+
+    for trace in result.trace:
+        if trace.level < 2:
+            continue
+        lower = by_level.get(trace.level - 1, set())
+        dense = trace.dense
+        for i in range(dense.n_units):
+            dims = dense.dims[i]
+            bins = dense.bins[i]
+            parent = unit_key(dims, bins)
+            for drop in range(trace.level):
+                keep = [j for j in range(trace.level) if j != drop]
+                child = unit_key(dims[keep], bins[keep])
+                if child in lower:
+                    graph.add_edge(parent, child)
+    return graph
+
+
+@dataclass(frozen=True)
+class LatticeSummary:
+    """Aggregate facts about a run's dense-unit lattice."""
+
+    n_units: int
+    n_edges: int
+    units_per_level: dict[int, int]
+    #: dense units with no dense extension one level up (search frontier)
+    n_maximal: int
+    #: fraction of possible projections that were found dense (1.0 when
+    #: the lattice is downward closed, as count-monotone thresholds imply)
+    closure: float
+
+
+def summarize_lattice(result: ClusteringResult) -> LatticeSummary:
+    """Summary statistics of the dense-unit lattice."""
+    graph = dense_unit_lattice(result)
+    levels: dict[int, int] = {}
+    for _, data in graph.nodes(data=True):
+        levels[data["level"]] = levels.get(data["level"], 0) + 1
+    n_maximal = sum(1 for node in graph.nodes
+                    if graph.in_degree(node) == 0)
+    expected_edges = sum(
+        data["level"] * 1 for _, data in graph.nodes(data=True)
+        if data["level"] >= 2)
+    closure = (graph.number_of_edges() / expected_edges
+               if expected_edges else 1.0)
+    return LatticeSummary(
+        n_units=graph.number_of_nodes(),
+        n_edges=graph.number_of_edges(),
+        units_per_level=dict(sorted(levels.items())),
+        n_maximal=n_maximal,
+        closure=closure,
+    )
+
+
+def support_path(result: ClusteringResult, dims, bins) -> list[UnitKey]:
+    """One chain of dense units from a unit down to a single bin —
+    the paper's 'all projections are dense' witness.
+
+    Raises :class:`~repro.errors.DataError` when the unit is not a
+    dense unit of the run.
+    """
+    graph = dense_unit_lattice(result)
+    key = unit_key(dims, bins)
+    if key not in graph:
+        raise DataError(f"{key} is not a dense unit of this run")
+    path = [key]
+    current = key
+    while True:
+        children = list(graph.successors(current))
+        if not children:
+            break
+        current = min(children)  # deterministic descent
+        path.append(current)
+    return path

@@ -1,0 +1,74 @@
+"""Paper-style table and series formatting for the benchmark harness.
+
+Every bench prints the rows the paper's table/figure reports next to
+what this reproduction measured, via :func:`paper_vs_measured`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import DataError
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width text table."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    for row in rows:
+        if len(row) != len(headers):
+            raise DataError(
+                f"row width {len(row)} != header width {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        widths = [max(w, len(c)) for w, c in zip(widths, row)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def paper_vs_measured(title: str, x_label: str,
+                      paper: Mapping[object, object],
+                      measured: Mapping[object, object],
+                      note: str = "") -> str:
+    """Two-column comparison keyed by the experiment's x-axis values.
+
+    Absolute numbers are *not* expected to agree (different substrate) —
+    the printed table lets EXPERIMENTS.md record both and shape claims be
+    audited.
+    """
+    keys = list(paper.keys())
+    for k in measured:
+        if k not in paper:
+            keys.append(k)
+    rows = [[k, paper.get(k, "-"), measured.get(k, "-")] for k in keys]
+    table = format_table([x_label, "paper", "measured"], rows, title=title)
+    if note:
+        table += f"\n  note: {note}"
+    return table
+
+
+def speedup_series(times: Mapping[int, float]) -> dict[int, float]:
+    """Speedups relative to the smallest processor count present."""
+    if not times:
+        return {}
+    base_p = min(times)
+    base = times[base_p]
+    if base <= 0:
+        raise DataError("base time must be positive")
+    return {p: base / max(t, 1e-12) for p, t in times.items()}

@@ -1,0 +1,6 @@
+"""Additional baseline algorithms the paper positions pMAFIA against
+(beyond CLIQUE): PROCLUS projected clustering (§2, §5.9.2)."""
+
+from .proclus import ProclusCluster, ProclusResult, proclus
+
+__all__ = ["ProclusCluster", "ProclusResult", "proclus"]

@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+Three subcommands cover the workflow a downstream user needs:
+
+``pmafia generate``
+    Build a synthetic data set (paper §5.1 generator) into a binary
+    record file; cluster specs as ``dim:lo:hi`` triples, ``--cluster``
+    repeatable.
+``pmafia run``
+    Cluster a record file (or .npy / CSV) with (p)MAFIA or the CLIQUE
+    baseline, serially or on an SPMD backend; results print as text or
+    JSON.
+``pmafia info``
+    Inspect a record file's header.
+
+Exposed as the ``pmafia`` console script and ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from . import __version__
+from .core.export import result_to_json
+from .core.mafia import mafia, pmafia
+from .errors import ReproError
+from .datagen.generator import generate
+from .datagen.spec import ClusterSpec
+from .io.records import RecordFile, read_header, write_records
+from .params import CliqueParams, MafiaParams
+
+
+def _parse_cluster(text: str) -> ClusterSpec:
+    """Parse ``dim:lo:hi[,dim:lo:hi...]`` into a ClusterSpec box."""
+    dims: list[int] = []
+    extents: list[tuple[float, float]] = []
+    for part in text.split(","):
+        pieces = part.split(":")
+        if len(pieces) != 3:
+            raise argparse.ArgumentTypeError(
+                f"cluster extent {part!r} is not dim:lo:hi")
+        dims.append(int(pieces[0]))
+        extents.append((float(pieces[1]), float(pieces[2])))
+    order = sorted(range(len(dims)), key=lambda i: dims[i])
+    return ClusterSpec.box([dims[i] for i in order],
+                           [extents[i] for i in order])
+
+
+def _load_records(path: Path) -> np.ndarray:
+    """Read records from a pmafia record file, .npy array or CSV."""
+    if path.suffix == ".npy":
+        records = np.load(path)
+    elif path.suffix in (".csv", ".txt"):
+        records = np.loadtxt(path, delimiter="," if path.suffix == ".csv"
+                             else None)
+    else:
+        return RecordFile(path).read_all()
+    return np.atleast_2d(np.asarray(records, dtype=np.float64))
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = generate(args.records, args.dims, args.cluster or [],
+                       noise_fraction=args.noise, seed=args.seed)
+    write_records(args.output, dataset.records)
+    print(f"wrote {dataset.n_records} records x {dataset.n_dims} dims "
+          f"({dataset.n_noise} noise) to {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    info = read_header(args.data)
+    print(f"{info.path}: {info.n_records} records x {info.n_dims} dims, "
+          f"dtype {info.dtype}, {info.data_nbytes / 1e6:.2f} MB")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.algorithm == "clique":
+        params = CliqueParams(bins=args.bins, threshold=args.threshold,
+                              chunk_records=args.chunk)
+        from .clique.clique import clique, pclique
+        if args.procs == 1:
+            result = clique(_load_records(Path(args.data)), params)
+        else:
+            result = pclique(_load_records(Path(args.data)), args.procs,
+                             params, backend=args.backend).result
+    else:
+        params = MafiaParams(alpha=args.alpha, beta=args.beta,
+                             fine_bins=args.fine_bins,
+                             window_size=args.window,
+                             chunk_records=args.chunk,
+                             report=args.report)
+        data: object = Path(args.data)
+        if Path(args.data).suffix in (".npy", ".csv", ".txt"):
+            data = _load_records(Path(args.data))
+        if args.procs == 1:
+            result = mafia(data, params)
+        else:
+            result = pmafia(data, args.procs, params,
+                            backend=args.backend,
+                            collectives=args.collectives).result
+
+    if args.verify:
+        from .analysis.verify import verify_result
+        source = (_load_records(Path(args.data))
+                  if Path(args.data).suffix in (".npy", ".csv", ".txt")
+                  else RecordFile(Path(args.data)))
+        report = verify_result(result, source, chunk_records=args.chunk)
+
+    if args.json:
+        print(result_to_json(result))
+    else:
+        print(result.summary())
+    if args.verify:
+        print(report.summary())
+        if not report.ok:
+            return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pmafia",
+        description="pMAFIA subspace clustering (ICPP 2000 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="create a synthetic record file")
+    gen.add_argument("output", type=Path, help="record file to write")
+    gen.add_argument("--records", type=int, default=100_000)
+    gen.add_argument("--dims", type=int, default=10)
+    gen.add_argument("--cluster", action="append", type=_parse_cluster,
+                     metavar="d:lo:hi[,d:lo:hi...]",
+                     help="one embedded cluster (repeatable)")
+    gen.add_argument("--noise", type=float, default=0.10,
+                     help="noise fraction (paper: 0.10)")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=_cmd_generate)
+
+    info = sub.add_parser("info", help="inspect a record file header")
+    info.add_argument("data", type=Path)
+    info.set_defaults(func=_cmd_info)
+
+    run = sub.add_parser("run", help="cluster a data file")
+    run.add_argument("data", type=Path,
+                     help="record file (.bin), .npy array or CSV")
+    run.add_argument("--algorithm", choices=("mafia", "clique"),
+                     default="mafia")
+    run.add_argument("--procs", type=int, default=1)
+    run.add_argument("--backend", choices=("thread", "sim", "process"),
+                     default="thread")
+    run.add_argument("--alpha", type=float, default=1.5,
+                     help="density significance factor (paper: >= 1.5)")
+    run.add_argument("--beta", type=float, default=0.35,
+                     help="window merge threshold (paper: 0.25-0.75)")
+    run.add_argument("--fine-bins", type=int, default=1000, dest="fine_bins")
+    run.add_argument("--window", type=int, default=5)
+    run.add_argument("--chunk", type=int, default=50_000,
+                     help="records per out-of-core chunk (B)")
+    run.add_argument("--report", choices=("merged", "paper", "maximal"),
+                     default="merged",
+                     help="cluster-reporting semantics (DESIGN.md 4.1)")
+    run.add_argument("--collectives", choices=("flat", "tree"),
+                     default="flat",
+                     help="collective wire pattern for parallel runs")
+    run.add_argument("--bins", type=int, default=10,
+                     help="CLIQUE: uniform bins per dimension")
+    run.add_argument("--threshold", type=float, default=0.01,
+                     help="CLIQUE: global density threshold fraction")
+    run.add_argument("--json", action="store_true",
+                     help="emit the full result as JSON")
+    run.add_argument("--verify", action="store_true",
+                     help="independently re-check every invariant of the "
+                          "result against the data before reporting")
+    run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

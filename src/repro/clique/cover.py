@@ -1,0 +1,51 @@
+"""CLIQUE's greedy-growth cluster cover (paper §3.2).
+
+CLIQUE post-processes each cluster (a connected set of dense units) by
+covering it with maximal rectangles and greedily discarding redundant
+ones, yielding the cluster's DNF over the *fixed uniform grid* — which
+is why its reported boundaries are only as accurate as the grid (Figure
+1.2a vs 1.2b).  The rectangle growth itself is shared with pMAFIA
+(:mod:`repro.core.dnf`); this module adds the redundancy-removal step of
+the original CLIQUE description.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+
+import numpy as np
+
+from ..core.dnf import greedy_cover
+from ..errors import DataError
+
+
+def box_cells(box: tuple[tuple[int, int], ...]) -> set[tuple[int, ...]]:
+    """All grid cells inside an inclusive box."""
+    return set(iter_product(*(range(lo, hi + 1) for lo, hi in box)))
+
+
+def minimal_cover(bins: np.ndarray) -> list[tuple[tuple[int, int], ...]]:
+    """Greedy maximal-rectangle cover with redundant rectangles removed.
+
+    After the growth phase, rectangles whose cells are all covered by the
+    remaining rectangles are discarded smallest-first (CLIQUE's "remove
+    covers that are covered by others" heuristic — an approximation, as
+    minimum cover is NP-hard).
+    """
+    bins = np.asarray(bins, dtype=np.int64)
+    if bins.ndim != 2:
+        raise DataError(f"bins must be 2-D, got {bins.shape}")
+    boxes = greedy_cover(bins)
+    if len(boxes) <= 1:
+        return boxes
+    cells_of = [box_cells(b) for b in boxes]
+    order = sorted(range(len(boxes)), key=lambda i: len(cells_of[i]))
+    alive = [True] * len(boxes)
+    for i in order:
+        others: set[tuple[int, ...]] = set()
+        for j in range(len(boxes)):
+            if j != i and alive[j]:
+                others |= cells_of[j]
+        if cells_of[i] <= others:
+            alive[i] = False
+    return [b for i, b in enumerate(boxes) if alive[i]]

@@ -1,0 +1,99 @@
+"""CLIQUE's prefix self-join and a-priori candidate pruning.
+
+"In [CLIQUE] candidate dense cells in any k dimensions are obtained by
+merging the dense cells in (k−1) dimensions which share the first (k−2)
+dimensions" (paper §3) — the Apriori-style join: two level-(k−1) units
+join when their first k−2 (dimension, bin) pairs are identical and their
+last dimensions differ, the smaller-dimension unit first.  The paper's
+{a1,b7,c8} + {b7,c8,d9} example shows candidates this join misses and
+MAFIA's any-(k−2) join finds.
+
+CLIQUE then prunes candidates having any non-dense (k−1)-projection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.candidates import JoinResult
+from ..core.units import UnitTable
+from ..errors import DataError
+
+
+def prefix_join_block(dense: UnitTable, start: int = 0,
+                      stop: int | None = None) -> JoinResult:
+    """Prefix-join rows ``[start, stop)`` of ``dense`` against all later
+    rows.  ``dense`` must be in canonical (lexicographic) order so that
+    join partners share a contiguous prefix region; the caller sorts."""
+    n = dense.n_units
+    stop = n if stop is None else stop
+    if not 0 <= start <= stop <= n:
+        raise DataError(f"join range [{start}, {stop}) out of bounds for {n}")
+    m = dense.level
+    combined = np.zeros(n, dtype=bool)
+    pairs = sum(n - i for i in range(start, stop))
+    if n == 0 or stop == start:
+        return JoinResult(cdus=UnitTable.empty(m + 1), combined=combined,
+                          pairs_examined=pairs)
+
+    dims = dense.dims.astype(np.int64)
+    bins = dense.bins.astype(np.int64)
+    out_dims: list[np.ndarray] = []
+    out_bins: list[np.ndarray] = []
+    for i in range(start, stop):
+        rest_dims = dims[i + 1:]
+        if rest_dims.size == 0:
+            continue
+        rest_bins = bins[i + 1:]
+        prefix_ok = np.ones(rest_dims.shape[0], dtype=bool)
+        if m > 1:
+            prefix_ok &= (rest_dims[:, :m - 1] == dims[i, :m - 1]).all(axis=1)
+            prefix_ok &= (rest_bins[:, :m - 1] == bins[i, :m - 1]).all(axis=1)
+        # last dimensions must differ; canonical order makes row i's last
+        # dimension the smaller one within an equal prefix group
+        prefix_ok &= rest_dims[:, m - 1] != dims[i, m - 1]
+        if not prefix_ok.any():
+            continue
+        combined[i] = True
+        combined[i + 1:][prefix_ok] = True
+        extra_dim = rest_dims[prefix_ok, m - 1]
+        extra_bin = rest_bins[prefix_ok, m - 1]
+        v = extra_dim.shape[0]
+        union_dims = np.concatenate(
+            [np.tile(dims[i], (v, 1)), extra_dim[:, None]], axis=1)
+        union_bins = np.concatenate(
+            [np.tile(bins[i], (v, 1)), extra_bin[:, None]], axis=1)
+        order = np.argsort(union_dims, axis=1, kind="stable")
+        out_dims.append(np.take_along_axis(union_dims, order, axis=1))
+        out_bins.append(np.take_along_axis(union_bins, order, axis=1))
+
+    if out_dims:
+        cdus = UnitTable(dims=np.concatenate(out_dims).astype(np.uint8),
+                         bins=np.concatenate(out_bins).astype(np.uint8))
+    else:
+        cdus = UnitTable.empty(m + 1)
+    return JoinResult(cdus=cdus, combined=combined, pairs_examined=pairs)
+
+
+def prefix_join_all(dense: UnitTable) -> JoinResult:
+    """Full prefix join over the whole (canonically ordered) table."""
+    return prefix_join_block(dense, 0, dense.n_units)
+
+
+def apriori_prune(candidates: UnitTable, dense: UnitTable) -> np.ndarray:
+    """Keep-mask over ``candidates``: True where *every* (k−1)-projection
+    of the candidate is a known dense unit."""
+    if candidates.n_units == 0:
+        return np.zeros(0, dtype=bool)
+    if candidates.level != dense.level + 1:
+        raise DataError(
+            f"candidates level {candidates.level} does not extend dense "
+            f"level {dense.level}")
+    keep = np.ones(candidates.n_units, dtype=bool)
+    k = candidates.level
+    for drop in range(k):
+        cols = [j for j in range(k) if j != drop]
+        proj = UnitTable(dims=candidates.dims[:, cols],
+                         bins=candidates.bins[:, cols])
+        keep &= dense.contains_rows(proj)
+    return keep

@@ -1,0 +1,119 @@
+"""Candidate dense unit generation — the MAFIA join (§3, §4.3).
+
+CDUs in dimensionality ``k`` are formed "by merging any two dense cells,
+represented by an ordered set of (k−1) dimensions, such that they share
+any of the (k−2) dimensions" — unlike CLIQUE, which only joins units
+sharing their *first* k−2 dimensions and therefore misses candidates
+(the paper's {a1,b7,c8} + {b7,c8,d9} example).
+
+Two level-(k−1) units join when
+
+* their dimension sets overlap in exactly k−2 dimensions (union size k),
+* and their bin indices agree on every shared dimension.
+
+The joined CDU takes the union of the dimension sets (sorted) with the
+corresponding bins.  :func:`join_block` processes rows ``[start, stop)``
+against all later rows — the triangular workload that equation (1)
+balances across ranks (:mod:`repro.core.partition`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError
+from .units import MAX_DIMS, UnitTable
+
+
+@dataclass(frozen=True)
+class JoinResult:
+    """Output of one rank's share of the CDU join.
+
+    Attributes
+    ----------
+    cdus:
+        The CDUs built from this block's pairs (may contain units that
+        duplicate each other or other blocks' output — repeat elimination
+        is a separate phase, as in the paper).
+    combined:
+        Length-``Ndu`` mask, True for every dense unit (in the *whole*
+        table) that participated in at least one successful join from
+        this block.  Ranks OR these together; units never combined are
+        registered as potential clusters of dimensionality k−1.
+    pairs_examined:
+        The comparisons this block is charged under the paper's cost
+        model: ``sum(Ndu - i)`` over its rows.
+    """
+
+    cdus: UnitTable
+    combined: np.ndarray
+    pairs_examined: int
+
+
+def join_block(dense: UnitTable, start: int = 0, stop: int | None = None
+               ) -> JoinResult:
+    """Join rows ``[start, stop)`` of ``dense`` against all later rows."""
+    n = dense.n_units
+    stop = n if stop is None else stop
+    if not 0 <= start <= stop <= n:
+        raise DataError(f"join range [{start}, {stop}) out of bounds for {n}")
+    m = dense.level
+    combined = np.zeros(n, dtype=bool)
+    pairs = sum(n - i for i in range(start, stop))
+
+    if n == 0 or stop == start:
+        return JoinResult(cdus=UnitTable.empty(m + 1), combined=combined,
+                          pairs_examined=pairs)
+
+    dims = dense.dims.astype(np.int64)
+    bins = dense.bins.astype(np.int64)
+    out_dims: list[np.ndarray] = []
+    out_bins: list[np.ndarray] = []
+
+    # bin-by-dimension lookup rebuilt per pivot row
+    bin_of = np.full(MAX_DIMS, -1, dtype=np.int64)
+    for i in range(start, stop):
+        rest_dims = dims[i + 1:]
+        if rest_dims.size == 0:
+            continue
+        rest_bins = bins[i + 1:]
+        # which dims of each later row appear in row i
+        in_i = np.isin(rest_dims, dims[i])
+        shared = in_i.sum(axis=1)
+        bin_of[dims[i]] = bins[i]
+        agree = bin_of[rest_dims] == rest_bins
+        bin_of[dims[i]] = -1
+        conflict = (in_i & ~agree).any(axis=1)
+        valid = (shared == m - 1) & ~conflict
+        if not valid.any():
+            continue
+        combined[i] = True
+        combined[i + 1:][valid] = True
+
+        new_mask = ~in_i[valid]                       # exactly one per row
+        partners_dims = rest_dims[valid]
+        partners_bins = rest_bins[valid]
+        extra_dim = partners_dims[new_mask]
+        extra_bin = partners_bins[new_mask]
+        v = extra_dim.shape[0]
+        union_dims = np.concatenate(
+            [np.tile(dims[i], (v, 1)), extra_dim[:, None]], axis=1)
+        union_bins = np.concatenate(
+            [np.tile(bins[i], (v, 1)), extra_bin[:, None]], axis=1)
+        order = np.argsort(union_dims, axis=1, kind="stable")
+        out_dims.append(np.take_along_axis(union_dims, order, axis=1))
+        out_bins.append(np.take_along_axis(union_bins, order, axis=1))
+
+    if out_dims:
+        cdus = UnitTable(dims=np.concatenate(out_dims).astype(np.uint8),
+                         bins=np.concatenate(out_bins).astype(np.uint8))
+    else:
+        cdus = UnitTable.empty(m + 1)
+    return JoinResult(cdus=cdus, combined=combined, pairs_examined=pairs)
+
+
+def join_all(dense: UnitTable) -> JoinResult:
+    """Full join over the whole table (the serial / below-τ path)."""
+    return join_block(dense, 0, dense.n_units)

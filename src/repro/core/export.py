@@ -1,0 +1,164 @@
+"""Serialisation of clustering results.
+
+pMAFIA's output — minimal DNF expressions per cluster — is meant for
+the end user (§3.2), so the library exports results as plain
+JSON-compatible dictionaries: grid geometry, per-level trace, and each
+cluster's subspace, units, DNF and population.  ``result_from_dict``
+round-trips everything, enabling result files, diffing runs, and the
+command-line interface.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from ..errors import DataError
+from ..params import MafiaParams
+from ..types import Cluster, DimensionGrid, DNFTerm, Grid, Subspace
+from .result import ClusteringResult, LevelTrace
+from .units import UnitTable
+
+
+def grid_to_dict(grid: Grid) -> dict[str, Any]:
+    return {
+        "dims": [
+            {"dim": dg.dim, "edges": list(dg.edges),
+             "thresholds": list(dg.thresholds), "uniform": dg.uniform}
+            for dg in grid
+        ]
+    }
+
+
+def grid_from_dict(payload: dict[str, Any]) -> Grid:
+    try:
+        dims = tuple(
+            DimensionGrid(dim=int(d["dim"]),
+                          edges=tuple(float(e) for e in d["edges"]),
+                          thresholds=tuple(float(t) for t in d["thresholds"]),
+                          uniform=bool(d["uniform"]))
+            for d in payload["dims"])
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"malformed grid payload: {exc}") from exc
+    return Grid(dims=dims)
+
+
+def cluster_to_dict(cluster: Cluster) -> dict[str, Any]:
+    return {
+        "subspace": list(cluster.subspace.dims),
+        "units_bins": cluster.units_bins.tolist(),
+        "point_count": cluster.point_count,
+        "dnf": [
+            {"intervals": [[lo, hi] for lo, hi in term.intervals]}
+            for term in cluster.dnf
+        ],
+    }
+
+
+def cluster_from_dict(payload: dict[str, Any]) -> Cluster:
+    try:
+        subspace = Subspace(tuple(int(d) for d in payload["subspace"]))
+        dnf = tuple(
+            DNFTerm(subspace=subspace,
+                    intervals=tuple((float(lo), float(hi))
+                                    for lo, hi in term["intervals"]))
+            for term in payload["dnf"])
+        return Cluster(subspace=subspace,
+                       units_bins=np.asarray(payload["units_bins"],
+                                             dtype=np.int64),
+                       dnf=dnf,
+                       point_count=int(payload["point_count"]))
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"malformed cluster payload: {exc}") from exc
+
+
+def trace_to_dict(trace: LevelTrace) -> dict[str, Any]:
+    return {
+        "level": trace.level,
+        "n_cdus_raw": trace.n_cdus_raw,
+        "n_cdus": trace.n_cdus,
+        "n_dense": trace.n_dense,
+        "dense_dims": trace.dense.dims.tolist(),
+        "dense_bins": trace.dense.bins.tolist(),
+        "dense_counts": np.asarray(trace.dense_counts).tolist(),
+    }
+
+
+def trace_from_dict(payload: dict[str, Any]) -> LevelTrace:
+    try:
+        level = int(payload["level"])
+        dims = np.asarray(payload["dense_dims"], dtype=np.uint8)
+        bins = np.asarray(payload["dense_bins"], dtype=np.uint8)
+        if dims.size == 0:
+            dense = UnitTable.empty(level)
+        else:
+            dense = UnitTable(dims=dims, bins=bins)
+        return LevelTrace(
+            level=level,
+            n_cdus_raw=int(payload["n_cdus_raw"]),
+            n_cdus=int(payload["n_cdus"]),
+            n_dense=int(payload["n_dense"]),
+            dense=dense,
+            dense_counts=np.asarray(payload["dense_counts"], dtype=np.int64))
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"malformed trace payload: {exc}") from exc
+
+
+def result_to_dict(result: ClusteringResult) -> dict[str, Any]:
+    """The whole clustering as a JSON-compatible dictionary."""
+    params = result.params
+    params_dict = {
+        field: getattr(params, field)
+        for field in getattr(params, "__dataclass_fields__", {})
+    }
+    return {
+        "format": "pmafia-result",
+        "version": 1,
+        "n_records": result.n_records,
+        "params": params_dict,
+        "grid": grid_to_dict(result.grid),
+        "clusters": [cluster_to_dict(c) for c in result.clusters],
+        "trace": [trace_to_dict(t) for t in result.trace],
+    }
+
+
+def result_from_dict(payload: dict[str, Any]) -> ClusteringResult:
+    """Inverse of :func:`result_to_dict` (params decode as MafiaParams
+    when the fields fit, else stay a plain dict)."""
+    if payload.get("format") != "pmafia-result":
+        raise DataError("not a pmafia-result payload")
+    if payload.get("version") != 1:
+        raise DataError(f"unsupported result version {payload.get('version')}")
+    raw_params = dict(payload.get("params", {}))
+    if isinstance(raw_params.get("bins", None), list):
+        raw_params["bins"] = tuple(raw_params["bins"])
+    params: Any = raw_params
+    from ..params import CliqueParams
+    for cls in (MafiaParams, CliqueParams):
+        try:
+            params = cls(**raw_params)
+            break
+        except Exception:
+            continue
+    return ClusteringResult(
+        grid=grid_from_dict(payload["grid"]),
+        clusters=tuple(cluster_from_dict(c) for c in payload["clusters"]),
+        trace=tuple(trace_from_dict(t) for t in payload["trace"]),
+        params=params,
+        n_records=int(payload["n_records"]))
+
+
+def result_to_json(result: ClusteringResult, indent: int | None = 2) -> str:
+    """The clustering as a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def result_from_json(text: str) -> ClusteringResult:
+    """Parse a clustering back from :func:`result_to_json` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DataError(f"invalid result JSON: {exc}") from exc
+    return result_from_dict(payload)

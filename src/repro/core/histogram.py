@@ -1,0 +1,84 @@
+"""Per-dimension fine histograms (the first pass of Algorithm 2).
+
+Every rank scans its local records once to build a fine histogram in
+each dimension; a Reduce produces the global histogram from which the
+adaptive grid is computed.  Domains (attribute min/max) are found by the
+same kind of chunked local pass + Reduce when not supplied by the user.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from ..io.chunks import DataSource, charged_chunks
+from ..parallel.comm import Comm
+
+
+def local_domains(source: DataSource, comm: Comm, chunk_records: int,
+                  start: int = 0, stop: int | None = None) -> np.ndarray:
+    """Per-dimension ``(min, max)`` over this rank's records, as a
+    ``(d, 2)`` array; ±inf rows when the rank owns no records."""
+    d = source.n_dims
+    lo = np.full(d, np.inf)
+    hi = np.full(d, -np.inf)
+    for chunk in charged_chunks(source, comm, chunk_records, start, stop):
+        comm.charge_cells(chunk.shape[0] * d)
+        np.minimum(lo, chunk.min(axis=0), out=lo)
+        np.maximum(hi, chunk.max(axis=0), out=hi)
+    return np.stack([lo, hi], axis=1)
+
+
+def global_domains(source: DataSource, comm: Comm, chunk_records: int,
+                   start: int = 0, stop: int | None = None) -> np.ndarray:
+    """Global per-dimension domains via min/max Reduce.
+
+    Degenerate dimensions (constant value) are widened by a hair so that
+    every domain has positive extent.
+    """
+    local = local_domains(source, comm, chunk_records, start, stop)
+    lo = comm.allreduce(local[:, 0], op="min")
+    hi = comm.allreduce(local[:, 1], op="max")
+    if np.isinf(lo).any() or np.isinf(hi).any():
+        raise DataError("cannot compute domains of an empty data set")
+    span = hi - lo
+    pad = np.where(span > 0, span * 1e-9, np.maximum(np.abs(hi) * 1e-9, 1e-9))
+    return np.stack([lo, hi + pad], axis=1)
+
+
+def fine_histogram_local(source: DataSource, comm: Comm, domains: np.ndarray,
+                         fine_bins: int, chunk_records: int,
+                         start: int = 0, stop: int | None = None) -> np.ndarray:
+    """This rank's ``(d, fine_bins)`` histogram over its local records.
+
+    Values are clipped into their domain so that every record lands in a
+    fine bin (out-of-domain values can only occur if the caller passed
+    domains narrower than the data).
+    """
+    domains = np.asarray(domains, dtype=np.float64)
+    d = source.n_dims
+    if domains.shape != (d, 2):
+        raise DataError(f"domains shape {domains.shape} != ({d}, 2)")
+    if fine_bins <= 0:
+        raise DataError(f"fine_bins must be positive, got {fine_bins}")
+    lo = domains[:, 0]
+    width = domains[:, 1] - domains[:, 0]
+    if (width <= 0).any():
+        raise DataError("all domains must have positive extent")
+    counts = np.zeros((d, fine_bins), dtype=np.int64)
+    for chunk in charged_chunks(source, comm, chunk_records, start, stop):
+        comm.charge_cells(chunk.shape[0] * d)
+        scaled = (chunk - lo) / width * fine_bins
+        idx = np.clip(scaled.astype(np.int64), 0, fine_bins - 1)
+        for j in range(d):
+            counts[j] += np.bincount(idx[:, j], minlength=fine_bins)
+    return counts
+
+
+def fine_histogram_global(source: DataSource, comm: Comm, domains: np.ndarray,
+                          fine_bins: int, chunk_records: int,
+                          start: int = 0, stop: int | None = None) -> np.ndarray:
+    """Global fine histogram: local pass plus a sum Reduce (§4.1)."""
+    local = fine_histogram_local(source, comm, domains, fine_bins,
+                                 chunk_records, start, stop)
+    return comm.allreduce(local, op="sum")

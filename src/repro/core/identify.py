@@ -1,0 +1,65 @@
+"""Dense unit identification — Identify-dense-units() (§4.4, Algorithm 5).
+
+"The histogram count of each CDU is compared against the threshold of
+all the bins which form the CDU": a CDU is dense when its count exceeds
+*every* constituent bin's threshold, i.e. exceeds their maximum.  Each
+rank flags its Ncdu/p block (even split — per-row work is constant
+here); the flags are OR-reduced and the dense count follows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from ..types import Grid
+from .units import UnitTable
+
+
+def unit_thresholds(grid: Grid, units: UnitTable) -> np.ndarray:
+    """Per-unit density threshold: the max of its bins' thresholds."""
+    if units.n_units == 0:
+        return np.zeros(0, dtype=np.float64)
+    max_bins = max(dg.nbins for dg in grid)
+    table = np.full((grid.ndim, max_bins), np.inf)
+    for j, dg in enumerate(grid):
+        table[j, :dg.nbins] = dg.thresholds
+    dims = units.dims.astype(np.int64)
+    bins = units.bins.astype(np.int64)
+    if int(dims.max()) >= grid.ndim:
+        raise DataError("unit table references dimensions beyond the grid")
+    if (bins >= np.array([grid[d].nbins for d in range(grid.ndim)])[dims]).any():
+        raise DataError("unit table references bins beyond the grid")
+    return table[dims, bins].max(axis=1)
+
+
+def dense_flags_block(counts: np.ndarray, thresholds: np.ndarray,
+                      start: int = 0, stop: int | None = None,
+                      min_points: int = 0) -> np.ndarray:
+    """Dense mask for CDU rows ``[start, stop)``; False elsewhere so the
+    per-rank masks OR-reduce into the global mask."""
+    counts = np.asarray(counts)
+    thresholds = np.asarray(thresholds)
+    n = counts.shape[0]
+    if thresholds.shape != (n,):
+        raise DataError(
+            f"thresholds shape {thresholds.shape} != counts shape {counts.shape}")
+    stop = n if stop is None else stop
+    if not 0 <= start <= stop <= n:
+        raise DataError(f"block [{start}, {stop}) out of bounds for {n}")
+    mask = np.zeros(n, dtype=bool)
+    block = (counts[start:stop] > thresholds[start:stop])
+    if min_points > 0:
+        block &= counts[start:stop] >= min_points
+    mask[start:stop] = block
+    return mask
+
+
+def dense_units(cdus: UnitTable, counts: np.ndarray,
+                mask: np.ndarray) -> tuple[UnitTable, np.ndarray]:
+    """Build-dense-unit-data-structures(): the dense sub-table and its
+    counts, in CDU order."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != (cdus.n_units,):
+        raise DataError(f"mask shape {mask.shape} != ({cdus.n_units},)")
+    return cdus.select(mask), np.asarray(counts)[mask]

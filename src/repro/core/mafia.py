@@ -1,0 +1,74 @@
+"""User-facing entry points: serial MAFIA and parallel pMAFIA."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..errors import DataError
+from ..params import MafiaParams
+from ..parallel.machine import MachineSpec, WorkCounters
+from ..parallel.serial import SerialComm
+from ..parallel.spmd import run_spmd
+from .pmafia import pmafia_rank
+from .result import ClusteringResult
+
+
+def mafia(data: Any, params: MafiaParams | None = None,
+          domains: np.ndarray | None = None) -> ClusteringResult:
+    """Serial MAFIA: cluster ``data`` on a single (virtual) processor.
+
+    ``data`` may be an ``(n, d)`` array, any
+    :class:`~repro.io.chunks.DataSource`, or a path to a record file.
+    The algorithm is completely unsupervised — ``params`` only carries
+    the α/β knobs whose defaults the paper recommends.
+    """
+    return pmafia_rank(SerialComm(), data, params, domains)
+
+
+@dataclass(frozen=True)
+class PMafiaRun:
+    """Outcome of a parallel run: the clustering (identical on every
+    rank, asserted) plus per-rank virtual times and work tallies."""
+
+    result: ClusteringResult
+    nprocs: int
+    backend: str
+    rank_times: tuple[float, ...]
+    counters: tuple[WorkCounters | None, ...]
+
+    @property
+    def makespan(self) -> float:
+        """Virtual completion time: the slowest rank's clock (0.0 on
+        untimed backends)."""
+        return max(self.rank_times) if self.rank_times else 0.0
+
+
+def pmafia(data: Any, nprocs: int, params: MafiaParams | None = None,
+           *, backend: str = "thread", machine: MachineSpec | None = None,
+           collectives: str = "flat",
+           domains: np.ndarray | None = None) -> PMafiaRun:
+    """Parallel pMAFIA on ``nprocs`` ranks.
+
+    ``backend='thread'`` exercises the real SPMD message-passing path;
+    ``backend='sim'`` additionally produces deterministic virtual
+    runtimes on ``machine`` (default: the paper's IBM SP2).
+    ``collectives`` selects flat (paper's model) or binomial-tree wire
+    patterns for the Reduce/broadcast steps.
+    """
+    if nprocs == 1 and backend == "thread":
+        backend = "serial"
+    ranks = run_spmd(pmafia_rank, nprocs, backend=backend, machine=machine,
+                     collectives=collectives, args=(data, params, domains))
+    results = [r.value for r in ranks]
+    first = results[0]
+    for other in results[1:]:
+        if (other.cdus_per_level() != first.cdus_per_level()
+                or other.dense_per_level() != first.dense_per_level()
+                or len(other.clusters) != len(first.clusters)):
+            raise DataError("ranks disagree on the clustering result")
+    return PMafiaRun(result=first, nprocs=nprocs, backend=backend,
+                     rank_times=tuple(r.time for r in ranks),
+                     counters=tuple(r.counters for r in ranks))

@@ -1,0 +1,84 @@
+"""Cluster assembly: merging connected dense units (§3).
+
+"Clusters are unions of connected high density cells.  Two k-dimensional
+cells are connected if they have a common face in the k-dimensional
+space or if they are connected by a common cell."  Within one subspace,
+two units share a face when their bin vectors agree in all but one
+position and differ by exactly one there; transitive closure is the
+usual union-find.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+
+
+class UnionFind:
+    """Plain array-based union-find with path halving + union by size."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise DataError(f"n must be >= 0, got {n}")
+        self.parent = list(range(n))
+        self.size = [1] * n
+
+    def find(self, x: int) -> int:
+        """Root of ``x``'s set (with path halving)."""
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; True if they were separate."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return True
+
+    def labels(self) -> np.ndarray:
+        """Component label per element, relabelled to 0..n_components-1 in
+        first-appearance order."""
+        roots = [self.find(x) for x in range(len(self.parent))]
+        mapping: dict[int, int] = {}
+        out = np.empty(len(roots), dtype=np.int64)
+        for i, r in enumerate(roots):
+            out[i] = mapping.setdefault(r, len(mapping))
+        return out
+
+
+def face_adjacent_components(bins: np.ndarray) -> np.ndarray:
+    """Component labels for units (rows of bin indices) under common-face
+    adjacency within one subspace.
+
+    For each coordinate position, rows are grouped by the remaining
+    coordinates; within a group, sorted neighbouring bin values differing
+    by exactly 1 share a face.
+    """
+    bins = np.asarray(bins, dtype=np.int64)
+    if bins.ndim != 2:
+        raise DataError(f"bins must be 2-D, got shape {bins.shape}")
+    n, k = bins.shape
+    uf = UnionFind(n)
+    if n <= 1:
+        return uf.labels()
+    for j in range(k):
+        groups: dict[tuple[int, ...], list[int]] = {}
+        others = np.delete(bins, j, axis=1)
+        for i in range(n):
+            groups.setdefault(tuple(others[i]), []).append(i)
+        for rows in groups.values():
+            if len(rows) < 2:
+                continue
+            rows_sorted = sorted(rows, key=lambda i: bins[i, j])
+            for a, b in zip(rows_sorted, rows_sorted[1:]):
+                if bins[b, j] - bins[a, j] == 1:
+                    uf.union(a, b)
+    return uf.labels()

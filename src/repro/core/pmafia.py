@@ -1,0 +1,285 @@
+"""The pMAFIA driver — Algorithm 2 of the paper, runnable on any
+communicator (1 rank = serial MAFIA; the thread backend = real SPMD; the
+sim backend = SPMD with virtual IBM SP2 clocks).
+
+Per level the driver performs, exactly as Algorithms 2-6 prescribe:
+
+1. *Find-candidate-dense-units* — triangular CDU join, task-partitioned
+   by equation (1) when ``Ndu > τ``; per-rank fragments are gathered on
+   the parent, concatenated in rank order and broadcast.
+2. *Eliminate-repeat-CDUs* — repeat marking task-partitioned the same
+   way (Ncdu substituted for Ndu), flags OR-reduced, unique fragments
+   rebuilt per rank, gathered and broadcast.
+3. CDU *population* — the data-parallel pass over each rank's N/p local
+   records in chunks of B, counts sum-Reduced.
+4. *Identify-dense-units* — per-rank flag blocks (even Ncdu/p split),
+   a Reduce for the flags and another for the dense count.
+5. *Build-dense-unit-data-structures* — the dense sub-table (all ranks
+   hold the full CDU table and global mask after the reduces).
+
+The loop terminates when no dense units remain; the parent then
+assembles clusters from the maximal dense units of every level and
+broadcasts the result (print-clusters()).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..errors import DataError
+from ..io.chunks import DataSource, as_source
+from ..io.partition import block_range
+from ..io.staging import stage_local
+from ..params import MafiaParams
+from ..parallel.comm import Comm
+from ..types import Cluster, Grid, Subspace
+from .adaptive_grid import build_grid
+from .candidates import join_block
+from .dedup import drop_repeats, repeat_flags_block
+from .dnf import dnf_terms, maximal_mask, merged_mask
+from .histogram import fine_histogram_global, global_domains
+from .identify import dense_flags_block, dense_units, unit_thresholds
+from .merge import face_adjacent_components
+from .partition import even_splits, prefix_work, triangular_splits
+from .population import populate_global
+from .result import ClusteringResult, LevelTrace
+from .units import MAX_DIMS, UnitTable
+
+
+def _local_view(comm: Comm, data: Any) -> tuple[DataSource, int, int]:
+    """Resolve this rank's view of the data: a source plus the record
+    range it owns.
+
+    Arrays / in-memory sources are shared, each rank reading its N/p
+    block; a path names a shared record file that is first staged onto
+    "local disk" (§4.1) and then read whole.
+    """
+    if isinstance(data, (str, os.PathLike)):
+        local = stage_local(comm, Path(data))
+        return local, 0, local.n_records
+    source = as_source(data)
+    start, stop = block_range(source.n_records, comm.size, comm.rank)
+    return source, start, stop
+
+
+def _level_one_cdus(grid: Grid) -> UnitTable:
+    """Every bin of every dimension is a level-1 candidate dense unit."""
+    if grid.ndim > MAX_DIMS:
+        raise DataError(
+            f"{grid.ndim} dimensions exceed the byte-array limit {MAX_DIMS}")
+    dims = []
+    bins = []
+    for dg in grid:
+        dims.extend([dg.dim] * dg.nbins)
+        bins.extend(range(dg.nbins))
+    return UnitTable(dims=np.asarray(dims, dtype=np.uint8)[:, None],
+                     bins=np.asarray(bins, dtype=np.uint8)[:, None])
+
+
+def _find_candidate_dense_units(comm: Comm, dense: UnitTable, tau: int,
+                                block_join=join_block
+                                ) -> tuple[UnitTable, np.ndarray]:
+    """Algorithm 3: build level-(k+1) CDUs from the level-k dense units.
+
+    Returns the concatenated raw CDU table (identical on every rank) and
+    the global combined-mask over the dense units.  ``block_join`` is the
+    pairwise join strategy — MAFIA's any-(k−2) join by default; CLIQUE
+    passes its prefix join.
+    """
+    ndu = dense.n_units
+    if comm.size > 1 and ndu > tau:
+        offsets = triangular_splits(ndu, comm.size)
+        lo, hi = offsets[comm.rank], offsets[comm.rank + 1]
+        jr = block_join(dense, lo, hi)
+        comm.charge_pairs(jr.pairs_examined)
+        fragments = comm.gather(jr.cdus.tobytes(), root=0)
+        if comm.rank == 0:
+            full = UnitTable.concat_all(
+                [UnitTable.frombytes(f) for f in fragments])
+            payload = full.tobytes()
+        else:
+            payload = None
+        payload = comm.bcast(payload, root=0)
+        full = UnitTable.frombytes(payload)
+        combined = comm.allreduce(jr.combined, op="lor")
+        return full, combined
+    jr = block_join(dense, 0, ndu)
+    comm.charge_pairs(jr.pairs_examined)
+    return jr.cdus, jr.combined
+
+
+def _eliminate_repeat_cdus(comm: Comm, raw: UnitTable,
+                           tau: int) -> UnitTable:
+    """Algorithm 4: drop repeated CDUs, task-parallel above τ."""
+    n = raw.n_units
+    if comm.size > 1 and n > tau:
+        offsets = triangular_splits(n, comm.size)
+        lo, hi = offsets[comm.rank], offsets[comm.rank + 1]
+        comm.charge_pairs(prefix_work(n, hi) - prefix_work(n, lo))
+        flags = repeat_flags_block(raw, lo, hi)
+        repeats = comm.allreduce(flags, op="lor")
+        # build-cdu-with-unique-elements: each rank rebuilds its even
+        # 1/p-th of the unique table; parent concatenates in rank order.
+        even = even_splits(n, comm.size)
+        elo, ehi = even[comm.rank], even[comm.rank + 1]
+        keep = ~repeats
+        keep_mask = np.zeros(n, dtype=bool)
+        keep_mask[elo:ehi] = keep[elo:ehi]
+        fragment = raw.select(keep_mask)
+        fragments = comm.gather(fragment.tobytes(), root=0)
+        if comm.rank == 0:
+            unique = UnitTable.concat_all(
+                [UnitTable.frombytes(f) for f in fragments])
+            payload = unique.tobytes()
+        else:
+            payload = None
+        payload = comm.bcast(payload, root=0)
+        return UnitTable.frombytes(payload)
+    comm.charge_pairs(n)
+    return drop_repeats(raw, raw.repeat_mask())
+
+
+def _identify_dense(comm: Comm, cdus: UnitTable, counts: np.ndarray,
+                    grid: Grid, tau: int, min_points: int = 0
+                    ) -> tuple[np.ndarray, int]:
+    """Algorithm 5: dense mask over the CDU table plus the global Ndu."""
+    thresholds = unit_thresholds(grid, cdus)
+    n = cdus.n_units
+    if comm.size > 1 and n > tau:
+        offsets = even_splits(n, comm.size)
+        lo, hi = offsets[comm.rank], offsets[comm.rank + 1]
+        comm.charge_cells(hi - lo)
+        flags = dense_flags_block(counts, thresholds, lo, hi, min_points)
+        mask = comm.allreduce(flags, op="lor")
+        local_count = np.array([int(flags.sum())], dtype=np.int64)
+        ndu = int(comm.allreduce(local_count, op="sum")[0])
+        return mask, ndu
+    comm.charge_cells(n)
+    mask = dense_flags_block(counts, thresholds, 0, n, min_points)
+    return mask, int(mask.sum())
+
+
+#: (dense units, their counts) registered as potential clusters
+Registered = list[tuple[UnitTable, np.ndarray]]
+
+
+def _maximal_registrations(trace: tuple[LevelTrace, ...],
+                           mask_fn=maximal_mask) -> Registered:
+    """The ``report='maximal'`` / ``'merged'`` policies: every dense unit
+    passing ``mask_fn`` against the next level seeds a cluster."""
+    registered: Registered = []
+    for i, level in enumerate(trace):
+        if level.n_dense == 0:
+            continue
+        higher = trace[i + 1].dense if i + 1 < len(trace) else None
+        mask = mask_fn(level.dense, higher)
+        if mask.any():
+            registered.append((level.dense.select(mask),
+                               level.dense_counts[mask]))
+    return registered
+
+
+def assemble_clusters(grid: Grid, registered: Registered
+                      ) -> tuple[Cluster, ...]:
+    """print-clusters(): merge connected registered dense units into
+    clusters, reported highest dimensionality first."""
+    clusters: list[Cluster] = []
+    for table, counts in registered:
+        if table.n_units == 0:
+            continue
+        for dims, rows in table.group_by_subspace().items():
+            subspace = Subspace(dims)
+            bins = table.bins[rows].astype(np.int64)
+            labels = face_adjacent_components(bins)
+            for label in range(int(labels.max()) + 1):
+                members = rows[labels == label]
+                member_bins = table.bins[members].astype(np.int64)
+                clusters.append(Cluster(
+                    subspace=subspace,
+                    units_bins=member_bins,
+                    dnf=dnf_terms(grid, subspace, member_bins),
+                    point_count=int(counts[rows][labels == label].sum()),
+                ))
+    clusters.sort(key=lambda c: (-c.dimensionality, c.subspace.dims,
+                                 c.units_bins.tolist()))
+    return tuple(clusters)
+
+
+def pmafia_rank(comm: Comm, data: Any, params: MafiaParams | None = None,
+                domains: np.ndarray | None = None) -> ClusteringResult:
+    """Run one rank of pMAFIA (Algorithm 2).  Call through
+    :func:`repro.core.mafia.mafia` or :func:`pmafia` unless you are
+    driving your own SPMD program."""
+    params = params or MafiaParams()
+    source, start, stop = _local_view(comm, data)
+    n_local = stop - start
+    n_records = int(comm.allreduce(np.array([n_local], dtype=np.int64),
+                                   op="sum")[0])
+    if n_records == 0:
+        raise DataError("cannot cluster an empty data set")
+
+    if domains is None:
+        domains = global_domains(source, comm, params.chunk_records,
+                                 start, stop)
+    else:
+        domains = np.asarray(domains, dtype=np.float64)
+
+    fine = fine_histogram_global(source, comm, domains, params.fine_bins,
+                                 params.chunk_records, start, stop)
+    grid = build_grid(fine, domains, n_records, params)
+
+    def level_pass(cdus: UnitTable, raw_count: int, level: int) -> LevelTrace:
+        counts = populate_global(source, comm, grid, cdus,
+                                 params.chunk_records, start, stop)
+        mask, ndu = _identify_dense(comm, cdus, counts, grid, params.tau,
+                                    params.min_bin_points)
+        dense, dense_counts = dense_units(cdus, counts, mask)
+        return LevelTrace(level=level, n_cdus_raw=raw_count,
+                          n_cdus=cdus.n_units, n_dense=ndu,
+                          dense=dense, dense_counts=dense_counts)
+
+    cdus = _level_one_cdus(grid)
+    trace: list[LevelTrace] = [level_pass(cdus, cdus.n_units, 1)]
+    registered: Registered = []
+    current = trace[-1]
+    while current.n_dense > 0:
+        dense, dense_counts = current.dense, current.dense_counts
+        if current.level >= params.max_dimensionality:
+            registered.append((dense, dense_counts))
+            break
+        raw, combined = _find_candidate_dense_units(comm, dense, params.tau)
+        # non-combinable dense units are registered as potential clusters
+        if (~combined).any():
+            registered.append((dense.select(~combined),
+                               dense_counts[~combined]))
+        if raw.n_units == 0:
+            if combined.any():
+                registered.append((dense.select(combined),
+                                   dense_counts[combined]))
+            break
+        cdus = _eliminate_repeat_cdus(comm, raw, params.tau)
+        nxt = level_pass(cdus, raw.n_units, current.level + 1)
+        trace.append(nxt)
+        if nxt.n_dense == 0 and combined.any():
+            # the combinable units were the top of the lattice after all
+            registered.append((dense.select(combined),
+                               dense_counts[combined]))
+        current = nxt
+
+    if params.report == "maximal":
+        registered = _maximal_registrations(tuple(trace))
+    elif params.report == "merged":
+        registered = _maximal_registrations(tuple(trace), merged_mask)
+    if comm.rank == 0:
+        clusters = assemble_clusters(grid, registered)
+    else:
+        clusters = None
+    clusters = comm.bcast(clusters, root=0)
+
+    return ClusteringResult(grid=grid, clusters=clusters,
+                            trace=tuple(trace), params=params,
+                            n_records=n_records)

@@ -1,0 +1,118 @@
+"""CDU population: the data pass that counts records per candidate unit.
+
+"The algorithm spends most of its time in making a pass over the data
+and finding out the dense units among the candidate dense units" (§4) —
+this is the data-parallel heart of pMAFIA: every rank streams its N/p
+local records in chunks of B and increments the histogram count of each
+CDU a record falls in; a sum-Reduce yields global counts.
+
+Implementation: records are first mapped to per-dimension bin indices
+(one ``searchsorted`` per column), then CDUs are grouped by subspace and
+records matched by mixed-radix subspace keys — O(B·k) per subspace
+instead of O(B·Ncdu·k) naive masking.  The simulated-time backend is
+charged the naive per-CDU cost (what the paper's per-record scan on the
+SP2 paid), keeping virtual runtimes faithful to the measured system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from ..io.chunks import DataSource, charged_chunks
+from ..parallel.comm import Comm
+from ..types import Grid
+from .units import UnitTable
+
+#: keys are int64; fall back to row-matching when the radix product
+#: would overflow
+_KEY_LIMIT = 2**62
+
+
+class _SubspaceMatcher:
+    """Pre-computed matching state for the units of one subspace."""
+
+    def __init__(self, dims: tuple[int, ...], rows: np.ndarray,
+                 units: UnitTable, grid: Grid) -> None:
+        self.dims = np.asarray(dims, dtype=np.int64)
+        self.rows = rows                      # indices into the CDU table
+        bins = units.bins[rows][:, :].astype(np.int64)
+        radices = np.array([grid[d].nbins for d in dims], dtype=np.int64)
+        product = 1
+        for r in radices:
+            product *= int(r)
+            if product >= _KEY_LIMIT:
+                break
+        self.overflow = product >= _KEY_LIMIT
+        if self.overflow:
+            # rare: fall back to per-unit column masks
+            self.unit_bins = bins
+            return
+        self.radices = radices
+        keys = self._keys(bins)
+        order = np.argsort(keys)
+        self.sorted_keys = keys[order]
+        self.order = order
+
+    def _keys(self, idx: np.ndarray) -> np.ndarray:
+        key = idx[:, 0].astype(np.int64)
+        for j in range(1, idx.shape[1]):
+            key = key * self.radices[j] + idx[:, j]
+        return key
+
+    def count_chunk(self, bin_idx: np.ndarray, counts: np.ndarray) -> None:
+        """Add this chunk's matches into ``counts`` (full CDU-table length)."""
+        sub = bin_idx[:, self.dims]
+        if self.overflow:
+            for local, row in enumerate(self.rows):
+                mask = np.all(sub == self.unit_bins[local], axis=1)
+                counts[row] += int(mask.sum())
+            return
+        rec_keys = self._keys(sub)
+        pos = np.searchsorted(self.sorted_keys, rec_keys)
+        pos_clipped = np.minimum(pos, len(self.sorted_keys) - 1)
+        hit = self.sorted_keys[pos_clipped] == rec_keys
+        if hit.any():
+            local_counts = np.bincount(pos_clipped[hit],
+                                       minlength=len(self.sorted_keys))
+            np.add.at(counts, self.rows[self.order], local_counts)
+
+
+def build_matchers(units: UnitTable, grid: Grid) -> list[_SubspaceMatcher]:
+    """One matcher per distinct subspace of the unit table."""
+    if units.n_units and int(units.dims.max()) >= grid.ndim:
+        raise DataError("unit table references dimensions beyond the grid")
+    return [
+        _SubspaceMatcher(dims, rows, units, grid)
+        for dims, rows in units.group_by_subspace().items()
+    ]
+
+
+def populate_local(source: DataSource, comm: Comm, grid: Grid,
+                   units: UnitTable, chunk_records: int,
+                   start: int = 0, stop: int | None = None) -> np.ndarray:
+    """Counts of this rank's local records per CDU (one data pass).
+
+    ``start``/``stop`` select the rank's block when the source holds the
+    full data set (in-memory SPMD); a staged local file is passed whole.
+    """
+    counts = np.zeros(units.n_units, dtype=np.int64)
+    if units.n_units == 0:
+        return counts
+    matchers = build_matchers(units, grid)
+    per_record_cost = units.n_units * units.level
+    for chunk in charged_chunks(source, comm, chunk_records, start, stop):
+        comm.charge_cells(chunk.shape[0] * per_record_cost)
+        bin_idx = grid.locate_records(chunk)
+        for matcher in matchers:
+            matcher.count_chunk(bin_idx, counts)
+    return counts
+
+
+def populate_global(source: DataSource, comm: Comm, grid: Grid,
+                    units: UnitTable, chunk_records: int,
+                    start: int = 0, stop: int | None = None) -> np.ndarray:
+    """Global CDU counts: local pass + sum Reduce (§4.1)."""
+    local = populate_local(source, comm, grid, units, chunk_records,
+                           start, stop)
+    return comm.allreduce(local, op="sum")

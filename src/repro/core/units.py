@@ -1,0 +1,230 @@
+"""Unit tables: the paper's flat byte arrays of candidate/dense units.
+
+"Each candidate dense unit (CDU) and, similarly a dense unit, in the
+k-th dimension is completely specified by the k dimensions of the unit
+and their corresponding k bin indices.  In our implementation we store
+this information in the form of an array of bytes, one array for the bin
+indices of all the CDUs and one for the CDU dimensions." (§4.2)
+
+A :class:`UnitTable` holds ``n`` units of one level ``k`` as two
+``(n, k)`` uint8 arrays — ``dims`` (sorted per row) and ``bins`` — plus
+helpers for canonical ordering, messaging (``tobytes``/``frombytes``)
+and per-subspace grouping.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import DataError
+
+#: dims and bins are bytes, as in the paper — so at most 256 of each
+MAX_DIMS = 256
+MAX_BINS = 256
+
+_HEADER = struct.Struct("<qq")  # n_units, level
+
+
+@dataclass(frozen=True)
+class UnitTable:
+    """``n`` units of dimensionality ``k``.
+
+    ``dims[i]`` is the sorted tuple of dimensions of unit ``i`` and
+    ``bins[i, j]`` the bin index of unit ``i`` in dimension ``dims[i, j]``.
+    """
+
+    dims: np.ndarray
+    bins: np.ndarray
+
+    def __post_init__(self) -> None:
+        dims = np.ascontiguousarray(np.asarray(self.dims, dtype=np.uint8))
+        bins = np.ascontiguousarray(np.asarray(self.bins, dtype=np.uint8))
+        if dims.ndim != 2 or bins.shape != dims.shape:
+            raise DataError(
+                f"dims/bins must be matching 2-D arrays, got "
+                f"{dims.shape} and {bins.shape}")
+        if dims.shape[1] == 0 and dims.shape[0] > 0:
+            raise DataError("units must span at least one dimension")
+        if dims.shape[1] > 1 and dims.shape[0] > 0:
+            if not (np.diff(dims.astype(np.int16), axis=1) > 0).all():
+                raise DataError("unit dimensions must be strictly increasing")
+        object.__setattr__(self, "dims", dims)
+        object.__setattr__(self, "bins", bins)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def empty(cls, level: int) -> "UnitTable":
+        """A table of zero units at dimensionality ``level``."""
+        if level < 1:
+            raise DataError(f"level must be >= 1, got {level}")
+        return cls(dims=np.empty((0, level), dtype=np.uint8),
+                   bins=np.empty((0, level), dtype=np.uint8))
+
+    @classmethod
+    def from_pairs(cls, units: Sequence[Sequence[tuple[int, int]]]) -> "UnitTable":
+        """Build from an iterable of ``[(dim, bin), ...]`` units (each is
+        sorted by dimension automatically)."""
+        if not units:
+            raise DataError("from_pairs needs at least one unit; "
+                            "use UnitTable.empty(level) for none")
+        level = len(units[0])
+        dims = np.empty((len(units), level), dtype=np.uint8)
+        bins = np.empty((len(units), level), dtype=np.uint8)
+        for i, unit in enumerate(units):
+            if len(unit) != level:
+                raise DataError("all units must have the same dimensionality")
+            for d, b in unit:
+                if not 0 <= d < MAX_DIMS or not 0 <= b < MAX_BINS:
+                    raise DataError(f"(dim, bin) = ({d}, {b}) out of byte range")
+            ordered = sorted(unit)
+            dims[i] = [d for d, _ in ordered]
+            bins[i] = [b for _, b in ordered]
+        return cls(dims=dims, bins=bins)
+
+    # -- basic properties --------------------------------------------------
+    @property
+    def n_units(self) -> int:
+        return int(self.dims.shape[0])
+
+    @property
+    def level(self) -> int:
+        """Dimensionality ``k`` of every unit in the table."""
+        return int(self.dims.shape[1])
+
+    def __len__(self) -> int:
+        return self.n_units
+
+    def unit(self, i: int) -> tuple[tuple[int, int], ...]:
+        """Unit ``i`` as a tuple of ``(dim, bin)`` pairs."""
+        return tuple(zip(self.dims[i].tolist(), self.bins[i].tolist()))
+
+    def __iter__(self) -> Iterator[tuple[tuple[int, int], ...]]:
+        for i in range(self.n_units):
+            yield self.unit(i)
+
+    # -- row algebra ---------------------------------------------------------
+    def _rows(self) -> np.ndarray:
+        """(n, 2k) combined rows (dims then bins) for lexicographic ops."""
+        return np.concatenate([self.dims, self.bins], axis=1)
+
+    def select(self, index: np.ndarray) -> "UnitTable":
+        """Sub-table of the rows selected by an index or boolean mask."""
+        return UnitTable(dims=self.dims[index], bins=self.bins[index])
+
+    def concat(self, other: "UnitTable") -> "UnitTable":
+        """Row-wise concatenation (same level required)."""
+        if other.n_units == 0:
+            return self
+        if self.n_units == 0:
+            return other
+        if other.level != self.level:
+            raise DataError(
+                f"cannot concat level {other.level} onto level {self.level}")
+        return UnitTable(dims=np.concatenate([self.dims, other.dims]),
+                         bins=np.concatenate([self.bins, other.bins]))
+
+    @staticmethod
+    def concat_all(tables: Sequence["UnitTable"]) -> "UnitTable":
+        """Concatenate several tables in order (used by the parent rank to
+        splice per-rank CDU fragments together in rank order)."""
+        tables = [t for t in tables if t is not None]
+        if not tables:
+            raise DataError("concat_all needs at least one table")
+        out = tables[0]
+        for t in tables[1:]:
+            out = out.concat(t)
+        return out
+
+    def canonical_order(self) -> np.ndarray:
+        """Indices that sort units lexicographically by (dims, bins)."""
+        rows = self._rows()
+        return np.lexsort(tuple(rows[:, c] for c in range(rows.shape[1] - 1, -1, -1)))
+
+    def sort(self) -> "UnitTable":
+        """Lexicographically sorted copy (deterministic canonical form)."""
+        return self.select(self.canonical_order())
+
+    def repeat_mask(self) -> np.ndarray:
+        """Boolean mask marking every unit that duplicates an
+        earlier-indexed unit (the paper's Nrepeat elements)."""
+        if self.n_units == 0:
+            return np.zeros(0, dtype=bool)
+        rows = self._rows()
+        _, first, inverse = np.unique(rows, axis=0, return_index=True,
+                                      return_inverse=True)
+        return first[inverse] != np.arange(self.n_units)
+
+    def unique(self) -> "UnitTable":
+        """Drop repeated units; result is in canonical (sorted) order."""
+        if self.n_units == 0:
+            return self
+        rows = np.unique(self._rows(), axis=0)
+        k = self.level
+        return UnitTable(dims=rows[:, :k], bins=rows[:, k:])
+
+    def contains_rows(self, other: "UnitTable") -> np.ndarray:
+        """For each unit of ``other`` (same level), whether it appears in
+        this table."""
+        if other.level != self.level:
+            raise DataError("level mismatch in contains_rows")
+        if self.n_units == 0 or other.n_units == 0:
+            return np.zeros(other.n_units, dtype=bool)
+        mine = self.sort()._rows()
+        theirs = other._rows()
+        # row-wise membership via searchsorted on a void view
+        void = np.dtype((np.void, mine.shape[1] * mine.dtype.itemsize))
+        a = np.ascontiguousarray(mine).view(void).ravel()
+        b = np.ascontiguousarray(theirs).view(void).ravel()
+        pos = np.searchsorted(a, b)
+        pos = np.clip(pos, 0, len(a) - 1)
+        return a[pos] == b
+
+    # -- grouping ------------------------------------------------------------
+    def group_by_subspace(self) -> dict[tuple[int, ...], np.ndarray]:
+        """Map each distinct subspace (dims tuple) to the row indices of
+        the units living in it."""
+        groups: dict[tuple[int, ...], list[int]] = {}
+        for i in range(self.n_units):
+            groups.setdefault(tuple(self.dims[i].tolist()), []).append(i)
+        return {k: np.asarray(v, dtype=np.int64) for k, v in groups.items()}
+
+    def subspaces(self) -> list[tuple[int, ...]]:
+        """Distinct subspaces present, in first-appearance order."""
+        return list(self.group_by_subspace().keys())
+
+    # -- messaging -------------------------------------------------------------
+    def tobytes(self) -> bytes:
+        """Serialise for a single-message exchange (header + dims + bins)."""
+        return (_HEADER.pack(self.n_units, self.level)
+                + self.dims.tobytes() + self.bins.tobytes())
+
+    @classmethod
+    def frombytes(cls, payload: bytes) -> "UnitTable":
+        """Inverse of :meth:`tobytes`."""
+        if len(payload) < _HEADER.size:
+            raise DataError("unit table payload truncated")
+        n, level = _HEADER.unpack_from(payload)
+        if n < 0 or level < 1:
+            raise DataError(f"bad unit table header ({n}, {level})")
+        expected = _HEADER.size + 2 * n * level
+        if len(payload) != expected:
+            raise DataError(
+                f"unit table payload is {len(payload)} bytes, expected {expected}")
+        body = np.frombuffer(payload, dtype=np.uint8, offset=_HEADER.size)
+        dims = body[:n * level].reshape(n, level).copy()
+        bins = body[n * level:].reshape(n, level).copy()
+        return cls(dims=dims, bins=bins)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnitTable):
+            return NotImplemented
+        return (self.dims.shape == other.dims.shape
+                and bool(np.array_equal(self.dims, other.dims))
+                and bool(np.array_equal(self.bins, other.bins)))
+
+    def __hash__(self) -> int:  # frozen dataclass wants it; tables are big
+        return hash((self.dims.shape, self.dims.tobytes(), self.bins.tobytes()))

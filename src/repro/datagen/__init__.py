@@ -1,0 +1,27 @@
+"""Synthetic data generation: the paper's §5.1 generator (unit-cube
+coverage, union-of-box cluster shapes, 10 % noise), an inversive
+congruential generator built from scratch, and surrogates for the
+paper's three real-world data sets."""
+
+from .generator import SCALE, SyntheticDataset, generate
+from .icg import DEFAULT_MODULUS, ICG, icg_entropy, np_rng
+from .real import dax_like, eachmovie_like, ionosphere_like
+from .stream import generate_to_file
+from .spec import Box, ClusterSpec, Interval
+
+__all__ = [
+    "Box",
+    "ClusterSpec",
+    "DEFAULT_MODULUS",
+    "ICG",
+    "Interval",
+    "SCALE",
+    "SyntheticDataset",
+    "dax_like",
+    "eachmovie_like",
+    "generate",
+    "generate_to_file",
+    "icg_entropy",
+    "ionosphere_like",
+    "np_rng",
+]

@@ -1,0 +1,108 @@
+"""Cluster specifications for the synthetic data generator.
+
+The paper's generator "takes from the user the extents of the cluster in
+every dimension of the subspace in which it is embedded" and supports
+"arbitrary shapes instead of just hyper-rectangular regions" (§5.1).  A
+:class:`ClusterSpec` is a union of axis-aligned boxes in one subspace —
+unions of boxes approximate arbitrary shapes to grid resolution, which is
+all a grid-based algorithm can distinguish anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import DataError
+from ..types import Subspace
+
+Interval = tuple[float, float]
+Box = tuple[Interval, ...]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One embedded cluster: a union of boxes in a subspace.
+
+    Attributes
+    ----------
+    dims:
+        The data dimensions the cluster is defined in (sorted, unique).
+    boxes:
+        One or more boxes; each box gives an ``(low, high)`` extent per
+        dimension of ``dims`` (in raw attribute units).
+    weight:
+        Relative share of the cluster records this cluster receives when
+        several clusters split a record budget.
+    name:
+        Optional label used in reports.
+    """
+
+    dims: tuple[int, ...]
+    boxes: tuple[Box, ...]
+    weight: float = 1.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        subspace = Subspace(tuple(self.dims))  # validates sorted/unique
+        object.__setattr__(self, "dims", subspace.dims)
+        if not self.boxes:
+            raise DataError("a cluster needs at least one box")
+        normalised = []
+        for box in self.boxes:
+            if len(box) != len(self.dims):
+                raise DataError(
+                    f"box {box} has {len(box)} extents for "
+                    f"{len(self.dims)} cluster dimensions")
+            intervals = tuple((float(lo), float(hi)) for lo, hi in box)
+            for lo, hi in intervals:
+                if not hi > lo:
+                    raise DataError(f"empty cluster extent [{lo}, {hi})")
+            normalised.append(intervals)
+        object.__setattr__(self, "boxes", tuple(normalised))
+        if self.weight <= 0:
+            raise DataError(f"weight must be positive, got {self.weight}")
+
+    @classmethod
+    def box(cls, dims: Sequence[int], extents: Sequence[Interval],
+            weight: float = 1.0, name: str = "") -> "ClusterSpec":
+        """Convenience constructor for a single hyper-rectangle."""
+        return cls(dims=tuple(dims), boxes=(tuple(extents),),
+                   weight=weight, name=name)
+
+    @property
+    def subspace(self) -> Subspace:
+        return Subspace(self.dims)
+
+    @property
+    def dimensionality(self) -> int:
+        return len(self.dims)
+
+    def box_volumes(self) -> np.ndarray:
+        """Volume of each box (attribute units)."""
+        return np.array([
+            float(np.prod([hi - lo for lo, hi in box])) for box in self.boxes
+        ])
+
+    def contains(self, values: np.ndarray) -> np.ndarray:
+        """Membership mask for an ``(n, k)`` array of subspace values
+        (columns follow ``dims``)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2 or values.shape[1] != len(self.dims):
+            raise DataError(
+                f"values shape {values.shape} does not match "
+                f"{len(self.dims)} cluster dimensions")
+        mask = np.zeros(len(values), dtype=bool)
+        for box in self.boxes:
+            inside = np.ones(len(values), dtype=bool)
+            for j, (lo, hi) in enumerate(box):
+                inside &= (values[:, j] >= lo) & (values[:, j] < hi)
+            mask |= inside
+        return mask
+
+    def contains_records(self, records: np.ndarray) -> np.ndarray:
+        """Membership mask for full-dimensional ``(n, d)`` records."""
+        records = np.asarray(records, dtype=np.float64)
+        return self.contains(records[:, list(self.dims)])

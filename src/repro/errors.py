@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter is out of its valid range."""
+
+
+class DataError(ReproError, ValueError):
+    """Input data is malformed (wrong shape, dtype, empty, NaNs...)."""
+
+
+class CommError(ReproError, RuntimeError):
+    """A communication primitive was misused or failed."""
+
+
+class CommAborted(CommError):
+    """A peer rank raised, aborting the SPMD program."""
+
+
+class RecordFileError(ReproError, OSError):
+    """A record file is missing, truncated or has a bad header."""
+
+
+class GridError(ReproError, RuntimeError):
+    """Adaptive grid construction failed (e.g. degenerate domain)."""

@@ -1,0 +1,24 @@
+"""Out-of-core I/O substrate: binary record files, chunked passes,
+block partitioning of N over p ranks and shared→local disk staging."""
+
+from .chunks import ArraySource, DataSource, as_source, charged_chunks
+from .partition import block_offsets, block_range
+from .records import (RecordFile, RecordFileInfo, RecordFileWriter,
+                      read_header, write_records)
+from .staging import local_path, stage_local
+
+__all__ = [
+    "ArraySource",
+    "DataSource",
+    "RecordFile",
+    "RecordFileInfo",
+    "RecordFileWriter",
+    "as_source",
+    "block_offsets",
+    "block_range",
+    "charged_chunks",
+    "local_path",
+    "read_header",
+    "stage_local",
+    "write_records",
+]

@@ -1,0 +1,92 @@
+"""Chunked data sources.
+
+The algorithms make k passes over their local data "in chunks of B
+records" (Algorithm 2).  They are written against the small
+:class:`DataSource` protocol so the same code runs out-of-core from a
+:class:`~repro.io.records.RecordFile` or in-memory from an
+:class:`ArraySource`; :func:`charged_chunks` threads the pass through the
+communicator's I/O cost hook so the simulated-time backend sees every
+block read.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..errors import DataError
+from ..parallel.comm import Comm
+
+
+@runtime_checkable
+class DataSource(Protocol):
+    """Anything the out-of-core passes can read records from."""
+
+    @property
+    def n_records(self) -> int: ...
+
+    @property
+    def n_dims(self) -> int: ...
+
+    def iter_chunks(self, chunk_records: int, start: int = 0,
+                    stop: int | None = None) -> Iterator[np.ndarray]:
+        """Yield ``(rows, d)`` blocks of at most ``chunk_records``
+        records covering ``[start, stop)``."""
+        ...
+
+
+class ArraySource:
+    """An in-memory ``(n, d)`` array exposed as a :class:`DataSource`."""
+
+    def __init__(self, records: np.ndarray) -> None:
+        records = np.asarray(records, dtype=np.float64)
+        if records.ndim != 2:
+            raise DataError(f"records must be 2-D, got shape {records.shape}")
+        if records.shape[1] == 0:
+            raise DataError("records must have at least one dimension")
+        self._records = records
+
+    @property
+    def n_records(self) -> int:
+        return int(self._records.shape[0])
+
+    @property
+    def n_dims(self) -> int:
+        return int(self._records.shape[1])
+
+    @property
+    def records(self) -> np.ndarray:
+        return self._records
+
+    def iter_chunks(self, chunk_records: int, start: int = 0,
+                    stop: int | None = None) -> Iterator[np.ndarray]:
+        """Yield array views of at most ``chunk_records`` rows."""
+        if chunk_records <= 0:
+            raise DataError(f"chunk_records must be positive, got {chunk_records}")
+        stop = self.n_records if stop is None else stop
+        if not 0 <= start <= stop <= self.n_records:
+            raise DataError(
+                f"range [{start}, {stop}) out of bounds for "
+                f"{self.n_records} records")
+        for lo in range(start, stop, chunk_records):
+            yield self._records[lo:min(lo + chunk_records, stop)]
+
+
+def as_source(data) -> DataSource:
+    """Coerce an array or DataSource into a DataSource."""
+    if isinstance(data, np.ndarray):
+        return ArraySource(data)
+    if isinstance(data, DataSource):
+        return data
+    raise DataError(f"cannot read records from {type(data).__name__}")
+
+
+def charged_chunks(source: DataSource, comm: Comm, chunk_records: int,
+                   start: int = 0, stop: int | None = None,
+                   itemsize: int = 8) -> Iterator[np.ndarray]:
+    """Iterate chunks while charging each block read to the rank's
+    virtual I/O clock (one chunk access of ``rows * d * itemsize`` bytes)."""
+    for chunk in source.iter_chunks(chunk_records, start, stop):
+        comm.charge_io(chunk.shape[0] * chunk.shape[1] * itemsize, chunks=1)
+        yield chunk

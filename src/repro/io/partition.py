@@ -1,0 +1,31 @@
+"""Block partitioning of N records over p processors.
+
+Rank ``i`` owns the contiguous block ``[offsets[i], offsets[i+1])``;
+blocks differ in size by at most one record, the classic near-equal
+split ("each processor reads N/p data from its local disk", §4.1).
+"""
+
+from __future__ import annotations
+
+from ..errors import ParameterError
+
+
+def block_offsets(n_records: int, n_ranks: int) -> list[int]:
+    """The ``n_ranks + 1`` fence-post offsets of the block partition."""
+    if n_records < 0:
+        raise ParameterError(f"n_records must be >= 0, got {n_records}")
+    if n_ranks <= 0:
+        raise ParameterError(f"n_ranks must be positive, got {n_ranks}")
+    base, extra = divmod(n_records, n_ranks)
+    offsets = [0]
+    for r in range(n_ranks):
+        offsets.append(offsets[-1] + base + (1 if r < extra else 0))
+    return offsets
+
+
+def block_range(n_records: int, n_ranks: int, rank: int) -> tuple[int, int]:
+    """The ``[start, stop)`` record range owned by ``rank``."""
+    if not 0 <= rank < n_ranks:
+        raise ParameterError(f"rank {rank} out of range for {n_ranks} ranks")
+    offsets = block_offsets(n_records, n_ranks)
+    return offsets[rank], offsets[rank + 1]

@@ -1,0 +1,223 @@
+"""Binary record files.
+
+pMAFIA is "a disk-based parallel and scalable algorithm" (§4): each
+processor stages its share of the data onto local disk and re-reads it in
+chunks of ``B`` records on every pass.  :class:`RecordFile` is that
+on-disk format — a tiny self-describing header followed by C-order raw
+records — readable via memmap so chunked passes never materialise the
+whole data set.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import DataError, RecordFileError
+
+_MAGIC = b"PMAF"
+_VERSION = 1
+#: header: magic, version, dtype code, n_records, n_dims
+_HEADER = struct.Struct("<4sHHqq")
+_DTYPES = {0: np.dtype("<f4"), 1: np.dtype("<f8")}
+_DTYPE_CODES = {v: k for k, v in _DTYPES.items()}
+
+
+@dataclass(frozen=True)
+class RecordFileInfo:
+    """Metadata decoded from a record file header."""
+
+    path: Path
+    n_records: int
+    n_dims: int
+    dtype: np.dtype
+
+    @property
+    def record_nbyteses(self) -> int:
+        return self.n_dims * self.dtype.itemsize
+
+    @property
+    def data_nbytes(self) -> int:
+        return self.n_records * self.n_dims * self.dtype.itemsize
+
+
+class RecordFile:
+    """A read-only handle on one binary record file."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self.info = read_header(self.path)
+
+    @property
+    def n_records(self) -> int:
+        return self.info.n_records
+
+    @property
+    def n_dims(self) -> int:
+        return self.info.n_dims
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.info.dtype
+
+    def memmap(self) -> np.ndarray:
+        """Memory-map the records as an ``(n_records, n_dims)`` array."""
+        return np.memmap(self.path, mode="r", dtype=self.dtype,
+                         offset=_HEADER.size,
+                         shape=(self.n_records, self.n_dims))
+
+    def read_block(self, start: int, stop: int) -> np.ndarray:
+        """Read records ``[start, stop)`` into a fresh in-memory array."""
+        if not 0 <= start <= stop <= self.n_records:
+            raise DataError(
+                f"block [{start}, {stop}) out of range for {self.n_records} records")
+        return np.array(self.memmap()[start:stop], copy=True)
+
+    def read_all(self) -> np.ndarray:
+        """Read the whole file into memory."""
+        return self.read_block(0, self.n_records)
+
+    def iter_chunks(self, chunk_records: int,
+                    start: int = 0, stop: int | None = None
+                    ) -> Iterator[np.ndarray]:
+        """Yield in-memory blocks of at most ``chunk_records`` records
+        covering ``[start, stop)`` — the out-of-core pass of Algorithm 2."""
+        if chunk_records <= 0:
+            raise DataError(f"chunk_records must be positive, got {chunk_records}")
+        stop = self.n_records if stop is None else stop
+        if not 0 <= start <= stop <= self.n_records:
+            raise DataError(
+                f"range [{start}, {stop}) out of bounds for {self.n_records} records")
+        for lo in range(start, stop, chunk_records):
+            yield self.read_block(lo, min(lo + chunk_records, stop))
+
+
+class RecordFileWriter:
+    """Incremental record-file writer for data too large to build in
+    memory.  Append ``(n, d)`` blocks, then ``close()`` (or use as a
+    context manager) to finalise the header.
+
+    >>> with RecordFileWriter(path, n_dims=8) as w:
+    ...     for block in blocks:
+    ...         w.append(block)
+    """
+
+    def __init__(self, path: str | os.PathLike, n_dims: int,
+                 dtype: str = "<f8") -> None:
+        if n_dims <= 0:
+            raise DataError(f"n_dims must be positive, got {n_dims}")
+        self.path = Path(path)
+        self.n_dims = n_dims
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in _DTYPE_CODES:
+            raise DataError(f"unsupported dtype {dtype!r}")
+        self._n_records = 0
+        self._tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        self._fh = open(self._tmp, "wb")
+        # placeholder header, patched on close
+        self._fh.write(_HEADER.pack(_MAGIC, _VERSION,
+                                    _DTYPE_CODES[self.dtype], 0, n_dims))
+
+    @property
+    def n_records(self) -> int:
+        return self._n_records
+
+    def append(self, block: np.ndarray) -> None:
+        """Append a block of records (converted to the file dtype)."""
+        if self._fh is None:
+            raise RecordFileError(f"{self.path}: writer already closed")
+        block = np.asarray(block)
+        if block.ndim != 2 or block.shape[1] != self.n_dims:
+            raise DataError(
+                f"block shape {block.shape} does not match {self.n_dims} dims")
+        if not np.isfinite(block).all():
+            raise DataError("block contains NaN or infinite values")
+        self._fh.write(np.ascontiguousarray(
+            block.astype(self.dtype)).tobytes(order="C"))
+        self._n_records += block.shape[0]
+
+    def close(self) -> RecordFile:
+        """Finalise the header and atomically publish the file."""
+        if self._fh is None:
+            return RecordFile(self.path)
+        self._fh.seek(0)
+        self._fh.write(_HEADER.pack(_MAGIC, _VERSION,
+                                    _DTYPE_CODES[self.dtype],
+                                    self._n_records, self.n_dims))
+        self._fh.close()
+        self._fh = None
+        os.replace(self._tmp, self.path)
+        return RecordFile(self.path)
+
+    def abort(self) -> None:
+        """Discard everything written so far."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+            self._tmp.unlink(missing_ok=True)
+
+    def __enter__(self) -> "RecordFileWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
+def write_records(path: str | os.PathLike, records: np.ndarray) -> RecordFile:
+    """Write an ``(n, d)`` float array as a record file and return a
+    handle on it.  float32/float64 inputs keep their precision; anything
+    else is converted to float64."""
+    records = np.asarray(records)
+    if records.ndim != 2:
+        raise DataError(f"records must be 2-D, got shape {records.shape}")
+    if records.dtype not in (np.dtype("<f4"), np.dtype("<f8")):
+        records = records.astype("<f8")
+    records = np.ascontiguousarray(records)
+    if not np.isfinite(records).all():
+        raise DataError("records contain NaN or infinite values")
+    path = Path(path)
+    header = _HEADER.pack(_MAGIC, _VERSION, _DTYPE_CODES[records.dtype],
+                          records.shape[0], records.shape[1])
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(header)
+        fh.write(records.tobytes(order="C"))
+    os.replace(tmp, path)
+    return RecordFile(path)
+
+
+def read_header(path: str | os.PathLike) -> RecordFileInfo:
+    """Decode and validate a record file's header."""
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+        with open(path, "rb") as fh:
+            raw = fh.read(_HEADER.size)
+    except OSError as exc:
+        raise RecordFileError(f"cannot open record file {path}: {exc}") from exc
+    if len(raw) < _HEADER.size:
+        raise RecordFileError(f"{path}: truncated header")
+    magic, version, dtype_code, n_records, n_dims = _HEADER.unpack(raw)
+    if magic != _MAGIC:
+        raise RecordFileError(f"{path}: bad magic {magic!r}")
+    if version != _VERSION:
+        raise RecordFileError(f"{path}: unsupported version {version}")
+    if dtype_code not in _DTYPES:
+        raise RecordFileError(f"{path}: unknown dtype code {dtype_code}")
+    if n_records < 0 or n_dims <= 0:
+        raise RecordFileError(f"{path}: bad shape ({n_records}, {n_dims})")
+    dtype = _DTYPES[dtype_code]
+    expected = _HEADER.size + n_records * n_dims * dtype.itemsize
+    if size != expected:
+        raise RecordFileError(
+            f"{path}: file is {size} bytes, header implies {expected}")
+    return RecordFileInfo(path=path, n_records=n_records, n_dims=n_dims,
+                          dtype=dtype)

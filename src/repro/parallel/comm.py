@@ -1,0 +1,226 @@
+"""Abstract MPI-like communicator.
+
+The pMAFIA paper runs SPMD over MPI on an IBM SP2.  This module defines
+the communicator interface the algorithms are written against; concrete
+backends live in :mod:`repro.parallel.serial`, :mod:`.threads` and
+:mod:`.simtime`.  The interface follows mpi4py conventions: generic
+Python objects for ``send``/``bcast``/``gather`` and numpy arrays for
+``allreduce`` (the paper's Reduce stores the combined vector *on every
+processor*, i.e. an all-reduce).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..errors import CommError
+
+#: Binary associative reduction operators usable with :meth:`Comm.allreduce`.
+REDUCE_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": np.add,
+    "max": np.maximum,
+    "min": np.minimum,
+    "prod": np.multiply,
+    "land": np.logical_and,
+    "lor": np.logical_or,
+}
+
+
+def resolve_op(op: str) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+    """Look up a reduction operator by name."""
+    try:
+        return REDUCE_OPS[op]
+    except KeyError:
+        raise CommError(
+            f"unknown reduce op {op!r}; expected one of {sorted(REDUCE_OPS)}"
+        ) from None
+
+
+class Comm:
+    """Communicator interface (one instance per SPMD rank).
+
+    Subclasses must implement the point-to-point primitives ``send`` /
+    ``recv``; the collectives here are written on top of them and come
+    in two wire patterns selected by :attr:`strategy`:
+
+    ``"flat"``
+        Root-centred stars: the root exchanges one message per peer —
+        O(p) messages on the root's critical path.  This is the cost
+        model the paper's analysis assumes (communication O(α·S·p) per
+        pass, §4.5).
+    ``"tree"``
+        Binomial trees, as real MPI implementations use — O(log p)
+        latency on the critical path.
+
+    Both produce identical results; the simulated-time backend makes
+    their cost difference measurable (see the collectives ablation).
+    """
+
+    #: this process's rank in ``[0, size)``
+    rank: int
+    #: number of ranks in the communicator
+    size: int
+    #: collective wire pattern: "flat" (paper's model) or "tree"
+    strategy: str = "flat"
+
+    # -- point to point ------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send ``obj`` to rank ``dest`` (FIFO per (source, tag))."""
+        raise NotImplementedError
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Receive the next object from rank ``source`` with ``tag``."""
+        raise NotImplementedError
+
+    # -- collectives ---------------------------------------------------
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
+        self.allgather(None)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` to every rank; returns it."""
+        self._check_rank(root)
+        if self.size == 1:
+            return obj
+        if self.strategy == "tree":
+            return self._bcast_tree(obj, root)
+        if self.rank == root:
+            for r in range(self.size):
+                if r != root:
+                    self.send(obj, r, tag=_TAG_BCAST)
+            return obj
+        return self.recv(root, tag=_TAG_BCAST)
+
+    def _bcast_tree(self, obj: Any, root: int) -> Any:
+        """Binomial-tree broadcast: each rank receives once from its
+        parent, then forwards to exponentially spaced children."""
+        p = self.size
+        vrank = (self.rank - root) % p          # virtual rank, root at 0
+        mask = 1
+        while mask < p:
+            if vrank & mask:
+                obj = self.recv((self.rank - mask) % p, tag=_TAG_BCAST)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if vrank + mask < p:
+                self.send(obj, (self.rank + mask) % p, tag=_TAG_BCAST)
+            mask >>= 1
+        return obj
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one object per rank on ``root`` (rank order);
+        returns ``None`` on non-root ranks."""
+        self._check_rank(root)
+        if self.size == 1:
+            return [obj]
+        if self.strategy == "tree":
+            return self._gather_tree(obj, root)
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = obj
+            for r in range(self.size):
+                if r != root:
+                    out[r] = self.recv(r, tag=_TAG_GATHER)
+            return out
+        self.send(obj, root, tag=_TAG_GATHER)
+        return None
+
+    def _gather_tree(self, obj: Any, root: int) -> list[Any] | None:
+        """Binomial-tree gather: each rank folds its children's
+        ``(vrank, obj)`` lists into its own, then ships the merged list
+        to its parent."""
+        p = self.size
+        vrank = (self.rank - root) % p
+        collected: list[tuple[int, Any]] = [(vrank, obj)]
+        mask = 1
+        while mask < p:
+            if vrank & mask:
+                self.send(collected, (self.rank - mask) % p,
+                          tag=_TAG_GATHER)
+                return None
+            if vrank + mask < p:
+                collected.extend(
+                    self.recv((self.rank + mask) % p, tag=_TAG_GATHER))
+            mask <<= 1
+        out: list[Any] = [None] * p
+        for child_vrank, value in collected:
+            out[(child_vrank + root) % p] = value
+        return out
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather one object per rank onto every rank (rank order)."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter one object per rank from ``root``."""
+        self._check_rank(root)
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise CommError(
+                    f"scatter needs exactly {self.size} objects on root")
+            for r in range(self.size):
+                if r != root:
+                    self.send(objs[r], r, tag=_TAG_SCATTER)
+            return objs[root]
+        return self.recv(root, tag=_TAG_SCATTER)
+
+    def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
+        """Element-wise combine an equal-shaped array from every rank and
+        return the combined vector on *all* ranks (the paper's Reduce)."""
+        fn = resolve_op(op)
+        array = np.asarray(array)
+        contributions = self.allgather(array)
+        result = contributions[0].copy()
+        for contrib in contributions[1:]:
+            if contrib.shape != result.shape:
+                raise CommError(
+                    f"allreduce shape mismatch: {contrib.shape} vs {result.shape}")
+            result = fn(result, contrib)
+        return result
+
+    def reduce(self, array: np.ndarray, op: str = "sum",
+               root: int = 0) -> np.ndarray | None:
+        """Like :meth:`allreduce` but the result lands only on ``root``."""
+        fn = resolve_op(op)
+        contributions = self.gather(np.asarray(array), root=root)
+        if contributions is None:
+            return None
+        result = contributions[0].copy()
+        for contrib in contributions[1:]:
+            result = fn(result, contrib)
+        return result
+
+    # -- cost accounting hooks (overridden by the sim backend) ----------
+    def charge_cells(self, ops: float) -> None:
+        """Charge ``ops`` record x cell updates (histogram build or CDU
+        population) to this rank's virtual clock.  No-op outside the
+        simulated-time backend."""
+
+    def charge_pairs(self, pairs: float) -> None:
+        """Charge ``pairs`` unit-pair comparisons (CDU join / repeat
+        elimination) to this rank's virtual clock.  No-op outside the
+        simulated-time backend."""
+
+    def charge_io(self, nbytes: float, chunks: int = 1) -> None:
+        """Charge a local-disk read of ``nbytes`` in ``chunks`` chunk
+        accesses to this rank's virtual clock.  No-op outside the
+        simulated-time backend."""
+
+    def time(self) -> float:
+        """This rank's virtual time in seconds (0.0 when untimed)."""
+        return 0.0
+
+    # -- helpers ---------------------------------------------------------
+    def _check_rank(self, r: int) -> None:
+        if not 0 <= r < self.size:
+            raise CommError(f"rank {r} out of range for size {self.size}")
+
+
+_TAG_BCAST = -1
+_TAG_GATHER = -2
+_TAG_SCATTER = -3

@@ -1,0 +1,144 @@
+"""Multi-process SPMD backend.
+
+The thread backend shares one GIL, so on a multi-core machine it cannot
+give real wall-clock speedup for the numpy-heavy passes.  This backend
+runs each rank in its own OS process — genuine parallelism — with the
+same :class:`~repro.parallel.comm.Comm` semantics: per-destination
+multiprocessing queues carry ``(source, tag, payload)`` messages, and a
+receiver-side stash re-orders them per (source, tag) stream.
+
+The rank function and its arguments must be picklable (module-level
+functions like :func:`repro.core.pmafia.pmafia_rank` are); for large
+data sets pass a record-file *path* rather than an array so each rank
+stages its own block from disk instead of pickling N×d floats through
+the queue.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import traceback
+from collections import deque
+from typing import Any, Callable, Sequence
+
+from ..errors import CommError
+from .comm import Comm
+
+#: seconds a blocked recv waits before declaring deadlock
+RECV_TIMEOUT = 300.0
+#: seconds the parent waits for each rank's result
+RESULT_TIMEOUT = 3600.0
+
+
+class ProcessComm(Comm):
+    """One rank's endpoint: an inbox queue plus every rank's outbox."""
+
+    def __init__(self, rank: int, size: int, inboxes: Sequence[Any],
+                 strategy: str = "flat") -> None:
+        if not 0 <= rank < size:
+            raise CommError(f"rank {rank} out of range for size {size}")
+        self.rank = rank
+        self.size = size
+        self.strategy = strategy
+        self._inboxes = list(inboxes)
+        self._stash: dict[tuple[int, int], deque] = {}
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send ``obj`` to rank ``dest`` (FIFO per (source, tag))."""
+        self._check_rank(dest)
+        self._inboxes[dest].put((self.rank, tag, obj))
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Receive the next object from rank ``source`` with ``tag``."""
+        self._check_rank(source)
+        key = (source, tag)
+        stash = self._stash.get(key)
+        if stash:
+            return stash.popleft()
+        waited = 0.0
+        step = 0.1
+        while waited < RECV_TIMEOUT:
+            try:
+                got_source, got_tag, obj = self._inboxes[self.rank].get(
+                    timeout=step)
+            except queue_mod.Empty:
+                waited += step
+                continue
+            if (got_source, got_tag) == key:
+                return obj
+            self._stash.setdefault((got_source, got_tag),
+                                   deque()).append(obj)
+        raise CommError(
+            f"rank {self.rank} timed out receiving from {source} "
+            f"(tag {tag}) after {RECV_TIMEOUT:.0f}s")
+
+
+def _worker(fn: Callable, rank: int, size: int, inboxes, result_queue,
+            strategy: str, args: tuple, kwargs: dict) -> None:
+    """Child-process entry: run the rank function, ship the outcome."""
+    comm = ProcessComm(rank, size, inboxes, strategy)
+    try:
+        value = fn(comm, *args, **kwargs)
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        result_queue.put((rank, "error",
+                          f"{type(exc).__name__}: {exc}\n"
+                          f"{traceback.format_exc()}"))
+        return
+    result_queue.put((rank, "ok", value))
+
+
+def run_processes(fn: Callable, nprocs: int, *, collectives: str = "flat",
+                  args: Sequence[Any] = (),
+                  kwargs: dict[str, Any] | None = None) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` OS processes and
+    return the per-rank values in rank order.
+
+    The first failing rank's error is re-raised as
+    :class:`~repro.errors.CommError` (with the child traceback) after
+    every process has been terminated.
+    """
+    if nprocs < 1:
+        raise CommError(f"nprocs must be >= 1, got {nprocs}")
+    ctx = mp.get_context()
+    inboxes = [ctx.Queue() for _ in range(nprocs)]
+    result_queue = ctx.Queue()
+    processes = [
+        ctx.Process(target=_worker,
+                    args=(fn, rank, nprocs, inboxes, result_queue,
+                          collectives, tuple(args), dict(kwargs or {})),
+                    name=f"spmd-rank-{rank}", daemon=True)
+        for rank in range(nprocs)
+    ]
+    for proc in processes:
+        proc.start()
+
+    values: list[Any] = [None] * nprocs
+    failure: tuple[int, str] | None = None
+    try:
+        for _ in range(nprocs):
+            try:
+                rank, status, payload = result_queue.get(
+                    timeout=RESULT_TIMEOUT)
+            except queue_mod.Empty:
+                failure = (-1, "timed out waiting for rank results")
+                break
+            if status == "error":
+                failure = (rank, payload)
+                break
+            values[rank] = payload
+    finally:
+        if failure is not None:
+            for proc in processes:
+                if proc.is_alive():
+                    proc.terminate()
+        for proc in processes:
+            proc.join(timeout=30)
+        for q in inboxes:
+            q.cancel_join_thread()
+        result_queue.cancel_join_thread()
+
+    if failure is not None:
+        rank, message = failure
+        raise CommError(f"rank {rank} failed:\n{message}")
+    return values

@@ -1,0 +1,69 @@
+"""Single-process communicator.
+
+Running pMAFIA on one processor "can simply be obtained by substituting
+p = 1" (§4.5): every collective degenerates to the identity and
+point-to-point self-sends become a one-slot mailbox.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+import numpy as np
+
+from ..errors import CommError
+from .comm import Comm, resolve_op
+
+
+class SerialComm(Comm):
+    """A communicator of size 1.  All collectives are identities; a rank
+    may still ``send`` to itself and ``recv`` it back (FIFO per tag)."""
+
+    rank = 0
+    size = 1
+
+    def __init__(self) -> None:
+        self._mailbox: dict[int, deque[Any]] = {}
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if dest != 0:
+            raise CommError(f"SerialComm has a single rank; cannot send to {dest}")
+        self._mailbox.setdefault(tag, deque()).append(obj)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        if source != 0:
+            raise CommError(f"SerialComm has a single rank; cannot recv from {source}")
+        box = self._mailbox.get(tag)
+        if not box:
+            raise CommError(f"SerialComm deadlock: no message queued for tag {tag}")
+        return box.popleft()
+
+    def barrier(self) -> None:
+        pass
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_rank(root)
+        return obj
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any]:
+        self._check_rank(root)
+        return [obj]
+
+    def allgather(self, obj: Any) -> list[Any]:
+        return [obj]
+
+    def scatter(self, objs, root: int = 0) -> Any:
+        self._check_rank(root)
+        if objs is None or len(objs) != 1:
+            raise CommError("scatter needs exactly 1 object on SerialComm")
+        return objs[0]
+
+    def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
+        resolve_op(op)  # validate the op even though it is unused
+        return np.asarray(array).copy()
+
+    def reduce(self, array: np.ndarray, op: str = "sum", root: int = 0):
+        self._check_rank(root)
+        resolve_op(op)
+        return np.asarray(array).copy()

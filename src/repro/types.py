@@ -1,0 +1,242 @@
+"""Core value types shared across the library.
+
+A *grid* is a per-dimension list of variable-width bins, each with a
+density threshold.  A *unit* is a hyper-rectangle identified by an ordered
+set of dimensions and one bin index per dimension; units are stored in
+bulk as flat byte arrays (see :mod:`repro.core.units`).  A *cluster* is a
+union of connected dense units in one subspace, reported as a DNF
+expression over bin intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .errors import DataError, GridError
+
+
+@dataclass(frozen=True)
+class BinInterval:
+    """A half-open interval ``[low, high)`` in one dimension with its
+    density threshold (minimum point count to be considered dense)."""
+
+    low: float
+    high: float
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if not self.high > self.low:
+            raise GridError(f"empty bin [{self.low}, {self.high})")
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, x: float) -> bool:
+        """Whether ``x`` lies in the half-open interval."""
+        return self.low <= x < self.high
+
+
+@dataclass(frozen=True)
+class DimensionGrid:
+    """The adaptive (or uniform) binning of a single dimension."""
+
+    dim: int
+    edges: tuple[float, ...]          # len == nbins + 1, strictly increasing
+    thresholds: tuple[float, ...]     # len == nbins
+    uniform: bool = False             # True when Algorithm 1 re-split an
+                                      # equi-distributed dimension
+
+    def __post_init__(self) -> None:
+        if len(self.edges) < 2:
+            raise GridError(f"dimension {self.dim}: needs at least one bin")
+        if len(self.thresholds) != len(self.edges) - 1:
+            raise GridError(
+                f"dimension {self.dim}: {len(self.thresholds)} thresholds for "
+                f"{len(self.edges) - 1} bins")
+        e = np.asarray(self.edges, dtype=np.float64)
+        if not np.all(np.diff(e) > 0):
+            raise GridError(f"dimension {self.dim}: edges not increasing: {self.edges}")
+
+    @property
+    def nbins(self) -> int:
+        return len(self.edges) - 1
+
+    @property
+    def low(self) -> float:
+        return self.edges[0]
+
+    @property
+    def high(self) -> float:
+        return self.edges[-1]
+
+    def bin(self, index: int) -> BinInterval:
+        """Return bin ``index`` as a :class:`BinInterval`."""
+        return BinInterval(self.edges[index], self.edges[index + 1],
+                           self.thresholds[index])
+
+    def bins(self) -> Iterator[BinInterval]:
+        """Iterate this dimension's bins in order."""
+        for i in range(self.nbins):
+            yield self.bin(i)
+
+    def locate(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised bin index for each value (clipped to the domain).
+
+        Values below the first edge map to bin 0 and values at or above
+        the last edge map to the last bin, matching the out-of-core pass
+        where every record must land somewhere.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        idx = np.searchsorted(np.asarray(self.edges[1:-1]), values, side="right")
+        return idx.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A full multi-dimensional grid: one :class:`DimensionGrid` per
+    dimension of the data set."""
+
+    dims: tuple[DimensionGrid, ...]
+
+    def __post_init__(self) -> None:
+        for i, dg in enumerate(self.dims):
+            if dg.dim != i:
+                raise GridError(f"grid dimension {i} labelled {dg.dim}")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    def __getitem__(self, i: int) -> DimensionGrid:
+        return self.dims[i]
+
+    def __iter__(self) -> Iterator[DimensionGrid]:
+        return iter(self.dims)
+
+    def nbins(self) -> tuple[int, ...]:
+        """Bin count per dimension."""
+        return tuple(dg.nbins for dg in self.dims)
+
+    def locate_records(self, records: np.ndarray) -> np.ndarray:
+        """Map an ``(n, d)`` record block to an ``(n, d)`` int bin-index
+        matrix, one :meth:`DimensionGrid.locate` per column."""
+        records = np.asarray(records, dtype=np.float64)
+        if records.ndim != 2 or records.shape[1] != self.ndim:
+            raise DataError(
+                f"records shape {records.shape} does not match grid with "
+                f"{self.ndim} dimensions")
+        out = np.empty(records.shape, dtype=np.int64)
+        for j, dg in enumerate(self.dims):
+            out[:, j] = dg.locate(records[:, j])
+        return out
+
+
+@dataclass(frozen=True)
+class Subspace:
+    """An ordered set of dimension indices."""
+
+    dims: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        dims = tuple(int(d) for d in self.dims)
+        if list(dims) != sorted(set(dims)):
+            raise DataError(f"subspace dims must be sorted and unique: {self.dims}")
+        if dims and dims[0] < 0:
+            raise DataError(f"negative dimension in subspace: {self.dims}")
+        object.__setattr__(self, "dims", dims)
+
+    @property
+    def dimensionality(self) -> int:
+        return len(self.dims)
+
+    def issubset(self, other: "Subspace") -> bool:
+        """Whether this subspace's dimensions all appear in ``other``."""
+        return set(self.dims) <= set(other.dims)
+
+    def __contains__(self, dim: int) -> bool:
+        return dim in self.dims
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.dims)
+
+    def __len__(self) -> int:
+        return len(self.dims)
+
+
+@dataclass(frozen=True)
+class DNFTerm:
+    """One conjunct of a cluster's DNF description: an interval per
+    cluster dimension (a hyper-rectangle in the cluster's subspace)."""
+
+    subspace: Subspace
+    intervals: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.intervals) != len(self.subspace.dims):
+            raise DataError("one interval per subspace dimension required")
+        for lo, hi in self.intervals:
+            if not hi > lo:
+                raise DataError(f"empty DNF interval [{lo}, {hi})")
+
+    def contains(self, record: Sequence[float]) -> bool:
+        """Whether a full-dimensional record falls inside this term."""
+        return all(lo <= record[d] < hi
+                   for d, (lo, hi) in zip(self.subspace.dims, self.intervals))
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A discovered cluster: connected dense units in one subspace.
+
+    Attributes
+    ----------
+    subspace:
+        The dimensions the cluster lives in.
+    units_bins:
+        ``(n_units, k)`` int array of bin indices, one row per dense unit,
+        columns following ``subspace.dims``.
+    dnf:
+        Minimal DNF description (union of hyper-rectangles).
+    point_count:
+        Total records contained in the cluster's dense units (records in
+        several units are counted once per unit; units are disjoint).
+    """
+
+    subspace: Subspace
+    units_bins: np.ndarray
+    dnf: tuple[DNFTerm, ...]
+    point_count: int = 0
+
+    def __post_init__(self) -> None:
+        bins = np.asarray(self.units_bins, dtype=np.int64)
+        if bins.ndim != 2 or bins.shape[1] != self.subspace.dimensionality:
+            raise DataError(
+                f"units_bins shape {bins.shape} does not match subspace "
+                f"{self.subspace.dims}")
+        object.__setattr__(self, "units_bins", bins)
+
+    @property
+    def dimensionality(self) -> int:
+        return self.subspace.dimensionality
+
+    @property
+    def n_units(self) -> int:
+        return int(self.units_bins.shape[0])
+
+    def contains(self, record: Sequence[float]) -> bool:
+        """Whether a full-dimensional record lies in the cluster's DNF."""
+        return any(term.contains(record) for term in self.dnf)
+
+    def describe(self) -> str:
+        """Human-readable DNF, e.g. ``(d1:[2,5) & d3:[0,10)) | ...``."""
+        parts = []
+        for term in self.dnf:
+            conj = " & ".join(
+                f"d{d}:[{lo:g},{hi:g})"
+                for d, (lo, hi) in zip(term.subspace.dims, term.intervals))
+            parts.append(f"({conj})")
+        return " | ".join(parts)

@@ -1,0 +1,75 @@
+"""Tests for alpha-sensitivity profiling (repro.analysis.alpha)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MafiaParams
+from repro.analysis import alpha_profile, stable_alpha
+from repro.errors import ParameterError
+from tests.conftest import DOMAINS_10D
+
+
+class TestAlphaProfile:
+    def test_cluster_count_monotone_nonincreasing(self, two_cluster_dataset):
+        points = alpha_profile(two_cluster_dataset.records,
+                               [1.5, 3.0, 8.0, 50.0],
+                               MafiaParams(chunk_records=5000),
+                               domains=DOMAINS_10D)
+        counts = [p.n_clusters for p in points]
+        assert counts[0] >= counts[-1]
+        assert counts[0] == 2 and counts[-1] == 0
+
+    def test_dominant_points_reported(self, two_cluster_dataset):
+        [point] = alpha_profile(two_cluster_dataset.records, [1.5],
+                                MafiaParams(chunk_records=5000),
+                                domains=DOMAINS_10D)
+        assert point.dominant_points > 9000
+        assert point.max_level == 4
+        assert point.clusters_by_dim == {4: 2}
+
+    def test_min_dimensionality_filter(self, two_cluster_dataset):
+        [point] = alpha_profile(two_cluster_dataset.records, [1.5],
+                                MafiaParams(chunk_records=5000),
+                                domains=DOMAINS_10D, min_dimensionality=5)
+        assert point.n_clusters == 0
+
+    def test_describe_one_liner(self, two_cluster_dataset):
+        [point] = alpha_profile(two_cluster_dataset.records, [2.0],
+                                MafiaParams(chunk_records=5000),
+                                domains=DOMAINS_10D)
+        assert point.describe().startswith("alpha=2:")
+
+    def test_validation(self, two_cluster_dataset):
+        with pytest.raises(ParameterError):
+            alpha_profile(two_cluster_dataset.records, [])
+        with pytest.raises(ParameterError):
+            alpha_profile(two_cluster_dataset.records, [0.0])
+
+
+class TestStableAlpha:
+    def test_plateau_detected(self):
+        """Narrow dominant clusters stay dense across a wide alpha range
+        (the unit threshold is alpha*N*width/D, so narrow extents
+        tolerate large alpha), giving a stable plateau at the low end."""
+        from repro.datagen import ClusterSpec, generate
+        specs = [ClusterSpec.box([1, 4], [(20, 28), (60, 68)]),
+                 ClusterSpec.box([2, 5], [(40, 48), (10, 18)])]
+        ds = generate(20_000, 6, specs, seed=3)
+        points = alpha_profile(ds.records, [1.5, 2.5, 3.5],
+                               MafiaParams(chunk_records=5000),
+                               domains=np.array([[0.0, 100.0]] * 6))
+        assert [p.n_clusters for p in points] == [2, 2, 2]
+        assert stable_alpha(points) == 1.5
+
+    def test_no_plateau_returns_largest(self):
+        from repro.analysis.alpha import AlphaPoint
+        fake = [AlphaPoint(alpha=a, n_clusters=n, clusters_by_dim={},
+                           max_level=1, dominant_points=0, result=None)
+                for a, n in ((1.0, 5), (2.0, 3), (3.0, 1))]
+        assert stable_alpha(fake) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            stable_alpha([])

@@ -1,0 +1,86 @@
+"""Cross-backend/equivalence matrix and order-invariance guarantees.
+
+The strongest correctness statement the substrate can make: the same
+data produces byte-identical clusterings across every execution mode
+(serial / threads / processes / simulated time, flat or tree
+collectives, in-memory or staged-from-disk), and independent of record
+order — pMAFIA is a counting algorithm, so §5.1's record permutation
+must never change the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MafiaParams, mafia, pmafia
+from repro.core.pmafia import pmafia_rank
+from repro.io import write_records
+from repro.parallel import run_spmd
+from tests.conftest import DOMAINS_10D
+
+
+def fingerprint(result):
+    return (
+        result.cdus_per_level(),
+        result.dense_per_level(),
+        tuple(c.describe() for c in result.clusters),
+        tuple(c.point_count for c in result.clusters),
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(one_cluster_dataset, small_params):
+    return fingerprint(mafia(one_cluster_dataset.records, small_params,
+                             domains=DOMAINS_10D))
+
+
+class TestBackendMatrix:
+    @pytest.mark.parametrize("backend,nprocs", [
+        ("thread", 2), ("thread", 5), ("sim", 3), ("process", 2)])
+    @pytest.mark.parametrize("collectives", ["flat", "tree"])
+    def test_all_modes_identical(self, one_cluster_dataset, small_params,
+                                 reference, backend, nprocs, collectives):
+        ranks = run_spmd(pmafia_rank, nprocs, backend=backend,
+                         collectives=collectives,
+                         args=(one_cluster_dataset.records, small_params,
+                               DOMAINS_10D))
+        for rank in ranks:
+            assert fingerprint(rank.value) == reference
+
+    def test_file_vs_array_identical(self, tmp_path, one_cluster_dataset,
+                                     small_params, reference):
+        shared = tmp_path / "m.bin"
+        write_records(shared, one_cluster_dataset.records)
+        run = pmafia(shared, 3, small_params, domains=DOMAINS_10D)
+        assert fingerprint(run.result) == reference
+
+    def test_chunk_size_invariant(self, one_cluster_dataset, small_params,
+                                  reference):
+        for chunk in (137, 999, 10**6):
+            res = mafia(one_cluster_dataset.records,
+                        small_params.with_(chunk_records=chunk),
+                        domains=DOMAINS_10D)
+            assert fingerprint(res) == reference
+
+
+class TestOrderInvariance:
+    def test_record_permutation_changes_nothing(self, one_cluster_dataset,
+                                                small_params, reference):
+        rng = np.random.default_rng(99)
+        for _ in range(3):
+            shuffled = one_cluster_dataset.records[
+                rng.permutation(one_cluster_dataset.n_records)]
+            res = mafia(shuffled, small_params, domains=DOMAINS_10D)
+            assert fingerprint(res) == reference
+
+    def test_sorted_input_changes_nothing(self, one_cluster_dataset,
+                                          small_params, reference):
+        """Adversarial order: records sorted by the first cluster
+        dimension (each rank's block sees a skewed value range)."""
+        ordered = one_cluster_dataset.records[
+            np.argsort(one_cluster_dataset.records[:, 1])]
+        res = mafia(ordered, small_params, domains=DOMAINS_10D)
+        assert fingerprint(res) == reference
+        run = pmafia(ordered, 4, small_params, domains=DOMAINS_10D)
+        assert fingerprint(run.result) == reference

@@ -1,0 +1,146 @@
+"""Tests for the MAFIA CDU join (repro.core.candidates)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import join_all, join_block
+from repro.core.partition import triangular_splits
+from repro.core.units import UnitTable
+from repro.errors import DataError
+
+
+def table(*units):
+    return UnitTable.from_pairs(list(units))
+
+
+class TestJoinLevel1to2:
+    def test_pairs_of_distinct_dimensions(self):
+        dense = table([(0, 3)], [(1, 5)], [(2, 7)])
+        jr = join_all(dense)
+        got = {u for u in jr.cdus.unique()}
+        assert got == {((0, 3), (1, 5)), ((0, 3), (2, 7)), ((1, 5), (2, 7))}
+        assert jr.combined.all()
+
+    def test_same_dimension_units_never_join(self):
+        dense = table([(0, 3)], [(0, 4)])
+        jr = join_all(dense)
+        assert jr.cdus.n_units == 0
+        assert not jr.combined.any()
+
+    def test_seven_dense_bins_give_21_cdus(self):
+        """Table 2's pMAFIA row at k=2: C(7,2) = 21."""
+        dense = table(*[[(d, 0)] for d in range(7)])
+        jr = join_all(dense)
+        assert jr.cdus.unique().n_units == 21
+
+
+class TestJoinAnySharedDims:
+    def test_paper_example_figure(self):
+        """§3's example: {a1,b7,c8} and {b7,c8,d9} (3-d units sharing 2
+        dims) must yield the 4-d candidate {a1,b7,c8,d9}, which CLIQUE's
+        prefix join misses."""
+        dense = table([(0, 1), (6, 7), (7, 8)],   # a1 b7 c8
+                      [(6, 7), (7, 8), (8, 9)])   # b7 c8 d9
+        jr = join_all(dense)
+        assert jr.cdus.n_units == 1
+        assert jr.cdus.unit(0) == ((0, 1), (6, 7), (7, 8), (8, 9))
+
+    def test_shared_dims_must_agree_on_bins(self):
+        dense = table([(0, 1), (1, 1)],
+                      [(1, 2), (2, 2)])  # share dim 1 with different bins
+        assert join_all(dense).cdus.n_units == 0
+
+    def test_insufficient_overlap_rejected(self):
+        dense = table([(0, 1), (1, 1), (2, 1)],
+                      [(3, 1), (4, 1), (5, 1)])  # 3-d units sharing 0 dims
+        assert join_all(dense).cdus.n_units == 0
+
+    def test_total_overlap_rejected(self):
+        """Identical dimension sets (sharing k−1 dims) must not join."""
+        dense = table([(0, 1), (1, 1)],
+                      [(0, 1), (1, 2)])
+        assert join_all(dense).cdus.n_units == 0
+
+    def test_duplicate_candidates_generated(self):
+        """Three 2-d faces of a 3-cube generate the same 3-d CDU from
+        three different pairs — the repeats dedup must remove (Fig 2)."""
+        dense = table([(0, 0), (1, 0)], [(0, 0), (2, 0)], [(1, 0), (2, 0)])
+        jr = join_all(dense)
+        assert jr.cdus.n_units == 3
+        assert jr.cdus.unique().n_units == 1
+
+    def test_combined_mask_marks_both_sides(self):
+        dense = table([(0, 1)], [(1, 1)], [(0, 2)])
+        jr = join_all(dense)
+        # unit 2 (dim 0) joins unit 1 (dim 1) but not unit 0 (same dim)
+        assert jr.combined.tolist() == [True, True, True]
+
+    def test_noncombinable_unit_flagged(self):
+        dense = table([(0, 1), (1, 1)],
+                      [(5, 5), (6, 6)])  # nothing shared
+        jr = join_all(dense)
+        assert not jr.combined.any()
+
+
+class TestJoinBlocks:
+    @pytest.mark.parametrize("nblocks", [1, 2, 3, 5])
+    def test_block_union_equals_full_join(self, nblocks):
+        rng = np.random.default_rng(0)
+        units = []
+        for _ in range(30):
+            dims = sorted(rng.choice(6, size=3, replace=False).tolist())
+            units.append([(d, int(rng.integers(0, 3))) for d in dims])
+        dense = UnitTable.from_pairs(units).unique()
+        full = join_all(dense)
+        offsets = triangular_splits(dense.n_units, nblocks)
+        parts = [join_block(dense, offsets[i], offsets[i + 1])
+                 for i in range(nblocks)]
+        merged = UnitTable.concat_all([p.cdus for p in parts])
+        assert merged.unique() == full.cdus.unique()
+        combined = np.zeros(dense.n_units, dtype=bool)
+        for p in parts:
+            combined |= p.combined
+        np.testing.assert_array_equal(combined, full.combined)
+
+    def test_pairs_examined_counts_triangular_work(self):
+        dense = table(*[[(d, 0)] for d in range(10)])
+        jr = join_block(dense, 2, 5)
+        assert jr.pairs_examined == (10 - 2) + (10 - 3) + (10 - 4)
+
+    def test_empty_block(self):
+        dense = table([(0, 0)], [(1, 0)])
+        jr = join_block(dense, 1, 1)
+        assert jr.cdus.n_units == 0 and jr.pairs_examined == 0
+
+    def test_range_validation(self):
+        dense = table([(0, 0)])
+        with pytest.raises(DataError):
+            join_block(dense, 0, 5)
+
+    def test_empty_table(self):
+        jr = join_all(UnitTable.empty(2))
+        assert jr.cdus.n_units == 0 and jr.cdus.level == 3
+
+
+class TestJoinProperties:
+    def test_output_level_increments(self):
+        dense = table([(0, 0), (1, 0)], [(1, 0), (2, 0)])
+        assert join_all(dense).cdus.level == 3
+
+    def test_output_dims_sorted(self):
+        dense = table([(3, 0), (5, 0)], [(1, 0), (3, 0)])
+        jr = join_all(dense)
+        assert jr.cdus.unit(0) == ((1, 0), (3, 0), (5, 0))
+
+    def test_k_subsets_of_clean_cluster(self):
+        """A clean k-d cluster's dense units at level l are exactly the
+        C(k, l) l-subsets — the Table 2 pMAFIA invariant end to end."""
+        from math import comb
+        k = 6
+        dense = table(*[[(d, 0)] for d in range(k)])
+        for level in range(2, k + 1):
+            jr = join_all(dense)
+            dense = jr.cdus.unique()
+            assert dense.n_units == comb(k, level)

@@ -1,0 +1,58 @@
+"""Tests for the ASCII chart helpers (repro.analysis.charts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import bar_chart, scaling_chart
+from repro.errors import DataError
+
+
+class TestBarChart:
+    def test_longest_bar_is_full_width(self):
+        text = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert 4 <= lines[1].count("█") <= 5
+
+    def test_labels_aligned_and_values_printed(self):
+        text = bar_chart({"p1": 1.0, "p16": 2.0}, width=8)
+        lines = text.splitlines()
+        assert lines[0].startswith(" p1 |")
+        assert lines[1].startswith("p16 |")
+        assert "1" in lines[0] and "2" in lines[1]
+
+    def test_title_and_unit(self):
+        text = bar_chart({"x": 3.0}, title="T", unit="s")
+        assert text.splitlines()[0] == "T"
+        assert text.rstrip().endswith("3s")
+
+    def test_zero_values_allowed(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "█" not in text
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            bar_chart({})
+        with pytest.raises(DataError):
+            bar_chart({"a": -1.0})
+        with pytest.raises(DataError):
+            bar_chart({"a": 1.0}, width=0)
+
+
+class TestScalingChart:
+    def test_ratios_reveal_linear_series(self):
+        text = scaling_chart({1: 10.0, 2: 20.0, 3: 30.0})
+        assert "step ratios: 2.00, 1.50" in text
+
+    def test_ratios_reveal_exponential_series(self):
+        text = scaling_chart({1: 1.0, 2: 2.0, 3: 4.0, 4: 8.0})
+        assert "2.00, 2.00, 2.00" in text
+
+    def test_single_point_has_no_ratios(self):
+        text = scaling_chart({1: 5.0})
+        assert "step ratios" not in text
+
+    def test_zero_to_value_ratio_is_inf(self):
+        text = scaling_chart({1: 0.0, 2: 3.0})
+        assert "inf" in text

@@ -1,0 +1,107 @@
+"""Unit tests for CLIQUE's cover and MDL internals
+(repro.clique.{cover,mdl})."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clique.cover import box_cells, minimal_cover
+from repro.clique.mdl import mdl_cut, prune_units, subspace_coverage
+from repro.core.units import UnitTable
+from repro.errors import DataError
+
+
+class TestBoxCells:
+    def test_enumerates_inclusive_ranges(self):
+        cells = box_cells(((0, 1), (2, 2)))
+        assert cells == {(0, 2), (1, 2)}
+
+    def test_single_cell(self):
+        assert box_cells(((3, 3),)) == {(3,)}
+
+
+class TestMinimalCover:
+    def test_rectangle_is_one_box(self):
+        bins = np.array([[i, j] for i in range(3) for j in range(2)])
+        assert minimal_cover(bins) == [((0, 2), (0, 1))]
+
+    def test_l_shape_two_boxes(self):
+        bins = np.array([[0, 0], [1, 0], [2, 0], [0, 1], [0, 2]])
+        boxes = minimal_cover(bins)
+        assert len(boxes) == 2
+        covered = set()
+        for b in boxes:
+            covered |= box_cells(b)
+        assert covered >= {tuple(r) for r in bins.tolist()}
+
+    def test_redundant_box_removed(self):
+        """A plus-shape: the greedy grower can emit overlapping maximal
+        rectangles; fully covered ones must be dropped."""
+        bins = np.array([[1, 0], [0, 1], [1, 1], [2, 1], [1, 2]])
+        boxes = minimal_cover(bins)
+        covered = set()
+        for b in boxes:
+            covered |= box_cells(b)
+        assert covered >= {tuple(r) for r in bins.tolist()}
+        # no box is redundant w.r.t. the others
+        for i, b in enumerate(boxes):
+            rest = set()
+            for j, other in enumerate(boxes):
+                if j != i:
+                    rest |= box_cells(other)
+            assert not box_cells(b) <= rest
+
+    def test_single_cell_cluster(self):
+        assert minimal_cover(np.array([[5, 5]])) == [((5, 5), (5, 5))]
+
+    def test_shape_validation(self):
+        with pytest.raises(DataError):
+            minimal_cover(np.array([1, 2, 3]))
+
+
+def table(*units):
+    return UnitTable.from_pairs(list(units))
+
+
+class TestSubspaceCoverage:
+    def test_sums_counts_per_subspace(self):
+        t = table([(0, 1), (1, 0)], [(0, 2), (1, 1)], [(2, 0), (3, 0)])
+        cov = subspace_coverage(t, np.array([10, 20, 5]))
+        assert cov == {(0, 1): 30, (2, 3): 5}
+
+    def test_counts_shape_checked(self):
+        with pytest.raises(DataError):
+            subspace_coverage(table([(0, 0)]), np.array([1, 2]))
+
+
+class TestMdlCut:
+    def test_keeps_dominant_drops_trailing_noise(self):
+        coverage = {(0, 1): 10_000, (2, 3): 9_500,
+                    (4, 5): 40, (6, 7): 35, (8, 9): 30}
+        selected = mdl_cut(coverage)
+        assert (0, 1) in selected and (2, 3) in selected
+        assert (8, 9) not in selected
+
+    def test_always_keeps_at_least_one(self):
+        assert len(mdl_cut({(0,): 5})) == 1
+        assert mdl_cut({}) == set()
+
+    def test_uniform_coverage_keeps_all_or_most(self):
+        coverage = {(i, i + 1): 100 for i in range(0, 8, 2)}
+        selected = mdl_cut(coverage)
+        assert len(selected) >= len(coverage) - 1
+
+
+class TestPruneUnits:
+    def test_drops_unselected_subspaces(self):
+        t = table([(0, 1), (1, 0)], [(2, 0), (3, 0)])
+        counts = np.array([7, 9])
+        kept, kept_counts = prune_units(t, counts, {(0, 1)})
+        assert list(kept) == [((0, 1), (1, 0))]
+        assert kept_counts.tolist() == [7]
+
+    def test_empty_table(self):
+        t = UnitTable.empty(2)
+        kept, counts = prune_units(t, np.array([]), set())
+        assert kept.n_units == 0

@@ -1,0 +1,274 @@
+"""Tests for the synthetic data generator and the ICG (repro.datagen)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import (DEFAULT_MODULUS, ICG, ClusterSpec, SyntheticDataset,
+                           generate, icg_entropy, np_rng)
+from repro.datagen.generator import SCALE
+from repro.errors import DataError, ParameterError
+
+
+class TestICG:
+    def test_state_in_range_and_deterministic(self):
+        a, b = ICG(seed=123), ICG(seed=123)
+        for _ in range(200):
+            x, y = a.next_int(), b.next_int()
+            assert x == y and 0 <= x < DEFAULT_MODULUS
+
+    def test_inverse_property(self):
+        gen = ICG(seed=1)
+        p = gen.modulus
+        for x in (1, 2, 12345, p - 1):
+            inv = gen._inv(x)
+            assert (x * inv) % p == 1
+        assert gen._inv(0) == 0
+
+    def test_recurrence_matches_definition(self):
+        gen = ICG(seed=17, a=3, b=5)
+        x = 17
+        for _ in range(50):
+            x = (3 * pow(x, gen.modulus - 2, gen.modulus) + 5) % gen.modulus \
+                if x else 5
+            assert gen.next_int() == x
+
+    def test_uniformity_rough(self):
+        gen = ICG(seed=99)
+        values = gen.randoms(3000)
+        assert 0.45 < values.mean() < 0.55
+        assert values.min() >= 0 and values.max() < 1
+
+    def test_no_short_cycle(self):
+        gen = ICG(seed=7)
+        seen = {gen.next_int() for _ in range(5000)}
+        assert len(seen) == 5000  # full period is 2^31-1; no repeats early
+
+    def test_integers_range(self):
+        vals = ICG(seed=5).integers(500, 10)
+        assert vals.min() >= 0 and vals.max() < 10
+
+    def test_spawn_decorrelates(self):
+        children = ICG(seed=3).spawn(3)
+        seqs = [tuple(c.integers(50, 1000).tolist()) for c in children]
+        assert len(set(seqs)) == 3
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ICG(seed=-1)
+        with pytest.raises(ParameterError):
+            ICG(seed=DEFAULT_MODULUS)
+        with pytest.raises(ParameterError):
+            ICG(seed=0, a=DEFAULT_MODULUS)  # a ≡ 0
+        with pytest.raises(ParameterError):
+            ICG(seed=0, modulus=2)
+
+    def test_entropy_and_np_rng_deterministic(self):
+        assert icg_entropy(42) == icg_entropy(42)
+        assert icg_entropy(42) != icg_entropy(43)
+        a, b = np_rng(42), np_rng(42)
+        np.testing.assert_array_equal(a.random(10), b.random(10))
+
+
+class TestClusterSpec:
+    def test_box_constructor(self):
+        spec = ClusterSpec.box([2, 5], [(10, 20), (30, 50)])
+        assert spec.dims == (2, 5)
+        assert spec.boxes == (((10.0, 20.0), (30.0, 50.0)),)
+        assert spec.dimensionality == 2
+
+    def test_dims_sorted_unique_required(self):
+        with pytest.raises(DataError):
+            ClusterSpec.box([5, 2], [(0, 1), (0, 1)])
+
+    def test_box_arity_checked(self):
+        with pytest.raises(DataError):
+            ClusterSpec(dims=(1, 2), boxes=(((0, 1),),))
+
+    def test_empty_extent_rejected(self):
+        with pytest.raises(DataError):
+            ClusterSpec.box([0], [(5, 5)])
+
+    def test_contains_union_of_boxes(self):
+        spec = ClusterSpec(dims=(0,), boxes=(((0, 10),), ((20, 30),)))
+        mask = spec.contains(np.array([[5.0], [15.0], [25.0]]))
+        assert mask.tolist() == [True, False, True]
+
+    def test_contains_records_projects(self):
+        spec = ClusterSpec.box([1], [(0, 10)])
+        recs = np.array([[99.0, 5.0], [99.0, 50.0]])
+        assert spec.contains_records(recs).tolist() == [True, False]
+
+    def test_volumes(self):
+        spec = ClusterSpec(dims=(0, 1), boxes=(((0, 2), (0, 3)),
+                                               ((0, 1), (0, 1))))
+        np.testing.assert_allclose(spec.box_volumes(), [6.0, 1.0])
+
+
+class TestGenerate:
+    def test_shapes_and_noise_count(self):
+        spec = ClusterSpec.box([0, 2], [(10, 30), (40, 80)])
+        ds = generate(1000, 4, [spec], noise_fraction=0.1, seed=1)
+        assert ds.records.shape == (1100, 4)
+        assert ds.n_noise == 100
+        assert (ds.labels == -1).sum() == 100
+        assert (ds.labels == 0).sum() == 1000
+
+    def test_cluster_records_inside_extents(self):
+        spec = ClusterSpec.box([0, 2], [(10, 30), (40, 80)])
+        ds = generate(2000, 4, [spec], seed=2)
+        member = ds.cluster_records(0)
+        assert (member[:, 0] >= 10).all() and (member[:, 0] <= 30).all()
+        assert (member[:, 2] >= 40).all() and (member[:, 2] <= 80).all()
+
+    def test_noncluster_dims_uniform(self):
+        spec = ClusterSpec.box([0], [(40, 60)])
+        ds = generate(20000, 2, [spec], seed=3, noise_fraction=0.0)
+        other = ds.records[:, 1]
+        hist, _ = np.histogram(other, bins=10, range=(0, 100))
+        assert hist.min() > 0.8 * hist.mean()  # roughly flat
+
+    def test_unit_cube_coverage(self):
+        """§5.1: every unit cube of the scaled cluster region holds at
+        least one point (when points >= cubes)."""
+        spec = ClusterSpec.box([0, 1], [(10, 20), (30, 40)])  # 10x10 cubes
+        ds = generate(500, 2, [spec], seed=4, noise_fraction=0.0)
+        member = ds.cluster_records(0)
+        # scaled space == attribute space here (domain 0..100)
+        cx = np.floor(member[:, 0]).astype(int)
+        cy = np.floor(member[:, 1]).astype(int)
+        filled = set(zip(cx.tolist(), cy.tolist()))
+        expected = {(i, j) for i in range(10, 20) for j in range(30, 40)}
+        assert expected <= filled
+
+    def test_weights_split_records(self):
+        specs = [ClusterSpec.box([0], [(0, 10)], weight=3.0),
+                 ClusterSpec.box([1], [(0, 10)], weight=1.0)]
+        ds = generate(4000, 3, specs, seed=5, noise_fraction=0.0)
+        assert (ds.labels == 0).sum() == 3000
+        assert (ds.labels == 1).sum() == 1000
+
+    def test_multiple_boxes_all_populated(self):
+        spec = ClusterSpec(dims=(0,), boxes=(((0, 10),), ((50, 60),)))
+        ds = generate(1000, 2, [spec], seed=6, noise_fraction=0.0)
+        member = ds.cluster_records(0)
+        assert ((member[:, 0] < 10)).any() and ((member[:, 0] >= 50)).any()
+        assert not ((member[:, 0] >= 10) & (member[:, 0] < 50)).any()
+
+    def test_custom_domains_scaling(self):
+        spec = ClusterSpec.box([0], [(-5, 5)])
+        ds = generate(500, 2, [spec], seed=7,
+                      domains=[(-10, 10), (0, 1)], noise_fraction=0.0)
+        member = ds.cluster_records(0)
+        assert member[:, 0].min() >= -5 and member[:, 0].max() <= 5
+        assert ds.records[:, 1].max() <= 1.0
+
+    def test_records_shuffled(self):
+        spec = ClusterSpec.box([0], [(0, 10)])
+        ds = generate(2000, 2, [spec], seed=8)
+        # noise must not be bunched at the tail after shuffling
+        tail = ds.labels[-200:]
+        assert (tail == -1).any() and (tail == 0).any()
+
+    def test_no_clusters_gives_uniform_background(self):
+        ds = generate(1000, 3, [], seed=9)
+        assert (ds.labels == -1).all()
+        assert ds.records.shape[0] == 1100
+
+    def test_extent_outside_domain_rejected(self):
+        spec = ClusterSpec.box([0], [(0, 200)])
+        with pytest.raises(DataError):
+            generate(100, 2, [spec], seed=0)
+
+    def test_dims_beyond_data_rejected(self):
+        spec = ClusterSpec.box([5], [(0, 10)])
+        with pytest.raises(DataError):
+            generate(100, 2, [spec], seed=0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            generate(-1, 2, [])
+        with pytest.raises(ParameterError):
+            generate(10, 0, [])
+        with pytest.raises(ParameterError):
+            generate(10, 2, [], noise_fraction=1.5)
+        with pytest.raises(ParameterError):
+            generate(10, 2, [], domains=[(0, 1)])
+
+    def test_deterministic_per_seed(self):
+        spec = ClusterSpec.box([0], [(0, 10)])
+        a = generate(500, 2, [spec], seed=10)
+        b = generate(500, 2, [spec], seed=10)
+        np.testing.assert_array_equal(a.records, b.records)
+        c = generate(500, 2, [spec], seed=11)
+        assert not np.array_equal(a.records, c.records)
+
+
+class TestRealSurrogates:
+    def test_dax_like_shape(self):
+        from repro.datagen import dax_like
+        data = dax_like()
+        assert data.shape == (2757, 22)
+        assert data.min() >= 0 and data.max() < 100
+
+    def test_ionosphere_like_shape(self):
+        from repro.datagen import ionosphere_like
+        data = ionosphere_like()
+        assert data.shape == (351, 34)
+
+    def test_eachmovie_like_shape_and_columns(self):
+        from repro.datagen import eachmovie_like
+        data = eachmovie_like(n_records=10_000)
+        assert data.shape == (10_000, 4)
+        user, movie, score, weight = data.T
+        assert score.min() >= 0 and score.max() <= 1
+        assert weight.min() >= 0 and weight.max() <= 1
+
+    def test_surrogates_deterministic(self):
+        from repro.datagen import dax_like
+        np.testing.assert_array_equal(dax_like(seed=5), dax_like(seed=5))
+
+    def test_validation(self):
+        from repro.datagen import dax_like, eachmovie_like, ionosphere_like
+        with pytest.raises(ParameterError):
+            dax_like(n_records=0)
+        with pytest.raises(ParameterError):
+            ionosphere_like(n_dims=4)
+        with pytest.raises(ParameterError):
+            eachmovie_like(n_records=0)
+
+
+class TestIcgStatistics:
+    """Statistical validation of the from-scratch ICG: the §5.1 reason
+    for using it is avoiding LCG artefacts, so the stream must pass
+    standard uniformity and independence checks."""
+
+    def test_kolmogorov_smirnov_uniformity(self):
+        from scipy import stats
+        values = ICG(seed=2024).randoms(4000)
+        statistic, pvalue = stats.kstest(values, "uniform")
+        assert pvalue > 0.01, f"ICG fails K-S uniformity (p={pvalue:.4f})"
+
+    def test_chi_square_bin_occupancy(self):
+        from scipy import stats
+        values = ICG(seed=55).randoms(5000)
+        counts, _ = np.histogram(values, bins=20, range=(0, 1))
+        _, pvalue = stats.chisquare(counts)
+        assert pvalue > 0.01, f"ICG fails chi-square (p={pvalue:.4f})"
+
+    def test_serial_correlation_negligible(self):
+        values = ICG(seed=77).randoms(4000)
+        x, y = values[:-1] - values.mean(), values[1:] - values.mean()
+        corr = float((x * y).sum() / np.sqrt((x * x).sum() * (y * y).sum()))
+        assert abs(corr) < 0.05
+
+    def test_2d_pairs_fill_the_plane(self):
+        """The LCG pathology the paper cites is pairs falling into few
+        hyperplanes; ICG pairs must occupy nearly all coarse 2-d cells."""
+        values = ICG(seed=88).randoms(6000)
+        pairs = np.stack([values[:-1], values[1:]], axis=1)
+        gx = (pairs[:, 0] * 16).astype(int)
+        gy = (pairs[:, 1] * 16).astype(int)
+        occupied = len(set(zip(gx.tolist(), gy.tolist())))
+        assert occupied > 0.95 * 256

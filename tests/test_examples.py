@@ -1,0 +1,57 @@
+"""Smoke tests: every example script must run to completion and print
+its headline output (examples are documentation — they must not rot)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, timeout: int = 600) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestFastExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "subspace exact" in out
+        assert "recall" in out
+
+    def test_out_of_core(self):
+        out = run_example("out_of_core.py")
+        assert "staged their blocks" in out
+        assert "(1, 3, 5)" in out
+
+
+@pytest.mark.slow
+class TestSlowExamples:
+    def test_parallel_speedup(self):
+        out = run_example("parallel_speedup.py")
+        assert "matches the serial result" in out
+        assert "speedup" in out
+
+    def test_movie_ratings(self):
+        out = run_example("movie_ratings.py")
+        assert "two-dimensional clusters" in out
+
+    def test_stock_indicators(self):
+        out = run_example("stock_indicators.py")
+        assert "clusters per subspace dimensionality" in out
+
+    def test_clique_comparison(self):
+        out = run_example("clique_comparison.py")
+        assert "pMAFIA" in out and "CLIQUE" in out
+
+    def test_introspection(self):
+        out = run_example("introspection.py")
+        assert "verification: OK" in out
+        assert "stable alpha suggestion" in out

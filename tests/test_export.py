@@ -1,0 +1,95 @@
+"""Tests for result serialisation (repro.core.export)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MafiaParams, mafia
+from repro.clique import clique
+from repro.core.export import (cluster_from_dict, cluster_to_dict,
+                               grid_from_dict, grid_to_dict,
+                               result_from_dict, result_from_json,
+                               result_to_dict, result_to_json)
+from repro.errors import DataError
+from repro.params import CliqueParams
+from tests.conftest import DOMAINS_10D
+
+
+@pytest.fixture(scope="module")
+def result(one_cluster_dataset, small_params):
+    return mafia(one_cluster_dataset.records, small_params,
+                 domains=DOMAINS_10D)
+
+
+class TestRoundTrip:
+    def test_grid_roundtrip(self, result):
+        back = grid_from_dict(grid_to_dict(result.grid))
+        assert back.ndim == result.grid.ndim
+        for a, b in zip(back, result.grid):
+            assert a.edges == b.edges
+            assert a.thresholds == b.thresholds
+            assert a.uniform == b.uniform
+
+    def test_cluster_roundtrip(self, result):
+        for cluster in result.clusters:
+            back = cluster_from_dict(cluster_to_dict(cluster))
+            assert back.subspace.dims == cluster.subspace.dims
+            assert back.point_count == cluster.point_count
+            np.testing.assert_array_equal(back.units_bins,
+                                          cluster.units_bins)
+            assert back.describe() == cluster.describe()
+
+    def test_full_result_roundtrip(self, result):
+        back = result_from_dict(result_to_dict(result))
+        assert back.n_records == result.n_records
+        assert back.cdus_per_level() == result.cdus_per_level()
+        assert back.dense_per_level() == result.dense_per_level()
+        assert [c.describe() for c in back.clusters] == \
+            [c.describe() for c in result.clusters]
+        assert isinstance(back.params, MafiaParams)
+        assert back.params == result.params
+
+    def test_json_roundtrip(self, result):
+        text = result_to_json(result)
+        back = result_from_json(text)
+        assert back.summary() == result.summary()
+
+    def test_trace_dense_units_preserved(self, result):
+        back = result_from_dict(result_to_dict(result))
+        for a, b in zip(back.trace, result.trace):
+            assert a.dense == b.dense
+            np.testing.assert_array_equal(a.dense_counts, b.dense_counts)
+
+    def test_clique_params_roundtrip(self, two_cluster_dataset):
+        res = clique(two_cluster_dataset.records,
+                     CliqueParams(bins=8, threshold=0.01,
+                                  chunk_records=5000),
+                     domains=DOMAINS_10D)
+        back = result_from_dict(result_to_dict(res))
+        assert isinstance(back.params, CliqueParams)
+        assert back.params.bins == 8
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(DataError):
+            result_from_dict({"format": "something-else", "version": 1})
+
+    def test_wrong_version_rejected(self, result):
+        payload = result_to_dict(result)
+        payload["version"] = 99
+        with pytest.raises(DataError):
+            result_from_dict(payload)
+
+    def test_malformed_grid(self):
+        with pytest.raises(DataError):
+            grid_from_dict({"dims": [{"dim": 0}]})
+
+    def test_malformed_cluster(self):
+        with pytest.raises(DataError):
+            cluster_from_dict({"subspace": [0]})
+
+    def test_invalid_json(self):
+        with pytest.raises(DataError):
+            result_from_json("{not json")

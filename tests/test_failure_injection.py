@@ -1,0 +1,119 @@
+"""Failure injection: corrupted inputs, crashing ranks, bad payloads.
+
+The SPMD substrate must fail loudly and promptly — a crashed rank
+aborts its peers instead of deadlocking the program — and the library
+must reject malformed data before it poisons a multi-hour run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import MafiaParams, mafia, pmafia
+from repro.core.units import UnitTable
+from repro.errors import CommError, DataError, RecordFileError
+from repro.io import write_records
+from repro.parallel import run_spmd
+from tests.conftest import DOMAINS_10D
+
+
+class TestCrashingRanks:
+    @pytest.mark.parametrize("crasher", [0, 1, 2])
+    def test_any_rank_crash_propagates(self, crasher):
+        def prog(comm):
+            if comm.rank == crasher:
+                raise RuntimeError(f"rank {crasher} died")
+            # peers block on a collective that can never complete
+            comm.allreduce(np.zeros(4))
+
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match=f"rank {crasher} died"):
+            run_spmd(prog, 3)
+        assert time.monotonic() - start < 30  # aborted, not deadlocked
+
+    def test_crash_mid_algorithm(self, one_cluster_dataset, small_params):
+        calls = {"n": 0}
+
+        def poisoned(comm, data, params, domains):
+            from repro.core.pmafia import pmafia_rank
+            if comm.rank == 1:
+                raise MemoryError("injected mid-run")
+            return pmafia_rank(comm, data, params, domains)
+
+        with pytest.raises(MemoryError, match="injected"):
+            run_spmd(poisoned, 3,
+                     args=(one_cluster_dataset.records, small_params,
+                           DOMAINS_10D))
+
+
+class TestCorruptedInputs:
+    def test_nan_records_rejected_at_write(self, tmp_path):
+        bad = np.ones((10, 2))
+        bad[5, 0] = np.inf
+        with pytest.raises(DataError):
+            write_records(tmp_path / "bad.bin", bad)
+
+    def test_bit_flipped_header(self, tmp_path, one_cluster_dataset):
+        path = tmp_path / "data.bin"
+        write_records(path, one_cluster_dataset.records[:100])
+        raw = bytearray(path.read_bytes())
+        raw[6] ^= 0xFF  # corrupt the dtype code
+        path.write_bytes(bytes(raw))
+        with pytest.raises(RecordFileError):
+            mafia(path)
+
+    def test_shortened_body(self, tmp_path, one_cluster_dataset):
+        path = tmp_path / "short.bin"
+        write_records(path, one_cluster_dataset.records[:100])
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(RecordFileError):
+            mafia(path)
+
+    def test_garbage_unit_payload(self):
+        with pytest.raises(DataError):
+            UnitTable.frombytes(b"\x00" * 40)
+
+    def test_too_many_dimensions_rejected(self):
+        data = np.random.default_rng(0).random((10, 300))
+        with pytest.raises(DataError):
+            mafia(data, MafiaParams(fine_bins=10, window_size=2,
+                                    chunk_records=10))
+
+
+class TestDegenerateWorkloads:
+    def test_single_record(self):
+        res = mafia(np.array([[1.0, 2.0]]),
+                    MafiaParams(fine_bins=10, window_size=2, chunk_records=10))
+        assert res.n_records == 1
+
+    def test_all_identical_records(self):
+        data = np.tile([[5.0, 5.0, 5.0]], (1000, 1))
+        res = mafia(data, MafiaParams(fine_bins=20, window_size=2,
+                                      chunk_records=100))
+        # one degenerate cell holds everything; must not crash and must
+        # find at most one cluster region
+        assert res.n_records == 1000
+
+    def test_two_distinct_values(self):
+        rng = np.random.default_rng(2)
+        data = np.where(rng.random((2000, 2)) < 0.5, 1.0, 9.0)
+        data += rng.random((2000, 2)) * 1e-6
+        res = mafia(data, MafiaParams(fine_bins=20, window_size=2,
+                                      chunk_records=500))
+        assert res.max_level >= 1
+
+    def test_chunk_bigger_than_data(self, one_cluster_dataset):
+        params = MafiaParams(fine_bins=200, window_size=2,
+                             chunk_records=10**9)
+        res = mafia(one_cluster_dataset.records, params, domains=DOMAINS_10D)
+        assert [c.subspace.dims for c in res.clusters] == [(1, 3, 5, 7)]
+
+    def test_more_ranks_than_records(self):
+        data = np.random.default_rng(3).random((5, 3)) * 100
+        run = pmafia(data, 8, MafiaParams(fine_bins=10, window_size=2,
+                                          chunk_records=10))
+        assert run.result.n_records == 5

@@ -1,0 +1,100 @@
+"""Tests for the histogram / domain passes (repro.core.histogram)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import (fine_histogram_global, fine_histogram_local,
+                                  global_domains, local_domains)
+from repro.errors import DataError
+from repro.io import ArraySource
+from repro.parallel import SerialComm, run_spmd
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(5)
+    return rng.random((2000, 3)) * np.array([100.0, 10.0, 1.0])
+
+
+class TestDomains:
+    def test_local_domains_match_minmax(self, data):
+        src = ArraySource(data)
+        dom = local_domains(src, SerialComm(), 500)
+        np.testing.assert_allclose(dom[:, 0], data.min(axis=0))
+        np.testing.assert_allclose(dom[:, 1], data.max(axis=0))
+
+    def test_global_domains_pads_upper_edge(self, data):
+        dom = global_domains(ArraySource(data), SerialComm(), 500)
+        assert (dom[:, 1] > data.max(axis=0)).all()
+
+    def test_degenerate_dimension_widened(self):
+        const = np.full((100, 1), 7.0)
+        dom = global_domains(ArraySource(const), SerialComm(), 50)
+        assert dom[0, 1] > dom[0, 0]
+
+    def test_parallel_matches_serial(self, data):
+        serial = global_domains(ArraySource(data), SerialComm(), 500)
+
+        def prog(comm):
+            from repro.io import block_range
+            start, stop = block_range(len(data), comm.size, comm.rank)
+            return global_domains(ArraySource(data), comm, 500, start, stop)
+
+        for r in run_spmd(prog, 4):
+            np.testing.assert_allclose(r.value, serial)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(DataError):
+            global_domains(ArraySource(np.empty((0, 2))), SerialComm(), 10)
+
+
+class TestFineHistogram:
+    def test_counts_sum_to_records(self, data):
+        dom = global_domains(ArraySource(data), SerialComm(), 500)
+        hist = fine_histogram_local(ArraySource(data), SerialComm(), dom,
+                                    50, 512)
+        assert hist.shape == (3, 50)
+        assert (hist.sum(axis=1) == 2000).all()
+
+    def test_matches_numpy_histogram(self, data):
+        dom = global_domains(ArraySource(data), SerialComm(), 500)
+        hist = fine_histogram_local(ArraySource(data), SerialComm(), dom,
+                                    64, 999)
+        for j in range(3):
+            ref, _ = np.histogram(data[:, j], bins=64,
+                                  range=(dom[j, 0], dom[j, 1]))
+            np.testing.assert_array_equal(hist[j], ref)
+
+    def test_chunking_invariant(self, data):
+        dom = global_domains(ArraySource(data), SerialComm(), 500)
+        a = fine_histogram_local(ArraySource(data), SerialComm(), dom, 32, 100)
+        b = fine_histogram_local(ArraySource(data), SerialComm(), dom, 32, 2000)
+        np.testing.assert_array_equal(a, b)
+
+    def test_global_equals_serial_under_spmd(self, data):
+        dom = global_domains(ArraySource(data), SerialComm(), 500)
+        serial = fine_histogram_global(ArraySource(data), SerialComm(), dom,
+                                       40, 512)
+
+        def prog(comm):
+            from repro.io import block_range
+            start, stop = block_range(len(data), comm.size, comm.rank)
+            return fine_histogram_global(ArraySource(data), comm, dom, 40,
+                                         512, start, stop)
+
+        for r in run_spmd(prog, 3):
+            np.testing.assert_array_equal(r.value, serial)
+
+    def test_validation(self, data):
+        src = ArraySource(data)
+        with pytest.raises(DataError):
+            fine_histogram_local(src, SerialComm(), np.zeros((2, 2)), 10, 100)
+        dom = global_domains(src, SerialComm(), 500)
+        with pytest.raises(DataError):
+            fine_histogram_local(src, SerialComm(), dom, 0, 100)
+        bad = dom.copy()
+        bad[0, 1] = bad[0, 0]
+        with pytest.raises(DataError):
+            fine_histogram_local(src, SerialComm(), bad, 10, 100)

@@ -1,0 +1,65 @@
+"""Tests for the dense-unit lattice explorer (repro.analysis.lattice)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mafia
+from repro.analysis import (dense_unit_lattice, summarize_lattice,
+                            support_path, unit_key)
+from repro.errors import DataError
+from tests.conftest import DOMAINS_10D
+
+
+@pytest.fixture(scope="module")
+def result(one_cluster_dataset, small_params):
+    return mafia(one_cluster_dataset.records, small_params,
+                 domains=DOMAINS_10D)
+
+
+class TestLatticeStructure:
+    def test_node_counts_match_trace(self, result):
+        graph = dense_unit_lattice(result)
+        assert graph.number_of_nodes() == \
+            sum(t.n_dense for t in result.trace)
+
+    def test_levels_and_counts_attached(self, result):
+        graph = dense_unit_lattice(result)
+        for _, data in graph.nodes(data=True):
+            assert data["level"] >= 1
+            assert data["count"] > 0
+
+    def test_downward_closure_for_clean_cluster(self, result):
+        """A clean 4-d cluster's lattice is the full 4-cube face
+        lattice: every level-k unit has exactly k dense projections."""
+        graph = dense_unit_lattice(result)
+        for node, data in graph.nodes(data=True):
+            if data["level"] >= 2:
+                assert graph.out_degree(node) == data["level"]
+
+    def test_single_maximal_unit(self, result):
+        summary = summarize_lattice(result)
+        assert summary.n_maximal == 1
+        assert summary.closure == pytest.approx(1.0)
+        assert summary.units_per_level == {1: 4, 2: 6, 3: 4, 4: 1}
+
+    def test_counts_decrease_up_the_lattice(self, result):
+        """A unit can never hold more records than its projections."""
+        graph = dense_unit_lattice(result)
+        for parent, child in graph.edges:
+            assert graph.nodes[parent]["count"] <= \
+                graph.nodes[child]["count"]
+
+
+class TestSupportPath:
+    def test_path_descends_to_level_one(self, result):
+        top = result.trace[-1].dense
+        path = support_path(result, top.dims[0], top.bins[0])
+        assert len(path) == top.level
+        levels = [len(dims) for dims, _ in path]
+        assert levels == list(range(top.level, 0, -1))
+
+    def test_unknown_unit_rejected(self, result):
+        with pytest.raises(DataError):
+            support_path(result, [9], [99])

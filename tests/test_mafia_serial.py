@@ -1,0 +1,159 @@
+"""End-to-end tests of serial MAFIA (repro.core.mafia)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MafiaParams, mafia
+from repro.analysis import match_clusters, subspace_scores
+from repro.datagen import ClusterSpec, generate
+from repro.errors import DataError
+from tests.conftest import DOMAINS_10D
+
+
+class TestSingleCluster:
+    def test_finds_exact_subspace(self, one_cluster_dataset, small_params):
+        res = mafia(one_cluster_dataset.records, small_params,
+                    domains=DOMAINS_10D)
+        assert [c.subspace.dims for c in res.clusters] == [(1, 3, 5, 7)]
+
+    def test_dense_units_are_k_subsets(self, one_cluster_dataset,
+                                       small_params):
+        """Table 2 invariant: a clean 4-d cluster yields C(4, l) dense
+        units at level l."""
+        res = mafia(one_cluster_dataset.records, small_params,
+                    domains=DOMAINS_10D)
+        assert res.dense_per_level() == {1: 4, 2: 6, 3: 4, 4: 1}
+        assert res.cdus_per_level()[2] == 6
+        assert res.cdus_per_level()[3] == 4
+        assert res.cdus_per_level()[4] == 1
+
+    def test_boundaries_close_to_truth(self, one_cluster_dataset,
+                                       small_params):
+        res = mafia(one_cluster_dataset.records, small_params,
+                    domains=DOMAINS_10D)
+        [match] = match_clusters(res, one_cluster_dataset)
+        assert match.subspace_exact
+        assert match.recall > 0.95
+        assert match.boundary_error < 0.06  # within ~one window
+
+    def test_cluster_point_count_near_truth(self, one_cluster_dataset,
+                                            small_params):
+        res = mafia(one_cluster_dataset.records, small_params,
+                    domains=DOMAINS_10D)
+        assert res.clusters[0].point_count >= 0.9 * 5000
+
+    def test_trace_levels_contiguous(self, one_cluster_dataset, small_params):
+        res = mafia(one_cluster_dataset.records, small_params,
+                    domains=DOMAINS_10D)
+        assert [t.level for t in res.trace] == list(
+            range(1, len(res.trace) + 1))
+
+
+class TestTwoClusters:
+    def test_table3_layout_recovered(self, two_cluster_dataset):
+        res = mafia(two_cluster_dataset.records, MafiaParams(),
+                    domains=DOMAINS_10D)
+        assert sorted(c.subspace.dims for c in res.clusters) == [
+            (1, 6, 7, 8), (2, 3, 4, 5)]
+        precision, recall = subspace_scores(res, two_cluster_dataset.clusters)
+        assert precision == 1.0 and recall == 1.0
+
+    def test_both_clusters_fully_detected(self, two_cluster_dataset):
+        res = mafia(two_cluster_dataset.records, MafiaParams(),
+                    domains=DOMAINS_10D)
+        for match in match_clusters(res, two_cluster_dataset):
+            assert match.subspace_exact and match.recall > 0.95
+
+
+class TestUnsupervisedBehaviour:
+    def test_runs_without_domains(self, one_cluster_dataset, small_params):
+        """Truly unsupervised: no parameters, no domains — the algorithm
+        derives everything from the data."""
+        res = mafia(one_cluster_dataset.records, small_params)
+        assert any(c.subspace.dims == (1, 3, 5, 7) for c in res.clusters)
+
+    def test_pure_noise_yields_no_clusters(self):
+        rng = np.random.default_rng(0)
+        noise = rng.random((20000, 6)) * 100.0
+        res = mafia(noise, MafiaParams(), domains=np.array([[0., 100.]] * 6))
+        assert res.clusters == ()
+        assert res.dense_per_level()[1] == 0
+
+    def test_higher_alpha_is_more_selective(self, two_cluster_dataset):
+        weak = mafia(two_cluster_dataset.records, MafiaParams(alpha=1.5),
+                     domains=DOMAINS_10D)
+        strong = mafia(two_cluster_dataset.records, MafiaParams(alpha=20.0),
+                       domains=DOMAINS_10D)
+        assert strong.dense_per_level()[1] <= weak.dense_per_level()[1]
+
+    def test_beta_insensitivity_plateau(self, one_cluster_dataset):
+        """§4.4: any β in 25-75 % discovers the same clusters.
+
+        The plateau presumes histogram noise below β — the paper's data
+        sets have millions of records; at 5.5k records we use wider fine
+        bins (100 over the domain) so relative Poisson noise stays under
+        the plateau's lower edge, as in the paper's regime.
+        """
+        found = []
+        for beta in (0.25, 0.5, 0.75):
+            res = mafia(one_cluster_dataset.records,
+                        MafiaParams(fine_bins=100, window_size=2, beta=beta,
+                                    chunk_records=2000),
+                        domains=DOMAINS_10D)
+            found.append(tuple(c.subspace.dims for c in res.clusters))
+        assert found[0] == found[1] == found[2] == ((1, 3, 5, 7),)
+
+
+class TestReportModes:
+    def test_maximal_mode_superset_of_paper_mode(self, one_cluster_dataset,
+                                                 small_params):
+        paper = mafia(one_cluster_dataset.records, small_params,
+                      domains=DOMAINS_10D)
+        maximal = mafia(one_cluster_dataset.records,
+                        small_params.with_(report="maximal"),
+                        domains=DOMAINS_10D)
+        paper_subspaces = {c.subspace.dims for c in paper.clusters}
+        maximal_subspaces = {c.subspace.dims for c in maximal.clusters}
+        assert paper_subspaces <= maximal_subspaces
+
+
+class TestInputsAndEdgeCases:
+    def test_record_file_input(self, tmp_path, one_cluster_dataset,
+                               small_params):
+        from repro.io import write_records
+        path = tmp_path / "data.bin"
+        write_records(path, one_cluster_dataset.records)
+        res = mafia(path, small_params, domains=DOMAINS_10D)
+        assert [c.subspace.dims for c in res.clusters] == [(1, 3, 5, 7)]
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(DataError):
+            mafia(np.empty((0, 3)))
+
+    def test_max_dimensionality_caps_search(self, one_cluster_dataset,
+                                            small_params):
+        res = mafia(one_cluster_dataset.records,
+                    small_params.with_(max_dimensionality=2),
+                    domains=DOMAINS_10D)
+        assert res.max_level <= 2
+        # the 2-d dense faces of the 4-d cluster are now the top: they
+        # are reported as clusters
+        assert all(c.dimensionality <= 2 for c in res.clusters)
+        assert len(res.clusters) > 0
+
+    def test_single_dimension_data(self):
+        rng = np.random.default_rng(1)
+        column = np.concatenate([rng.random(3000) * 100,
+                                 40 + rng.random(3000) * 10])[:, None]
+        res = mafia(column, MafiaParams(fine_bins=100, window_size=2),
+                    domains=np.array([[0.0, 100.0]]))
+        assert len(res.clusters) >= 1
+        assert all(c.subspace.dims == (0,) for c in res.clusters)
+
+    def test_result_summary_runs(self, one_cluster_dataset, small_params):
+        res = mafia(one_cluster_dataset.records, small_params,
+                    domains=DOMAINS_10D)
+        text = res.summary()
+        assert "clusters: 1" in text and "(1, 3, 5, 7)" in text

@@ -1,0 +1,141 @@
+"""End-to-end MAFIA on non-uniform data: Gaussian clusters, shifted
+domains, heavy noise — the regimes real data lives in (the §5.1
+generator only produces uniform boxes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MafiaParams, mafia
+from repro.datagen.icg import np_rng
+
+
+def gaussian_subspace_data(n_records: int, n_dims: int, centers, sigma,
+                           cluster_fraction: float, seed: int) -> np.ndarray:
+    """Records uniform on [0, 100)^d except a fraction drawn from an
+    axis-aligned Gaussian in the dimensions of ``centers``."""
+    rng = np_rng(seed)
+    records = rng.random((n_records, n_dims)) * 100.0
+    n_cluster = int(cluster_fraction * n_records)
+    for dim, center in centers.items():
+        records[:n_cluster, dim] = rng.normal(center, sigma, n_cluster)
+    return np.clip(records[rng.permutation(n_records)], 0.0, 99.999)
+
+
+class TestGaussianClusters:
+    PARAMS = MafiaParams(fine_bins=100, window_size=2, chunk_records=8000)
+
+    def test_gaussian_core_found_in_right_subspace(self):
+        data = gaussian_subspace_data(
+            40_000, 8, centers={1: 30.0, 4: 60.0, 6: 45.0}, sigma=2.0,
+            cluster_fraction=0.3, seed=21)
+        res = mafia(data, self.PARAMS,
+                    domains=np.array([[0.0, 100.0]] * 8))
+        best = [c for c in res.clusters if c.dimensionality >= 3]
+        assert best, f"found only {[c.subspace.dims for c in res.clusters]}"
+        assert any(c.subspace.dims == (1, 4, 6) for c in best)
+
+    def test_gaussian_bins_hug_the_core(self):
+        """The adaptive grid must put the cluster bin around the
+        Gaussian's high-density core, not the fixed-width tails."""
+        data = gaussian_subspace_data(
+            40_000, 4, centers={2: 50.0}, sigma=3.0,
+            cluster_fraction=0.4, seed=22)
+        res = mafia(data, self.PARAMS,
+                    domains=np.array([[0.0, 100.0]] * 4))
+        one_d = [c for c in res.clusters if c.subspace.dims == (2,)]
+        assert one_d
+        (lo, hi) = one_d[0].dnf[0].intervals[0]
+        # core within about +-2 sigma
+        assert 40.0 <= lo <= 48.0
+        assert 52.0 <= hi <= 60.0
+
+    def test_two_gaussians_same_dim_two_bins(self):
+        """Bimodal dimension: the rectangular-wave fit must produce two
+        separate dense bins (CLIQUE's uniform bins can merge them)."""
+        rng = np_rng(23)
+        n = 40_000
+        data = rng.random((n, 3)) * 100.0
+        half = n // 3
+        data[:half, 1] = np.clip(rng.normal(25.0, 2.0, half), 0, 99.9)
+        data[half:2 * half, 1] = np.clip(rng.normal(75.0, 2.0, half), 0, 99.9)
+        data = data[rng.permutation(n)]
+        res = mafia(data, self.PARAMS, domains=np.array([[0., 100.]] * 3))
+        one_d = [c for c in res.clusters if c.subspace.dims == (1,)]
+        assert len(one_d) == 2
+        spans = sorted((c.dnf[0].intervals[0]) for c in one_d)
+        assert spans[0][1] < 50.0 < spans[1][0]
+
+
+class TestShiftedScaledDomains:
+    def test_inferred_domains_handle_negative_and_tiny_ranges(self):
+        """Domain inference must work when attributes live on wildly
+        different scales (the DAX set mixes indices and ratios)."""
+        rng = np_rng(31)
+        n = 20_000
+        data = np.stack([
+            rng.random(n) * 2e6 - 1e6,        # huge symmetric range
+            rng.random(n) * 1e-3,             # tiny range
+            rng.random(n) * 10.0 + 100.0,     # offset range
+        ], axis=1)
+        # plant a cluster in dims (0, 2)
+        k = n // 3
+        data[:k, 0] = rng.random(k) * 2e5 + 3e5
+        data[:k, 2] = rng.random(k) * 1.0 + 104.0
+        data = data[rng.permutation(n)]
+        res = mafia(data, MafiaParams(fine_bins=100, window_size=2,
+                                      chunk_records=5000))
+        assert any(c.subspace.dims == (0, 2) for c in res.clusters)
+
+    def test_explicit_vs_inferred_domains_agree_when_tight(self,
+                                                           one_cluster_dataset,
+                                                           small_params):
+        inferred = mafia(one_cluster_dataset.records, small_params)
+        lo = one_cluster_dataset.records.min(axis=0)
+        hi = one_cluster_dataset.records.max(axis=0) + 1e-6
+        explicit = mafia(one_cluster_dataset.records, small_params,
+                         domains=np.stack([lo, hi], axis=1))
+        assert {c.subspace.dims for c in inferred.clusters} == \
+            {c.subspace.dims for c in explicit.clusters}
+
+
+class TestNoiseRobustness:
+    def test_cluster_survives_heavy_noise(self):
+        from repro.datagen import ClusterSpec, generate
+        spec = ClusterSpec.box([0, 3], [(20, 30), (60, 70)])
+        ds = generate(20_000, 5, [spec], noise_fraction=1.0, seed=41)
+        res = mafia(ds.records, MafiaParams(fine_bins=100, window_size=2,
+                                            chunk_records=5000),
+                    domains=np.array([[0.0, 100.0]] * 5))
+        assert any(c.subspace.dims == (0, 3) for c in res.clusters)
+
+    def test_min_bin_points_filters_flecks(self):
+        """A tiny dense fleck (dense relative to a narrow bin but only a
+        handful of records) is dropped by min_bin_points."""
+        rng = np_rng(43)
+        n = 20_000
+        data = rng.random((n, 4)) * 100.0
+        data[:150, 2] = 50.0 + rng.random(150) * 0.4  # 150-record spike
+        data = data[rng.permutation(n)]
+        base = MafiaParams(fine_bins=200, window_size=1, chunk_records=5000)
+        with_fleck = mafia(data, base, domains=np.array([[0., 100.]] * 4))
+        without = mafia(data, base.with_(min_bin_points=400),
+                        domains=np.array([[0., 100.]] * 4))
+        assert sum(t.n_dense for t in with_fleck.trace) > \
+            sum(t.n_dense for t in without.trace)
+        assert len(without.clusters) == 0
+
+    def test_uniform_alpha_boost_suppresses_uniform_dims(self):
+        """Boosting α on re-split uniform dimensions kills marginal
+        noise bins there without touching clustered dimensions."""
+        from repro.datagen import ClusterSpec, generate
+        spec = ClusterSpec.box([1], [(40, 50)])
+        ds = generate(20_000, 4, [spec], seed=47)
+        base = MafiaParams(fine_bins=20, window_size=2, alpha=0.9,
+                           chunk_records=5000)
+        plain = mafia(ds.records, base, domains=np.array([[0., 100.]] * 4))
+        boosted = mafia(ds.records, base.with_(uniform_alpha_boost=3.0),
+                        domains=np.array([[0., 100.]] * 4))
+        assert boosted.trace[0].n_dense <= plain.trace[0].n_dense
+        assert any(c.subspace.dims == (1,) for c in boosted.clusters)

@@ -1,0 +1,218 @@
+"""Tests for the communicator substrate: serial + thread backends,
+collectives, abort semantics (repro.parallel)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CommAborted, CommError
+from repro.parallel import (Comm, REDUCE_OPS, SerialComm, ThreadWorld,
+                            run_spmd)
+from repro.parallel.comm import resolve_op
+
+
+class TestSerialComm:
+    def test_rank_and_size(self):
+        c = SerialComm()
+        assert c.rank == 0 and c.size == 1
+
+    def test_self_send_recv_fifo_per_tag(self):
+        c = SerialComm()
+        c.send("a", 0, tag=1)
+        c.send("b", 0, tag=1)
+        c.send("x", 0, tag=2)
+        assert c.recv(0, tag=1) == "a"
+        assert c.recv(0, tag=2) == "x"
+        assert c.recv(0, tag=1) == "b"
+
+    def test_recv_without_message_raises(self):
+        with pytest.raises(CommError):
+            SerialComm().recv(0)
+
+    def test_send_to_other_rank_rejected(self):
+        with pytest.raises(CommError):
+            SerialComm().send("x", 1)
+
+    def test_collectives_are_identities(self):
+        c = SerialComm()
+        assert c.bcast(42) == 42
+        assert c.gather("v") == ["v"]
+        assert c.allgather("v") == ["v"]
+        assert c.scatter(["only"]) == "only"
+        np.testing.assert_array_equal(c.allreduce(np.arange(3)), np.arange(3))
+        c.barrier()
+
+    def test_allreduce_returns_copy(self):
+        c = SerialComm()
+        a = np.arange(3)
+        out = c.allreduce(a)
+        out[0] = 99
+        assert a[0] == 0
+
+    def test_unknown_reduce_op(self):
+        with pytest.raises(CommError):
+            SerialComm().allreduce(np.arange(3), op="median")
+
+    def test_scatter_wrong_length(self):
+        with pytest.raises(CommError):
+            SerialComm().scatter(["a", "b"])
+
+
+class TestReduceOps:
+    @pytest.mark.parametrize("name", sorted(REDUCE_OPS))
+    def test_all_registered_ops_resolve(self, name):
+        assert resolve_op(name) is REDUCE_OPS[name]
+
+    def test_ops_are_associative_on_samples(self):
+        rng = np.random.default_rng(0)
+        a, b, c = rng.integers(1, 5, (3, 6)).astype(float)
+        for name in ("sum", "max", "min", "prod"):
+            fn = REDUCE_OPS[name]
+            np.testing.assert_allclose(fn(fn(a, b), c), fn(a, fn(b, c)))
+
+
+def _spmd_values(fn, nprocs, **kw):
+    return [r.value for r in run_spmd(fn, nprocs, **kw)]
+
+
+class TestThreadBackendCollectives:
+    @pytest.mark.parametrize("nprocs", [2, 3, 5, 8])
+    def test_bcast_from_each_root(self, nprocs):
+        def prog(comm):
+            out = []
+            for root in range(comm.size):
+                out.append(comm.bcast(f"msg{root}" if comm.rank == root
+                                      else None, root=root))
+            return out
+        for values in _spmd_values(prog, nprocs):
+            assert values == [f"msg{r}" for r in range(nprocs)]
+
+    def test_gather_rank_order(self):
+        def prog(comm):
+            return comm.gather(comm.rank * 10, root=1)
+        values = _spmd_values(prog, 4)
+        assert values[1] == [0, 10, 20, 30]
+        assert values[0] is None and values[2] is None and values[3] is None
+
+    def test_allgather(self):
+        def prog(comm):
+            return comm.allgather(chr(ord("a") + comm.rank))
+        for values in _spmd_values(prog, 4):
+            assert values == ["a", "b", "c", "d"]
+
+    def test_scatter(self):
+        def prog(comm):
+            objs = [i * i for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+        assert _spmd_values(prog, 4) == [0, 1, 4, 9]
+
+    @pytest.mark.parametrize("op,expected", [
+        ("sum", 0 + 1 + 2 + 3), ("max", 3), ("min", 0), ("prod", 0)])
+    def test_allreduce_ops(self, op, expected):
+        def prog(comm):
+            return comm.allreduce(np.full(4, comm.rank), op=op)
+        for values in _spmd_values(prog, 4):
+            assert (values == expected).all()
+
+    def test_allreduce_lor(self):
+        def prog(comm):
+            mine = np.zeros(4, dtype=bool)
+            mine[comm.rank] = True
+            return comm.allreduce(mine, op="lor")
+        for values in _spmd_values(prog, 4):
+            assert values.all()
+
+    def test_reduce_lands_on_root_only(self):
+        def prog(comm):
+            return comm.reduce(np.array([comm.rank]), op="sum", root=2)
+        values = _spmd_values(prog, 3)
+        assert values[2].tolist() == [3]
+        assert values[0] is None and values[1] is None
+
+    def test_point_to_point_ring(self):
+        def prog(comm):
+            nxt = (comm.rank + 1) % comm.size
+            prev = (comm.rank - 1) % comm.size
+            comm.send(comm.rank, nxt, tag=7)
+            return comm.recv(prev, tag=7)
+        assert _spmd_values(prog, 5) == [4, 0, 1, 2, 3]
+
+    def test_tags_demultiplex(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("tag-9", 1, tag=9)
+                comm.send("tag-3", 1, tag=3)
+                return None
+            first = comm.recv(0, tag=3)
+            second = comm.recv(0, tag=9)
+            return (first, second)
+        assert _spmd_values(prog, 2)[1] == ("tag-3", "tag-9")
+
+    def test_barrier_returns(self):
+        def prog(comm):
+            comm.barrier()
+            return comm.rank
+        assert _spmd_values(prog, 4) == [0, 1, 2, 3]
+
+    def test_allreduce_shape_mismatch_raises(self):
+        def prog(comm):
+            return comm.allreduce(np.zeros(comm.rank + 1))
+        with pytest.raises(CommError):
+            run_spmd(prog, 2)
+
+
+class TestSpmdRunner:
+    def test_serial_backend_requires_one_rank(self):
+        with pytest.raises(CommError):
+            run_spmd(lambda c: None, 2, backend="serial")
+
+    def test_unknown_backend(self):
+        with pytest.raises(CommError):
+            run_spmd(lambda c: None, 1, backend="mpi")
+
+    def test_machine_only_for_sim(self):
+        from repro.parallel import MachineSpec
+        with pytest.raises(CommError):
+            run_spmd(lambda c: None, 1, backend="serial",
+                     machine=MachineSpec.ibm_sp2())
+
+    def test_args_kwargs_forwarded(self):
+        def prog(comm, a, b=0):
+            return a + b + comm.rank
+        values = _spmd_values(prog, 2, args=(10,), kwargs={"b": 5})
+        assert values == [15, 16]
+
+    def test_exception_on_one_rank_propagates(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("boom on rank 1")
+            comm.recv(1)  # would deadlock without abort propagation
+        with pytest.raises(ValueError, match="boom on rank 1"):
+            run_spmd(prog, 3)
+
+    def test_results_in_rank_order(self):
+        values = _spmd_values(lambda c: c.rank, 6)
+        assert values == list(range(6))
+
+    def test_nprocs_validation(self):
+        with pytest.raises(CommError):
+            run_spmd(lambda c: None, 0)
+
+
+class TestThreadWorld:
+    def test_rank_bounds(self):
+        world = ThreadWorld(2)
+        with pytest.raises(CommError):
+            world.comm(2)
+        with pytest.raises(CommError):
+            ThreadWorld(0)
+
+    def test_abort_interrupts_blocked_recv(self):
+        world = ThreadWorld(2)
+        comm = world.comm(0)
+        world.abort.set()
+        with pytest.raises(CommAborted):
+            comm.recv(1)
+        with pytest.raises(CommAborted):
+            comm.send("x", 1)

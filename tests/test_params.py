@@ -1,0 +1,96 @@
+"""Unit tests for parameter validation (repro.params)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import CliqueParams, MafiaParams
+
+
+class TestMafiaParams:
+    def test_defaults_are_paper_values(self):
+        p = MafiaParams()
+        assert p.alpha == 1.5          # §3: "a value of α greater than 1.5"
+        assert 0.25 <= p.beta <= 0.75  # §4.4: β plateau 25-75 %
+        assert p.report == "merged"
+
+    def test_alpha_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            MafiaParams(alpha=0.0)
+        with pytest.raises(ParameterError):
+            MafiaParams(alpha=-1.5)
+
+    @pytest.mark.parametrize("beta", [0.0, 1.0, -0.2, 1.5])
+    def test_beta_must_be_open_unit_interval(self, beta):
+        with pytest.raises(ParameterError):
+            MafiaParams(beta=beta)
+
+    @pytest.mark.parametrize("field", ["fine_bins", "window_size",
+                                       "uniform_split", "chunk_records",
+                                       "max_dimensionality"])
+    def test_positive_int_fields(self, field):
+        with pytest.raises(ParameterError):
+            MafiaParams(**{field: 0})
+        with pytest.raises(ParameterError):
+            MafiaParams(**{field: -3})
+
+    def test_window_cannot_exceed_fine_bins(self):
+        with pytest.raises(ParameterError):
+            MafiaParams(fine_bins=10, window_size=11)
+        MafiaParams(fine_bins=10, window_size=10)  # boundary is legal
+
+    def test_tau_zero_is_legal(self):
+        assert MafiaParams(tau=0).tau == 0
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ParameterError):
+            MafiaParams(tau=-1)
+
+    def test_report_values(self):
+        assert MafiaParams(report="maximal").report == "maximal"
+        assert MafiaParams(report="paper").report == "paper"
+        with pytest.raises(ParameterError):
+            MafiaParams(report="everything")
+
+    def test_with_returns_validated_copy(self):
+        p = MafiaParams()
+        q = p.with_(alpha=2.0)
+        assert q.alpha == 2.0 and p.alpha == 1.5
+        with pytest.raises(ParameterError):
+            p.with_(beta=2.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MafiaParams().alpha = 3.0  # type: ignore[misc]
+
+
+class TestCliqueParams:
+    def test_defaults(self):
+        p = CliqueParams()
+        assert p.bins == 10 and p.threshold == 0.01
+        assert p.apriori_prune and not p.mdl_prune and not p.modified_join
+
+    def test_scalar_bins_expand_per_dimension(self):
+        assert CliqueParams(bins=7).bins_for(3) == (7, 7, 7)
+
+    def test_sequence_bins_must_match_dimensionality(self):
+        p = CliqueParams(bins=(5, 10, 20))
+        assert p.bins_for(3) == (5, 10, 20)
+        with pytest.raises(ParameterError):
+            p.bins_for(4)
+
+    @pytest.mark.parametrize("bins", [0, -2, (5, 0), (5, -1)])
+    def test_nonpositive_bins_rejected(self, bins):
+        with pytest.raises(ParameterError):
+            CliqueParams(bins=bins)
+
+    @pytest.mark.parametrize("threshold", [0.0, 1.0, -0.1, 2.0])
+    def test_threshold_must_be_fraction(self, threshold):
+        with pytest.raises(ParameterError):
+            CliqueParams(threshold=threshold)
+
+    def test_with_copy(self):
+        p = CliqueParams()
+        assert p.with_(threshold=0.02).threshold == 0.02
+        assert p.threshold == 0.01

@@ -1,0 +1,86 @@
+"""Tests for the PROCLUS baseline (repro.baselines.proclus)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ProclusResult, proclus
+from repro.datagen import ClusterSpec, generate
+from repro.errors import DataError, ParameterError
+
+
+@pytest.fixture(scope="module")
+def projected_dataset():
+    specs = [ClusterSpec.box([0, 1, 2], [(10, 20), (30, 40), (50, 60)]),
+             ClusterSpec.box([3, 4, 5], [(60, 70), (20, 30), (40, 50)])]
+    return generate(4000, 8, specs, seed=6)
+
+
+class TestProclusRecovery:
+    def test_correct_inputs_recover_dimensions(self, projected_dataset):
+        res = proclus(projected_dataset.records, k=2, l=3, seed=1)
+        found = sorted(c.dims for c in res.clusters)
+        assert found == [(0, 1, 2), (3, 4, 5)]
+
+    def test_members_match_truth(self, projected_dataset):
+        res = proclus(projected_dataset.records, k=2, l=3, seed=1)
+        labels = projected_dataset.labels
+        for cluster in res.clusters:
+            spec_index = 0 if cluster.dims == (0, 1, 2) else 1
+            truth = set(np.flatnonzero(labels == spec_index).tolist())
+            members = set(cluster.members.tolist())
+            overlap = len(truth & members) / len(truth)
+            assert overlap > 0.85
+
+    def test_outliers_are_mostly_noise(self, projected_dataset):
+        res = proclus(projected_dataset.records, k=2, l=3, seed=1)
+        noise_rate = (projected_dataset.labels[res.outliers] == -1).mean()
+        overall = (projected_dataset.labels == -1).mean()
+        assert noise_rate > overall  # outliers enriched in noise
+
+    def test_deterministic_per_seed(self, projected_dataset):
+        a = proclus(projected_dataset.records, k=2, l=3, seed=9)
+        b = proclus(projected_dataset.records, k=2, l=3, seed=9)
+        assert [c.dims for c in a.clusters] == [c.dims for c in b.clusters]
+        assert a.objective == b.objective
+
+
+class TestSupervisionFailureModes:
+    def test_wrong_l_forces_wrong_dimensionality(self, projected_dataset):
+        """The paper's §5.9(2) complaint: PROCLUS reports clusters of
+        roughly the dimensionality the user *asked for*, regardless of
+        the true structure (31-d/33-d on 34-d ionosphere data)."""
+        res = proclus(projected_dataset.records, k=2, l=7, seed=1)
+        assert all(c.dimensionality >= 6 for c in res.clusters)
+        assert res.dimensionalities() != [3, 3]
+
+    def test_wrong_k_merges_or_splits(self, projected_dataset):
+        res = proclus(projected_dataset.records, k=1, l=3, seed=1)
+        assert len(res.clusters) == 1  # two true clusters forced into one
+
+    def test_every_cluster_gets_at_least_two_dims(self, projected_dataset):
+        res = proclus(projected_dataset.records, k=2, l=2, seed=3)
+        assert all(c.dimensionality >= 2 for c in res.clusters)
+
+
+class TestValidation:
+    def test_parameter_checks(self, projected_dataset):
+        data = projected_dataset.records
+        with pytest.raises(ParameterError):
+            proclus(data, k=0, l=3)
+        with pytest.raises(ParameterError):
+            proclus(data, k=2, l=1)
+        with pytest.raises(ParameterError):
+            proclus(data, k=2, l=99)
+        with pytest.raises(DataError):
+            proclus(np.ones(5), k=1, l=2)
+
+    def test_result_structure(self, projected_dataset):
+        res = proclus(projected_dataset.records, k=2, l=3, seed=1)
+        assert isinstance(res, ProclusResult)
+        n = projected_dataset.records.shape[0]
+        covered = set(res.outliers.tolist())
+        for c in res.clusters:
+            covered |= set(c.members.tolist())
+        assert covered == set(range(n))

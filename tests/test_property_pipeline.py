@@ -1,0 +1,80 @@
+"""Property-based end-to-end tests: for arbitrary generated workloads,
+the full pipeline must satisfy its invariants (independently verified)
+and stay serial/parallel-equivalent."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import MafiaParams, mafia, pmafia
+from repro.analysis import verify_result
+from repro.datagen import ClusterSpec, generate
+
+PARAMS = MafiaParams(fine_bins=100, window_size=2, chunk_records=2000)
+
+
+@st.composite
+def workloads(draw):
+    n_dims = draw(st.integers(3, 7))
+    n_clusters = draw(st.integers(0, 2))
+    specs = []
+    used: set[int] = set()
+    for _ in range(n_clusters):
+        k = draw(st.integers(1, min(3, n_dims)))
+        dims = draw(st.lists(st.integers(0, n_dims - 1), min_size=k,
+                             max_size=k, unique=True))
+        extents = []
+        for _ in dims:
+            lo = draw(st.integers(5, 70))
+            width = draw(st.integers(8, 20))
+            extents.append((float(lo), float(lo + width)))
+        specs.append(ClusterSpec.box(sorted(dims), extents))
+    n_records = draw(st.integers(2000, 6000))
+    noise = draw(st.floats(0.0, 0.3))
+    seed = draw(st.integers(0, 10_000))
+    return generate(n_records, n_dims, specs, noise_fraction=noise,
+                    seed=seed)
+
+
+class TestPipelineProperties:
+    @given(workloads())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    def test_result_always_verifies(self, dataset):
+        domains = np.array([[0.0, 100.0]] * dataset.n_dims)
+        result = mafia(dataset.records, PARAMS, domains=domains)
+        report = verify_result(result, dataset.records, chunk_records=2000)
+        assert report.ok, report.summary()
+
+    @given(workloads(), st.integers(2, 4))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    def test_parallel_always_equals_serial(self, dataset, nprocs):
+        domains = np.array([[0.0, 100.0]] * dataset.n_dims)
+        serial = mafia(dataset.records, PARAMS, domains=domains)
+        run = pmafia(dataset.records, nprocs, PARAMS, domains=domains)
+        assert run.result.dense_per_level() == serial.dense_per_level()
+        assert [c.describe() for c in run.result.clusters] == \
+            [c.describe() for c in serial.clusters]
+
+    @given(workloads())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    def test_trace_structure_invariants(self, dataset):
+        domains = np.array([[0.0, 100.0]] * dataset.n_dims)
+        result = mafia(dataset.records, PARAMS, domains=domains)
+        levels = [t.level for t in result.trace]
+        assert levels == list(range(1, len(levels) + 1))
+        for t in result.trace:
+            assert 0 <= t.n_dense <= t.n_cdus <= t.n_cdus_raw
+            assert t.dense.n_units == t.n_dense
+            assert (np.asarray(t.dense_counts) <= dataset.records.shape[0]
+                    ).all()
+        # clusters never exceed the deepest dense level
+        max_level = result.max_level
+        assert all(c.dimensionality <= max_level for c in result.clusters)

@@ -1,0 +1,142 @@
+"""Property-based tests: population counting, prefix join semantics,
+and the cluster-report masks (maximal / merged)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clique.join import prefix_join_all
+from repro.core.dnf import maximal_mask, merged_mask, projections
+from repro.core.population import populate_local
+from repro.core.units import UnitTable
+from repro.io import ArraySource
+from repro.parallel import SerialComm
+from repro.types import DimensionGrid, Grid
+
+
+def uniform_grid(d: int, nbins: int) -> Grid:
+    dims = []
+    for j in range(d):
+        edges = tuple(np.linspace(0, 100, nbins + 1))
+        dims.append(DimensionGrid(dim=j, edges=edges,
+                                  thresholds=(1.0,) * nbins))
+    return Grid(dims=tuple(dims))
+
+
+@st.composite
+def records_and_units(draw):
+    d = draw(st.integers(2, 5))
+    nbins = draw(st.integers(2, 5))
+    n = draw(st.integers(1, 200))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    records = rng.random((n, d)) * 100.0
+    level = draw(st.integers(1, min(3, d)))
+    n_units = draw(st.integers(1, 15))
+    units = []
+    for _ in range(n_units):
+        dims = sorted(rng.choice(d, size=level, replace=False).tolist())
+        units.append([(dim, int(rng.integers(0, nbins))) for dim in dims])
+    return records, uniform_grid(d, nbins), UnitTable.from_pairs(units).unique()
+
+
+class TestPopulationProperties:
+    @given(records_and_units(), st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force_for_any_chunking(self, setup, chunk):
+        records, grid, units = setup
+        got = populate_local(ArraySource(records), SerialComm(), grid,
+                             units, chunk)
+        idx = grid.locate_records(records)
+        for i in range(units.n_units):
+            mask = np.ones(len(records), dtype=bool)
+            for d, b in units.unit(i):
+                mask &= idx[:, d] == b
+            assert got[i] == mask.sum()
+
+    @given(records_and_units())
+    @settings(max_examples=40, deadline=None)
+    def test_counts_bounded_by_records(self, setup):
+        records, grid, units = setup
+        got = populate_local(ArraySource(records), SerialComm(), grid,
+                             units, 50)
+        assert (got >= 0).all() and (got <= len(records)).all()
+
+
+@st.composite
+def level_tables(draw, level, max_dim=6, max_bin=3, max_units=12):
+    n = draw(st.integers(0, max_units))
+    units = []
+    for _ in range(n):
+        dims = draw(st.lists(st.integers(0, max_dim - 1), min_size=level,
+                             max_size=level, unique=True))
+        units.append([(d, draw(st.integers(0, max_bin))) for d in sorted(dims)])
+    if not units:
+        return UnitTable.empty(level)
+    return UnitTable.from_pairs(units).unique()
+
+
+class TestPrefixJoinProperties:
+    @given(level_tables(level=2))
+    @settings(max_examples=50, deadline=None)
+    def test_prefix_join_subset_of_mafia_join(self, dense):
+        from repro.core.candidates import join_all
+        dense = dense.sort()
+        prefix = prefix_join_all(dense).cdus.unique()
+        full = join_all(dense).cdus.unique()
+        if prefix.n_units:
+            assert full.contains_rows(prefix).all()
+
+    @given(level_tables(level=2))
+    @settings(max_examples=50, deadline=None)
+    def test_prefix_join_matches_definition(self, dense):
+        """Candidates are exactly the unions of unit pairs sharing their
+        first k−2 (dim, bin) coordinates with distinct last dims."""
+        dense = dense.sort()
+        got = set(prefix_join_all(dense).cdus.unique()) \
+            if dense.n_units else set()
+        expected = set()
+        units = list(dense)
+        for i in range(len(units)):
+            for j in range(len(units)):
+                if i >= j:
+                    continue
+                u, v = units[i], units[j]
+                if u[:-1] == v[:-1] and u[-1][0] != v[-1][0]:
+                    expected.add(tuple(sorted(set(u) | set(v))))
+        assert got == expected
+
+
+class TestReportMaskProperties:
+    @given(level_tables(level=3))
+    @settings(max_examples=50, deadline=None)
+    def test_merged_mask_implies_maximal_mask(self, higher):
+        """merged suppresses a superset of what maximal suppresses."""
+        if higher.n_units == 0:
+            return
+        lower = projections(higher).unique()
+        maximal = maximal_mask(lower, higher)
+        merged = merged_mask(lower, higher)
+        assert (~maximal | ~merged | (maximal & merged)).all()
+        assert (merged <= maximal).all()  # merged True -> maximal True
+
+    @given(level_tables(level=3))
+    @settings(max_examples=50, deadline=None)
+    def test_projections_never_maximal(self, higher):
+        if higher.n_units == 0:
+            return
+        lower = projections(higher).unique()
+        assert not maximal_mask(lower, higher).any()
+
+    @given(level_tables(level=2))
+    @settings(max_examples=50, deadline=None)
+    def test_unrelated_subspaces_survive_merged(self, higher):
+        """A unit in dimensions disjoint from every higher unit is kept
+        by both policies."""
+        if higher.n_units == 0:
+            return
+        lower = UnitTable.from_pairs([[(200, 0)]])
+        assert maximal_mask(lower, higher).all()
+        assert merged_mask(lower, higher).all()

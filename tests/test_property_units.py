@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) for unit tables and the CDU join."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import join_all, join_block
+from repro.core.dedup import repeat_flags_block
+from repro.core.partition import prefix_work, triangular_splits
+from repro.core.units import UnitTable
+
+
+@st.composite
+def unit_tables(draw, max_units=25, max_level=4, max_dim=8, max_bin=4):
+    level = draw(st.integers(1, max_level))
+    n = draw(st.integers(0, max_units))
+    units = []
+    for _ in range(n):
+        dims = draw(st.lists(st.integers(0, max_dim - 1), min_size=level,
+                             max_size=level, unique=True))
+        unit = [(d, draw(st.integers(0, max_bin - 1))) for d in sorted(dims)]
+        units.append(unit)
+    if not units:
+        return UnitTable.empty(level)
+    return UnitTable.from_pairs(units)
+
+
+class TestUnitTableProperties:
+    @given(unit_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_serialisation_roundtrip(self, t):
+        assert UnitTable.frombytes(t.tobytes()) == t
+
+    @given(unit_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_unique_is_idempotent_and_sorted(self, t):
+        u = t.unique()
+        assert u.unique() == u
+        assert u.sort() == u
+        assert u.n_units <= t.n_units
+
+    @given(unit_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_repeat_mask_consistent_with_unique(self, t):
+        kept = t.select(~t.repeat_mask())
+        assert kept.sort() == t.unique()
+
+    @given(unit_tables(), unit_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_contains_rows_agrees_with_python_sets(self, a, b):
+        if a.level != b.level:
+            return
+        mine = {u for u in a}
+        got = a.contains_rows(b)
+        expected = [u in mine for u in b]
+        assert got.tolist() == expected
+
+    @given(unit_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_group_by_subspace_partitions_rows(self, t):
+        groups = t.group_by_subspace()
+        all_rows = sorted(int(i) for rows in groups.values() for i in rows)
+        assert all_rows == list(range(t.n_units))
+
+
+class TestJoinProperties:
+    @given(unit_tables(max_units=18, max_level=3))
+    @settings(max_examples=40, deadline=None)
+    def test_join_semantics_match_pairwise_definition(self, t):
+        """Every emitted CDU comes from a pair sharing exactly k−2 dims
+        with agreeing bins, and every such pair is represented."""
+        t = t.unique()
+        jr = join_all(t)
+        k = t.level
+        expected = set()
+        combinable = set()
+        units = list(t)
+        for i in range(len(units)):
+            for j in range(i + 1, len(units)):
+                u, v = dict(units[i]), dict(units[j])
+                shared = set(u) & set(v)
+                if len(shared) != k - 1:
+                    continue
+                if any(u[d] != v[d] for d in shared):
+                    continue
+                merged = tuple(sorted({**u, **v}.items()))
+                expected.add(merged)
+                combinable |= {i, j}
+        got = set(jr.cdus.unique()) if jr.cdus.n_units else set()
+        assert got == expected
+        assert set(np.flatnonzero(jr.combined).tolist()) == combinable
+
+    @given(unit_tables(max_units=20, max_level=3),
+           st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_blockwise_join_equals_full(self, t, p):
+        t = t.unique()
+        full = join_all(t)
+        offsets = triangular_splits(t.n_units, p)
+        combined = np.zeros(t.n_units, dtype=bool)
+        parts = []
+        for i in range(p):
+            jr = join_block(t, offsets[i], offsets[i + 1])
+            parts.append(jr.cdus)
+            combined |= jr.combined
+        merged = UnitTable.concat_all(parts) if parts else full.cdus
+        assert merged.unique() == full.cdus.unique()
+        assert (combined == full.combined).all()
+
+    @given(unit_tables(max_units=20, max_level=3), st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_blockwise_dedup_equals_full(self, t, p):
+        offsets = triangular_splits(t.n_units, p)
+        merged = np.zeros(t.n_units, dtype=bool)
+        for i in range(p):
+            merged |= repeat_flags_block(t, offsets[i], offsets[i + 1])
+        assert (merged == t.repeat_mask()).all()
+
+
+class TestPartitionProperties:
+    @given(st.integers(0, 3000), st.integers(1, 32))
+    @settings(max_examples=80, deadline=None)
+    def test_splits_cover_monotonically(self, n, p):
+        offsets = triangular_splits(n, p)
+        assert offsets[0] == 0 and offsets[-1] == n
+        assert all(a <= b for a, b in zip(offsets, offsets[1:]))
+
+    @given(st.integers(32, 3000), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_work_within_row_granularity(self, n, p):
+        offsets = triangular_splits(n, p)
+        ideal = n * (n + 1) / (2 * p)
+        for i in range(p):
+            work = prefix_work(n, offsets[i + 1]) - prefix_work(n, offsets[i])
+            # off by at most the largest row in the rank's range + rounding
+            assert abs(work - ideal) <= max(n - offsets[i], 1) + 1

@@ -1,0 +1,104 @@
+"""End-to-end structure tests for the real-data surrogates: each must
+reproduce the paper's §5.9 qualitative result under its companion
+parameters (see DESIGN.md §2 for the substitution rationale)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro import mafia
+from repro.datagen import dax_like, eachmovie_like, ionosphere_like
+from repro.datagen.real import (Regime, apply_regime, dax_params,
+                                eachmovie_params, ionosphere_params)
+from repro.datagen.icg import np_rng
+
+
+class TestRegimeMechanism:
+    def test_die_level_property(self):
+        r = Regime(dims=(0, 1, 2, 3), centers=(10, 10, 10, 10), width=2.0,
+                   members=np.arange(10), drop=1)
+        assert r.die_level == 3
+
+    def test_participation_staircase(self):
+        """Expected l-subset count is size * C(k-l, drop) / C(k, drop),
+        zero above the die level."""
+        rng = np_rng(0)
+        records = rng.random((20_000, 6)) * 100.0
+        regime = Regime(dims=(0, 1, 2, 3), centers=(50, 50, 50, 50),
+                        width=2.0, members=np.arange(20_000), drop=1)
+        apply_regime(rng, records, regime)
+        in_band = (records >= 49.0) & (records < 51.0)
+        triple = (in_band[:, 0] & in_band[:, 1] & in_band[:, 2]).sum()
+        quad = in_band[:, :4].all(axis=1).sum()
+        assert abs(triple - 5000) < 300          # C(1,1)/C(4,1) = 1/4
+        # quads survive only when the dropped dim lands in the band by
+        # chance: size * (width/domain) = 20000 * 0.02 = 400
+        assert quad < 0.12 * triple
+
+    def test_members_untouched_dims(self):
+        rng = np_rng(1)
+        records = np.full((100, 4), 77.0)
+        regime = Regime(dims=(1,), centers=(10.0,), width=2.0,
+                        members=np.arange(100), drop=0)
+        apply_regime(rng, records, regime)
+        assert (records[:, 0] == 77.0).all()
+        assert (records[:, 1] < 12).all()
+
+
+@pytest.mark.slow
+class TestDaxTable4Shape:
+    def test_cluster_counts_decrease_with_dimensionality(self):
+        params, domains = dax_params()
+        res = mafia(dax_like(), params, domains=domains)
+        by_dim = res.clusters_by_dimensionality()
+        # Table 4 shape: clusters at dims 3..6, counts decreasing
+        for dim in (3, 4, 5, 6):
+            assert by_dim.get(dim, 0) >= 1, f"no clusters at dim {dim}"
+        assert by_dim[3] > by_dim[4] > by_dim[5] >= by_dim[6]
+
+
+@pytest.mark.slow
+class TestIonosphereAlphaSensitivity:
+    def test_alpha2_many_small_alpha3_one(self):
+        data = ionosphere_like()
+        p2, d2 = ionosphere_params(2.0)
+        res2 = mafia(data, p2, domains=d2)
+        counts2 = Counter(c.dimensionality for c in res2.clusters
+                          if c.dimensionality >= 3)
+        assert counts2[3] >= 5                  # "158 unique clusters" shape
+        assert counts2[4] >= 1                  # "32 unique clusters" shape
+        assert counts2[3] > counts2[4]
+
+        p3, d3 = ionosphere_params(3.0)
+        res3 = mafia(data, p3, domains=d3)
+        big3 = [c.subspace.dims for c in res3.clusters
+                if c.dimensionality >= 3]
+        assert big3 == [(0, 2, 4)]              # "one single cluster in 3-d"
+
+
+@pytest.mark.slow
+class TestEachMovieClusters:
+    def test_seven_2d_clusters(self):
+        n = 60_000
+        data = eachmovie_like(n_records=n)
+        params, domains = eachmovie_params(n)
+        res = mafia(data, params, domains=domains)
+        two_d = [c.subspace.dims for c in res.clusters
+                 if c.dimensionality == 2]
+        assert len(two_d) == 7                  # §5.9(3): 7 clusters, dim 2
+        assert all(len(c.subspace.dims) <= 2 for c in res.clusters)
+        assert Counter(two_d) == Counter({(0, 1): 4, (1, 2): 3})
+
+    def test_scales_with_n(self):
+        """The block structure is fraction-based: a smaller instance
+        yields the same clusters (Table 5 runs at several scales)."""
+        n = 20_000
+        data = eachmovie_like(n_records=n)
+        params, domains = eachmovie_params(n)
+        res = mafia(data, params, domains=domains)
+        two_d = [c.subspace.dims for c in res.clusters
+                 if c.dimensionality == 2]
+        assert len(two_d) == 7

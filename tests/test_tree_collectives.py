@@ -1,0 +1,100 @@
+"""Tests for the binomial-tree collectives (repro.parallel.comm)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CommError
+from repro.parallel import MachineSpec, run_spmd
+
+
+def values(fn, nprocs, **kw):
+    return [r.value for r in run_spmd(fn, nprocs, **kw)]
+
+
+class TestTreeCorrectness:
+    @pytest.mark.parametrize("nprocs", [2, 3, 4, 5, 7, 8, 11, 16])
+    def test_bcast_every_root(self, nprocs):
+        def prog(comm):
+            out = []
+            for root in range(comm.size):
+                payload = {"from": root} if comm.rank == root else None
+                out.append(comm.bcast(payload, root=root)["from"])
+            return out
+
+        for got in values(prog, nprocs, collectives="tree"):
+            assert got == list(range(nprocs))
+
+    @pytest.mark.parametrize("nprocs", [2, 3, 5, 8, 13])
+    def test_gather_every_root(self, nprocs):
+        def prog(comm):
+            out = []
+            for root in range(comm.size):
+                out.append(comm.gather(comm.rank * 3, root=root))
+            return out
+
+        results = values(prog, nprocs, collectives="tree")
+        for rank, got in enumerate(results):
+            for root in range(nprocs):
+                if rank == root:
+                    assert got[root] == [r * 3 for r in range(nprocs)]
+                else:
+                    assert got[root] is None
+
+    @pytest.mark.parametrize("nprocs", [3, 6, 16])
+    def test_allreduce_matches_flat(self, nprocs):
+        def prog(comm):
+            return comm.allreduce(np.arange(4) * (comm.rank + 1), op="sum")
+
+        flat = values(prog, nprocs, collectives="flat")
+        tree = values(prog, nprocs, collectives="tree")
+        for a, b in zip(flat, tree):
+            np.testing.assert_array_equal(a, b)
+
+    def test_barrier_and_scatter_still_work(self):
+        def prog(comm):
+            comm.barrier()
+            objs = list(range(comm.size)) if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        assert values(prog, 5, collectives="tree") == [0, 1, 2, 3, 4]
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(CommError):
+            run_spmd(lambda c: None, 2, collectives="ring")
+
+
+class TestTreeCost:
+    def test_tree_bcast_latency_logarithmic(self):
+        """At p=16 with latency-dominated messages, a tree bcast's
+        critical path is ~4 hops versus ~15 serialised sends flat."""
+        machine = MachineSpec(comm_latency=1.0, comm_bandwidth=1e12)
+
+        def prog(comm):
+            comm.bcast(b"x" if comm.rank == 0 else None, root=0)
+            return comm.time()
+
+        flat = max(r.time for r in run_spmd(prog, 16, backend="sim",
+                                            machine=machine,
+                                            collectives="flat"))
+        tree = max(r.time for r in run_spmd(prog, 16, backend="sim",
+                                            machine=machine,
+                                            collectives="tree"))
+        assert flat >= 15.0
+        assert tree <= 6.0
+
+    def test_pmafia_results_identical_under_tree(self, one_cluster_dataset,
+                                                 small_params):
+        from repro import pmafia
+        from tests.conftest import DOMAINS_10D
+        from repro.core.pmafia import pmafia_rank
+
+        flat = pmafia(one_cluster_dataset.records, 4, small_params,
+                      domains=DOMAINS_10D)
+        tree_ranks = run_spmd(pmafia_rank, 4, collectives="tree",
+                              args=(one_cluster_dataset.records,
+                                    small_params, DOMAINS_10D))
+        tree_result = tree_ranks[0].value
+        assert [c.describe() for c in tree_result.clusters] == \
+            [c.describe() for c in flat.result.clusters]

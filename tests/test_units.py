@@ -1,0 +1,143 @@
+"""Tests for the byte-array unit tables (repro.core.units)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.units import UnitTable
+from repro.errors import DataError
+
+
+def table(*units):
+    return UnitTable.from_pairs(list(units))
+
+
+class TestConstruction:
+    def test_from_pairs_sorts_dims(self):
+        t = table([(3, 1), (1, 2)])
+        assert t.unit(0) == ((1, 2), (3, 1))
+
+    def test_level_and_len(self):
+        t = table([(0, 1), (2, 3)], [(1, 1), (4, 4)])
+        assert t.level == 2 and t.n_units == 2 and len(t) == 2
+
+    def test_empty(self):
+        t = UnitTable.empty(3)
+        assert t.n_units == 0 and t.level == 3
+        with pytest.raises(DataError):
+            UnitTable.empty(0)
+
+    def test_mixed_levels_rejected(self):
+        with pytest.raises(DataError):
+            UnitTable.from_pairs([[(0, 1)], [(0, 1), (1, 1)]])
+
+    def test_byte_range_enforced(self):
+        with pytest.raises(DataError):
+            UnitTable.from_pairs([[(256, 0)]])
+        with pytest.raises(DataError):
+            UnitTable.from_pairs([[(0, 300)]])
+
+    def test_duplicate_dim_in_unit_rejected(self):
+        with pytest.raises(DataError):
+            table([(1, 0), (1, 1)])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            UnitTable(dims=np.zeros((2, 2), np.uint8),
+                      bins=np.zeros((2, 3), np.uint8))
+
+    def test_iter(self):
+        t = table([(0, 5)], [(1, 6)])
+        assert list(t) == [((0, 5),), ((1, 6),)]
+
+
+class TestRowAlgebra:
+    def test_select_by_mask_and_index(self):
+        t = table([(0, 0)], [(1, 1)], [(2, 2)])
+        assert t.select(np.array([0, 2])).unit(1) == ((2, 2),)
+        assert t.select(np.array([True, False, True])).n_units == 2
+
+    def test_concat_preserves_order(self):
+        a, b = table([(0, 0)]), table([(1, 1)])
+        c = a.concat(b)
+        assert list(c) == [((0, 0),), ((1, 1),)]
+
+    def test_concat_level_checked(self):
+        with pytest.raises(DataError):
+            table([(0, 0)]).concat(table([(0, 0), (1, 1)]))
+
+    def test_concat_with_empty(self):
+        t = table([(0, 0)])
+        assert t.concat(UnitTable.empty(1)) == t
+        assert UnitTable.empty(1).concat(t) == t
+
+    def test_concat_all_rank_order(self):
+        parts = [table([(i, i)]) for i in range(4)]
+        merged = UnitTable.concat_all(parts)
+        assert [u[0][0] for u in merged] == [0, 1, 2, 3]
+
+    def test_sort_canonical(self):
+        t = table([(2, 1)], [(0, 5)], [(2, 0)])
+        s = t.sort()
+        assert list(s) == [((0, 5),), ((2, 0),), ((2, 1),)]
+
+    def test_repeat_mask_marks_later_duplicates(self):
+        t = table([(0, 1)], [(2, 3)], [(0, 1)], [(2, 3)], [(4, 4)])
+        assert t.repeat_mask().tolist() == [False, False, True, True, False]
+
+    def test_unique_drops_repeats(self):
+        t = table([(2, 3)], [(0, 1)], [(2, 3)])
+        u = t.unique()
+        assert u.n_units == 2
+        assert list(u) == [((0, 1),), ((2, 3),)]
+
+    def test_contains_rows(self):
+        base = table([(0, 1), (2, 2)], [(1, 1), (3, 3)])
+        probe = table([(0, 1), (2, 2)], [(0, 9), (9, 0)])
+        assert base.contains_rows(probe).tolist() == [True, False]
+
+    def test_contains_rows_level_checked(self):
+        with pytest.raises(DataError):
+            table([(0, 1)]).contains_rows(table([(0, 1), (1, 1)]))
+
+    def test_equality_and_hash(self):
+        a, b = table([(0, 1)]), table([(0, 1)])
+        assert a == b and hash(a) == hash(b)
+        assert a != table([(0, 2)])
+
+
+class TestGrouping:
+    def test_group_by_subspace(self):
+        t = table([(0, 1), (2, 0)], [(0, 2), (2, 1)], [(1, 0), (3, 0)])
+        groups = t.group_by_subspace()
+        assert set(groups) == {(0, 2), (1, 3)}
+        assert groups[(0, 2)].tolist() == [0, 1]
+
+    def test_subspaces_first_appearance_order(self):
+        t = table([(5, 0)], [(1, 0)], [(5, 1)])
+        assert t.subspaces() == [(5,), (1,)]
+
+
+class TestMessaging:
+    def test_tobytes_roundtrip(self):
+        t = table([(0, 1), (2, 2)], [(1, 1), (3, 3)])
+        assert UnitTable.frombytes(t.tobytes()) == t
+
+    def test_empty_roundtrip(self):
+        t = UnitTable.empty(4)
+        back = UnitTable.frombytes(t.tobytes())
+        assert back.n_units == 0 and back.level == 4
+
+    def test_payload_is_compact(self):
+        """§4.2: 'a linear array of bytes ... much smaller message
+        buffers' — n units of level k cost 2·n·k bytes + header."""
+        t = UnitTable.from_pairs([[(d, d) for d in range(5)]] * 100)
+        assert len(t.tobytes()) == 16 + 2 * 100 * 5
+
+    def test_truncated_payload_rejected(self):
+        t = table([(0, 1)])
+        with pytest.raises(DataError):
+            UnitTable.frombytes(t.tobytes()[:-1])
+        with pytest.raises(DataError):
+            UnitTable.frombytes(b"xx")
