@@ -14,35 +14,45 @@ Public API highlights:
   closed-form complexity model.
 """
 
-from .core import ClusteringResult, PMafiaRun, mafia, pmafia
-from .errors import (CommAborted, CommError, DataError, GridError,
-                     ParameterError, RecordFileError, ReproError)
+from .core import ClusteringResult, PMafiaRun, mafia, pmafia, pmafia_resumable
+from .errors import (CheckpointError, ChecksumError, CommAborted, CommError,
+                     CommTimeoutError, DataError, GridError, ParameterError,
+                     RecordFileError, ReproError)
 from .params import CliqueParams, MafiaParams
-from .parallel import MachineSpec, run_spmd
+from .parallel import (CrashPoint, FaultPlan, MachineSpec, MessageFault,
+                       ReadFault, run_spmd)
 from .types import Cluster, DimensionGrid, DNFTerm, Grid, Subspace
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointError",
+    "ChecksumError",
     "CliqueParams",
     "Cluster",
     "ClusteringResult",
     "CommAborted",
     "CommError",
+    "CommTimeoutError",
+    "CrashPoint",
     "DNFTerm",
     "DataError",
     "DimensionGrid",
+    "FaultPlan",
     "Grid",
     "GridError",
     "MachineSpec",
+    "MessageFault",
     "MafiaParams",
     "PMafiaRun",
     "ParameterError",
+    "ReadFault",
     "RecordFileError",
     "ReproError",
     "Subspace",
     "__version__",
     "mafia",
     "pmafia",
+    "pmafia_resumable",
     "run_spmd",
 ]

@@ -27,7 +27,7 @@ import numpy as np
 
 from . import __version__
 from .core.export import result_to_json
-from .core.mafia import mafia, pmafia
+from .core.mafia import mafia, pmafia, pmafia_resumable
 from .errors import ReproError
 from .datagen.generator import generate
 from .datagen.spec import ClusterSpec
@@ -98,7 +98,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         data: object = Path(args.data)
         if Path(args.data).suffix in (".npy", ".csv", ".txt"):
             data = _load_records(Path(args.data))
-        if args.procs == 1:
+        if args.checkpoint_dir is not None:
+            result = pmafia_resumable(data, args.procs, params,
+                                      checkpoint_dir=args.checkpoint_dir,
+                                      backend=args.backend,
+                                      collectives=args.collectives,
+                                      resume=args.resume).result
+        elif args.procs == 1:
             result = mafia(data, params)
         else:
             result = pmafia(data, args.procs, params,
@@ -169,6 +175,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--collectives", choices=("flat", "tree"),
                      default="flat",
                      help="collective wire pattern for parallel runs")
+    run.add_argument("--checkpoint-dir", type=Path, default=None,
+                     dest="checkpoint_dir",
+                     help="MAFIA only: write a checkpoint after every "
+                          "completed level into this directory")
+    run.add_argument("--resume", action="store_true",
+                     help="restart from the newest checkpoint in "
+                          "--checkpoint-dir instead of starting fresh")
     run.add_argument("--bins", type=int, default=10,
                      help="CLIQUE: uniform bins per dimension")
     run.add_argument("--threshold", type=float, default=0.01,
@@ -185,6 +198,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "run":
+        if args.resume and args.checkpoint_dir is None:
+            parser.error("--resume requires --checkpoint-dir")
+        if args.checkpoint_dir is not None and args.algorithm == "clique":
+            parser.error("--checkpoint-dir is not supported with "
+                         "--algorithm clique")
     try:
         return args.func(args)
     except ReproError as exc:

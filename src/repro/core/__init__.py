@@ -3,6 +3,10 @@ adaptive grids, serial and SPMD-parallel."""
 
 from .adaptive_grid import build_dimension_grid, build_grid, merge_windows, window_maxima
 from .candidates import JoinResult, join_all, join_block
+from .checkpoint import (CHECKPOINT_VERSION, check_compatible,
+                         checkpoint_path, clear_checkpoints,
+                         latest_checkpoint, load_checkpoint,
+                         save_checkpoint)
 from .dedup import drop_repeats, repeat_flags_block
 from .dnf import (dnf_terms, greedy_cover, grow_box, maximal_mask,
                   merged_mask, projections)
@@ -11,7 +15,7 @@ from .histogram import (fine_histogram_global, fine_histogram_local,
 from .identify import dense_flags_block, dense_units, unit_thresholds
 from .export import (result_from_dict, result_from_json, result_to_dict,
                      result_to_json)
-from .mafia import PMafiaRun, mafia, pmafia
+from .mafia import PMafiaRun, mafia, pmafia, pmafia_resumable
 from .merge import UnionFind, face_adjacent_components
 from .partition import (even_splits, prefix_work, row_work, split_range,
                         triangular_splits)
@@ -21,6 +25,7 @@ from .result import ClusteringResult, LevelTrace
 from .units import MAX_BINS, MAX_DIMS, UnitTable
 
 __all__ = [
+    "CHECKPOINT_VERSION",
     "ClusteringResult",
     "JoinResult",
     "LevelTrace",
@@ -32,6 +37,9 @@ __all__ = [
     "assemble_clusters",
     "build_dimension_grid",
     "build_grid",
+    "check_compatible",
+    "checkpoint_path",
+    "clear_checkpoints",
     "dense_flags_block",
     "dense_units",
     "dnf_terms",
@@ -45,6 +53,8 @@ __all__ = [
     "grow_box",
     "join_all",
     "join_block",
+    "latest_checkpoint",
+    "load_checkpoint",
     "local_domains",
     "mafia",
     "maximal_mask",
@@ -56,6 +66,8 @@ __all__ = [
     "merge_windows",
     "pmafia",
     "pmafia_rank",
+    "pmafia_resumable",
+    "save_checkpoint",
     "populate_global",
     "populate_local",
     "prefix_work",

@@ -1,0 +1,141 @@
+"""Per-level checkpointing of the bottom-up search.
+
+The level-wise loop of Algorithm 2 has naturally small inter-level
+state: the adaptive grid, the per-level frontier (dense unit tables and
+their counts) and the registered potential clusters.  After each
+completed level, rank 0 serialises exactly that state; a killed run is
+then restarted from the last completed level by
+:func:`repro.core.mafia.pmafia_resumable` and — because every later
+pass is a deterministic function of this state — produces a
+bit-identical :class:`~repro.core.result.ClusteringResult`.
+
+File format (versioned, see ``docs/ROBUSTNESS.md``): a 18-byte header
+``magic "PMCK" | u16 version | u32 crc32(payload) | i64 payload-length``
+followed by a pickled state dict.  Files are written atomically
+(temp + rename) so a crash mid-checkpoint leaves the previous level's
+file intact; the CRC makes a torn or bit-rotten checkpoint fail with
+:class:`~repro.errors.CheckpointError` instead of resuming from
+garbage.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import struct
+import zlib
+from pathlib import Path
+from typing import Any
+
+from ..errors import CheckpointError
+
+_MAGIC = b"PMCK"
+#: bump when the state dict's schema changes incompatibly
+CHECKPOINT_VERSION = 1
+_HEADER = struct.Struct("<4sHIq")
+_LEVEL_RE = re.compile(r"^level(\d{4})\.ckpt$")
+
+
+def checkpoint_path(directory: str | os.PathLike, level: int) -> Path:
+    """The checkpoint file recording the state after ``level``."""
+    return Path(directory) / f"level{level:04d}.ckpt"
+
+
+def save_checkpoint(directory: str | os.PathLike, level: int,
+                    state: dict[str, Any]) -> Path:
+    """Atomically write the post-``level`` state; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    path = checkpoint_path(directory, level)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(_HEADER.pack(_MAGIC, CHECKPOINT_VERSION,
+                              zlib.crc32(payload), len(payload)))
+        fh.write(payload)
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(path: str | os.PathLike) -> dict[str, Any]:
+    """Read, validate and unpickle one checkpoint file."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {exc}") from exc
+    if len(raw) < _HEADER.size:
+        raise CheckpointError(f"{path}: truncated checkpoint header")
+    magic, version, crc, length = _HEADER.unpack_from(raw)
+    if magic != _MAGIC:
+        raise CheckpointError(f"{path}: bad checkpoint magic {magic!r}")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint version {version} is not supported "
+            f"(this build reads version {CHECKPOINT_VERSION})")
+    payload = raw[_HEADER.size:]
+    if len(payload) != length:
+        raise CheckpointError(
+            f"{path}: checkpoint payload is {len(payload)} bytes, "
+            f"header says {length}")
+    if zlib.crc32(payload) != crc:
+        raise CheckpointError(f"{path}: checkpoint CRC mismatch "
+                              f"(corrupt or torn write)")
+    try:
+        state = pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 - any unpickling failure
+        raise CheckpointError(
+            f"{path}: cannot unpickle checkpoint state: {exc}") from exc
+    if not isinstance(state, dict) or "level" not in state:
+        raise CheckpointError(f"{path}: malformed checkpoint state")
+    return state
+
+
+def latest_checkpoint(directory: str | os.PathLike) -> Path | None:
+    """The highest-level checkpoint file in ``directory`` (or None)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    best: tuple[int, Path] | None = None
+    for entry in directory.iterdir():
+        match = _LEVEL_RE.match(entry.name)
+        if match is None:
+            continue
+        level = int(match.group(1))
+        if best is None or level > best[0]:
+            best = (level, entry)
+    return best[1] if best else None
+
+
+def clear_checkpoints(directory: str | os.PathLike) -> int:
+    """Delete every checkpoint file in ``directory``; returns the count.
+
+    Called when a checkpointed run starts *fresh* so that stale files
+    from an earlier run can never be picked up by a later resume.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    for entry in directory.iterdir():
+        if _LEVEL_RE.match(entry.name):
+            entry.unlink(missing_ok=True)
+            removed += 1
+    return removed
+
+
+def check_compatible(state: dict[str, Any], params: Any,
+                     n_records: int) -> None:
+    """Refuse to resume from a checkpoint written under different
+    parameters or data — the replayed passes would silently diverge."""
+    if state.get("params") != params:
+        raise CheckpointError(
+            "checkpoint was written with different parameters "
+            f"({state.get('params')!r} != {params!r}); "
+            "resume with the original parameters or start fresh")
+    if state.get("n_records") != n_records:
+        raise CheckpointError(
+            f"checkpoint covers {state.get('n_records')} records but the "
+            f"data set has {n_records}; resume with the original data")

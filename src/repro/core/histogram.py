@@ -12,17 +12,20 @@ import numpy as np
 
 from ..errors import DataError
 from ..io.chunks import DataSource, charged_chunks
+from ..io.resilient import RetryPolicy
 from ..parallel.comm import Comm
 
 
 def local_domains(source: DataSource, comm: Comm, chunk_records: int,
-                  start: int = 0, stop: int | None = None) -> np.ndarray:
+                  start: int = 0, stop: int | None = None,
+                  retry: RetryPolicy | None = None) -> np.ndarray:
     """Per-dimension ``(min, max)`` over this rank's records, as a
     ``(d, 2)`` array; ±inf rows when the rank owns no records."""
     d = source.n_dims
     lo = np.full(d, np.inf)
     hi = np.full(d, -np.inf)
-    for chunk in charged_chunks(source, comm, chunk_records, start, stop):
+    for chunk in charged_chunks(source, comm, chunk_records, start, stop,
+                                retry=retry):
         comm.charge_cells(chunk.shape[0] * d)
         np.minimum(lo, chunk.min(axis=0), out=lo)
         np.maximum(hi, chunk.max(axis=0), out=hi)
@@ -30,13 +33,14 @@ def local_domains(source: DataSource, comm: Comm, chunk_records: int,
 
 
 def global_domains(source: DataSource, comm: Comm, chunk_records: int,
-                   start: int = 0, stop: int | None = None) -> np.ndarray:
+                   start: int = 0, stop: int | None = None,
+                   retry: RetryPolicy | None = None) -> np.ndarray:
     """Global per-dimension domains via min/max Reduce.
 
     Degenerate dimensions (constant value) are widened by a hair so that
     every domain has positive extent.
     """
-    local = local_domains(source, comm, chunk_records, start, stop)
+    local = local_domains(source, comm, chunk_records, start, stop, retry)
     lo = comm.allreduce(local[:, 0], op="min")
     hi = comm.allreduce(local[:, 1], op="max")
     if np.isinf(lo).any() or np.isinf(hi).any():
@@ -48,7 +52,8 @@ def global_domains(source: DataSource, comm: Comm, chunk_records: int,
 
 def fine_histogram_local(source: DataSource, comm: Comm, domains: np.ndarray,
                          fine_bins: int, chunk_records: int,
-                         start: int = 0, stop: int | None = None) -> np.ndarray:
+                         start: int = 0, stop: int | None = None,
+                         retry: RetryPolicy | None = None) -> np.ndarray:
     """This rank's ``(d, fine_bins)`` histogram over its local records.
 
     Values are clipped into their domain so that every record lands in a
@@ -66,7 +71,8 @@ def fine_histogram_local(source: DataSource, comm: Comm, domains: np.ndarray,
     if (width <= 0).any():
         raise DataError("all domains must have positive extent")
     counts = np.zeros((d, fine_bins), dtype=np.int64)
-    for chunk in charged_chunks(source, comm, chunk_records, start, stop):
+    for chunk in charged_chunks(source, comm, chunk_records, start, stop,
+                                retry=retry):
         comm.charge_cells(chunk.shape[0] * d)
         scaled = (chunk - lo) / width * fine_bins
         idx = np.clip(scaled.astype(np.int64), 0, fine_bins - 1)
@@ -77,8 +83,9 @@ def fine_histogram_local(source: DataSource, comm: Comm, domains: np.ndarray,
 
 def fine_histogram_global(source: DataSource, comm: Comm, domains: np.ndarray,
                           fine_bins: int, chunk_records: int,
-                          start: int = 0, stop: int | None = None) -> np.ndarray:
+                          start: int = 0, stop: int | None = None,
+                          retry: RetryPolicy | None = None) -> np.ndarray:
     """Global fine histogram: local pass plus a sum Reduce (§4.1)."""
     local = fine_histogram_local(source, comm, domains, fine_bins,
-                                 chunk_records, start, stop)
+                                 chunk_records, start, stop, retry)
     return comm.allreduce(local, op="sum")

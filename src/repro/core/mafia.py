@@ -7,11 +7,15 @@ from typing import Any
 
 import numpy as np
 
+import os
+
 from ..errors import DataError
+from ..io.resilient import RetryPolicy
 from ..params import MafiaParams
+from ..parallel.faults import FaultPlan
 from ..parallel.machine import MachineSpec, WorkCounters
 from ..parallel.serial import SerialComm
-from ..parallel.spmd import run_spmd
+from ..parallel.spmd import RankResult, run_spmd
 from .pmafia import pmafia_rank
 from .result import ClusteringResult
 
@@ -62,6 +66,12 @@ def pmafia(data: Any, nprocs: int, params: MafiaParams | None = None,
         backend = "serial"
     ranks = run_spmd(pmafia_rank, nprocs, backend=backend, machine=machine,
                      collectives=collectives, args=(data, params, domains))
+    return _collect_run(ranks, nprocs, backend)
+
+
+def _collect_run(ranks: list[RankResult], nprocs: int,
+                 backend: str) -> PMafiaRun:
+    """Cross-check the per-rank results and bundle them into a run."""
     results = [r.value for r in ranks]
     first = results[0]
     for other in results[1:]:
@@ -72,3 +82,56 @@ def pmafia(data: Any, nprocs: int, params: MafiaParams | None = None,
     return PMafiaRun(result=first, nprocs=nprocs, backend=backend,
                      rank_times=tuple(r.time for r in ranks),
                      counters=tuple(r.counters for r in ranks))
+
+
+def pmafia_resumable(data: Any, nprocs: int,
+                     params: MafiaParams | None = None, *,
+                     checkpoint_dir: str | os.PathLike,
+                     backend: str = "thread",
+                     machine: MachineSpec | None = None,
+                     collectives: str = "flat",
+                     domains: np.ndarray | None = None,
+                     resume: bool = True,
+                     recv_timeout: float | None = None,
+                     retry: RetryPolicy | None = None,
+                     faults: FaultPlan | None = None,
+                     max_restarts: int = 0) -> PMafiaRun:
+    """Fault-tolerant pMAFIA: per-level checkpoints plus restart.
+
+    Rank 0 serialises the level frontier into ``checkpoint_dir`` after
+    every completed level.  With ``resume=True`` (default) each call
+    restarts from the newest checkpoint left by a killed run — only the
+    remaining levels are recomputed, and the final
+    :class:`~repro.core.result.ClusteringResult` is bit-identical to an
+    uninterrupted run.  ``resume=False`` clears old checkpoints and
+    starts fresh.
+
+    ``max_restarts`` > 0 additionally retries failed attempts
+    in-process (each retry resumes from the last checkpoint).  A
+    ``faults`` plan applies to the *first* attempt only, so an injected
+    crash followed by an automatic restart rehearses the full
+    kill-and-recover cycle in a single call.  ``recv_timeout`` and
+    ``retry`` bound lost peers and transient chunk-read failures — see
+    ``docs/ROBUSTNESS.md``.
+    """
+    if max_restarts < 0:
+        raise DataError(f"max_restarts must be >= 0, got {max_restarts}")
+    if nprocs == 1 and backend == "thread":
+        backend = "serial"
+    attempts = max_restarts + 1
+    for attempt in range(attempts):
+        try:
+            ranks = run_spmd(
+                pmafia_rank, nprocs, backend=backend, machine=machine,
+                collectives=collectives, recv_timeout=recv_timeout,
+                faults=faults if attempt == 0 else None,
+                args=(data, params, domains),
+                kwargs={"checkpoint_dir": os.fspath(checkpoint_dir),
+                        "resume": resume or attempt > 0,
+                        "retry": retry})
+        except Exception:
+            if attempt == attempts - 1:
+                raise
+        else:
+            return _collect_run(ranks, nprocs, backend)
+    raise AssertionError("unreachable")  # pragma: no cover

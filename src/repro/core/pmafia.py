@@ -33,11 +33,16 @@ import numpy as np
 from ..errors import DataError
 from ..io.chunks import DataSource, as_source
 from ..io.partition import block_range
+from ..io.resilient import RetryPolicy
 from ..io.staging import stage_local
 from ..params import MafiaParams
 from ..parallel.comm import Comm
+from ..parallel.faults import fault_site
 from ..types import Cluster, Grid, Subspace
 from .adaptive_grid import build_grid
+from .checkpoint import (check_compatible, clear_checkpoints,
+                         latest_checkpoint, load_checkpoint,
+                         save_checkpoint)
 from .candidates import join_block
 from .dedup import drop_repeats, repeat_flags_block
 from .dnf import dnf_terms, maximal_mask, merged_mask
@@ -210,11 +215,24 @@ def assemble_clusters(grid: Grid, registered: Registered
 
 
 def pmafia_rank(comm: Comm, data: Any, params: MafiaParams | None = None,
-                domains: np.ndarray | None = None) -> ClusteringResult:
+                domains: np.ndarray | None = None, *,
+                checkpoint_dir: Any = None, resume: bool = False,
+                retry: RetryPolicy | None = None) -> ClusteringResult:
     """Run one rank of pMAFIA (Algorithm 2).  Call through
     :func:`repro.core.mafia.mafia` or :func:`pmafia` unless you are
-    driving your own SPMD program."""
+    driving your own SPMD program.
+
+    With ``checkpoint_dir`` set, rank 0 serialises the level frontier
+    after every completed level; with ``resume`` additionally set, the
+    run restarts from the newest checkpoint in that directory (all
+    ranks receive the restored state by broadcast), re-running only the
+    remaining passes — the result is bit-identical to an uninterrupted
+    run because every later pass is a deterministic function of the
+    per-level state.  ``retry`` bounds transient chunk-read failures
+    (see :mod:`repro.io.resilient`).
+    """
     params = params or MafiaParams()
+    fault_site(comm, "start")
     source, start, stop = _local_view(comm, data)
     n_local = stop - start
     n_records = int(comm.allreduce(np.array([n_local], dtype=np.int64),
@@ -222,19 +240,52 @@ def pmafia_rank(comm: Comm, data: Any, params: MafiaParams | None = None,
     if n_records == 0:
         raise DataError("cannot cluster an empty data set")
 
-    if domains is None:
-        domains = global_domains(source, comm, params.chunk_records,
-                                 start, stop)
-    else:
-        domains = np.asarray(domains, dtype=np.float64)
+    state = None
+    if checkpoint_dir is not None and resume:
+        if comm.rank == 0:
+            newest = latest_checkpoint(checkpoint_dir)
+            state = load_checkpoint(newest) if newest is not None else None
+        state = comm.bcast(state, root=0)
+        if state is not None:
+            check_compatible(state, params, n_records)
 
-    fine = fine_histogram_global(source, comm, domains, params.fine_bins,
-                                 params.chunk_records, start, stop)
-    grid = build_grid(fine, domains, n_records, params)
+    def save_level(level: int, trace: list[LevelTrace],
+                   registered: Registered, grid: Grid,
+                   domains: np.ndarray) -> None:
+        if checkpoint_dir is None or comm.rank != 0:
+            return
+        save_checkpoint(checkpoint_dir, level, {
+            "level": level,
+            "params": params,
+            "n_records": n_records,
+            "domains": np.asarray(domains, dtype=np.float64),
+            "grid": grid,
+            "trace": tuple(trace),
+            "registered": tuple(registered),
+        })
+
+    if state is not None:
+        domains = state["domains"]
+        grid = state["grid"]
+        trace = list(state["trace"])
+        registered = list(state["registered"])
+    else:
+        if domains is None:
+            fault_site(comm, "domains", 0)
+            domains = global_domains(source, comm, params.chunk_records,
+                                     start, stop, retry)
+        else:
+            domains = np.asarray(domains, dtype=np.float64)
+        fault_site(comm, "histogram", 0)
+        fine = fine_histogram_global(source, comm, domains, params.fine_bins,
+                                     params.chunk_records, start, stop,
+                                     retry)
+        grid = build_grid(fine, domains, n_records, params)
 
     def level_pass(cdus: UnitTable, raw_count: int, level: int) -> LevelTrace:
+        fault_site(comm, "populate", level)
         counts = populate_global(source, comm, grid, cdus,
-                                 params.chunk_records, start, stop)
+                                 params.chunk_records, start, stop, retry)
         mask, ndu = _identify_dense(comm, cdus, counts, grid, params.tau,
                                     params.min_bin_points)
         dense, dense_counts = dense_units(cdus, counts, mask)
@@ -242,15 +293,22 @@ def pmafia_rank(comm: Comm, data: Any, params: MafiaParams | None = None,
                           n_cdus=cdus.n_units, n_dense=ndu,
                           dense=dense, dense_counts=dense_counts)
 
-    cdus = _level_one_cdus(grid)
-    trace: list[LevelTrace] = [level_pass(cdus, cdus.n_units, 1)]
-    registered: Registered = []
+    if state is None:
+        # a fresh checkpointed run must not leave stale higher-level
+        # files behind for a later resume to pick up
+        if checkpoint_dir is not None and comm.rank == 0:
+            clear_checkpoints(checkpoint_dir)
+        cdus = _level_one_cdus(grid)
+        trace = [level_pass(cdus, cdus.n_units, 1)]
+        registered = []
+        save_level(1, trace, registered, grid, domains)
     current = trace[-1]
     while current.n_dense > 0:
         dense, dense_counts = current.dense, current.dense_counts
         if current.level >= params.max_dimensionality:
             registered.append((dense, dense_counts))
             break
+        fault_site(comm, "join", current.level)
         raw, combined = _find_candidate_dense_units(comm, dense, params.tau)
         # non-combinable dense units are registered as potential clusters
         if (~combined).any():
@@ -261,6 +319,7 @@ def pmafia_rank(comm: Comm, data: Any, params: MafiaParams | None = None,
                 registered.append((dense.select(combined),
                                    dense_counts[combined]))
             break
+        fault_site(comm, "dedup", current.level)
         cdus = _eliminate_repeat_cdus(comm, raw, params.tau)
         nxt = level_pass(cdus, raw.n_units, current.level + 1)
         trace.append(nxt)
@@ -269,6 +328,7 @@ def pmafia_rank(comm: Comm, data: Any, params: MafiaParams | None = None,
             registered.append((dense.select(combined),
                                dense_counts[combined]))
         current = nxt
+        save_level(current.level, trace, registered, grid, domains)
 
     if params.report == "maximal":
         registered = _maximal_registrations(tuple(trace))

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..errors import DataError
 from ..io.chunks import DataSource, charged_chunks
+from ..io.resilient import RetryPolicy
 from ..parallel.comm import Comm
 from ..types import Grid
 from .units import UnitTable
@@ -90,7 +91,8 @@ def build_matchers(units: UnitTable, grid: Grid) -> list[_SubspaceMatcher]:
 
 def populate_local(source: DataSource, comm: Comm, grid: Grid,
                    units: UnitTable, chunk_records: int,
-                   start: int = 0, stop: int | None = None) -> np.ndarray:
+                   start: int = 0, stop: int | None = None,
+                   retry: RetryPolicy | None = None) -> np.ndarray:
     """Counts of this rank's local records per CDU (one data pass).
 
     ``start``/``stop`` select the rank's block when the source holds the
@@ -101,7 +103,8 @@ def populate_local(source: DataSource, comm: Comm, grid: Grid,
         return counts
     matchers = build_matchers(units, grid)
     per_record_cost = units.n_units * units.level
-    for chunk in charged_chunks(source, comm, chunk_records, start, stop):
+    for chunk in charged_chunks(source, comm, chunk_records, start, stop,
+                                retry=retry):
         comm.charge_cells(chunk.shape[0] * per_record_cost)
         bin_idx = grid.locate_records(chunk)
         for matcher in matchers:
@@ -111,8 +114,9 @@ def populate_local(source: DataSource, comm: Comm, grid: Grid,
 
 def populate_global(source: DataSource, comm: Comm, grid: Grid,
                     units: UnitTable, chunk_records: int,
-                    start: int = 0, stop: int | None = None) -> np.ndarray:
+                    start: int = 0, stop: int | None = None,
+                    retry: RetryPolicy | None = None) -> np.ndarray:
     """Global CDU counts: local pass + sum Reduce (§4.1)."""
     local = populate_local(source, comm, grid, units, chunk_records,
-                           start, stop)
+                           start, stop, retry)
     return comm.allreduce(local, op="sum")

@@ -28,8 +28,25 @@ class CommAborted(CommError):
     """A peer rank raised, aborting the SPMD program."""
 
 
+class CommTimeoutError(CommError):
+    """A blocked receive exceeded its deadline — the peer is presumed
+    lost (crashed, hung or partitioned) and the program should abort
+    promptly instead of waiting forever."""
+
+
 class RecordFileError(ReproError, OSError):
     """A record file is missing, truncated or has a bad header."""
+
+
+class ChecksumError(RecordFileError):
+    """A record-file chunk failed its CRC32 check: the bytes on disk do
+    not match what was written.  Never retried — corruption is not
+    transient."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint file is missing, corrupt, or incompatible with the
+    run attempting to resume from it."""
 
 
 class GridError(ReproError, RuntimeError):

@@ -3,22 +3,27 @@ block partitioning of N over p ranks and shared→local disk staging."""
 
 from .chunks import ArraySource, DataSource, as_source, charged_chunks
 from .partition import block_offsets, block_range
-from .records import (RecordFile, RecordFileInfo, RecordFileWriter,
-                      read_header, write_records)
+from .records import (DEFAULT_CRC_CHUNK_RECORDS, RecordFile, RecordFileInfo,
+                      RecordFileWriter, read_header, write_records)
+from .resilient import DEFAULT_RETRY, RetryPolicy, read_with_retry
 from .staging import local_path, stage_local
 
 __all__ = [
     "ArraySource",
+    "DEFAULT_CRC_CHUNK_RECORDS",
+    "DEFAULT_RETRY",
     "DataSource",
     "RecordFile",
     "RecordFileInfo",
     "RecordFileWriter",
+    "RetryPolicy",
     "as_source",
     "block_offsets",
     "block_range",
     "charged_chunks",
     "local_path",
     "read_header",
+    "read_with_retry",
     "stage_local",
     "write_records",
 ]

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..errors import DataError
 from ..parallel.comm import Comm
+from .resilient import RetryPolicy, read_with_retry
 
 
 @runtime_checkable
@@ -59,6 +60,14 @@ class ArraySource:
     def records(self) -> np.ndarray:
         return self._records
 
+    def read_block(self, start: int, stop: int) -> np.ndarray:
+        """A view of records ``[start, stop)`` (no copy)."""
+        if not 0 <= start <= stop <= self.n_records:
+            raise DataError(
+                f"block [{start}, {stop}) out of range for "
+                f"{self.n_records} records")
+        return self._records[start:stop]
+
     def iter_chunks(self, chunk_records: int, start: int = 0,
                     stop: int | None = None) -> Iterator[np.ndarray]:
         """Yield array views of at most ``chunk_records`` rows."""
@@ -84,9 +93,45 @@ def as_source(data) -> DataSource:
 
 def charged_chunks(source: DataSource, comm: Comm, chunk_records: int,
                    start: int = 0, stop: int | None = None,
-                   itemsize: int = 8) -> Iterator[np.ndarray]:
+                   itemsize: int = 8,
+                   retry: RetryPolicy | None = None) -> Iterator[np.ndarray]:
     """Iterate chunks while charging each block read to the rank's
-    virtual I/O clock (one chunk access of ``rows * d * itemsize`` bytes)."""
-    for chunk in source.iter_chunks(chunk_records, start, stop):
+    virtual I/O clock (one chunk access of ``rows * d * itemsize`` bytes).
+
+    When the source exposes ``read_block`` (record files, in-memory
+    arrays), every block is read through :func:`read_with_retry` so
+    transient ``OSError`` s are retried with backoff under ``retry``;
+    structural failures (bad header, :class:`~repro.errors.ChecksumError`
+    corruption) fail fast.  The rank's fault state (if a
+    :class:`~repro.parallel.faults.FaultPlan` is active) is consulted
+    before each read so injected read errors exercise exactly this
+    path.  Pure streaming sources without ``read_block`` cannot be
+    re-read and fall back to plain iteration.
+    """
+    read_block = getattr(source, "read_block", None)
+    if read_block is None:
+        for chunk in source.iter_chunks(chunk_records, start, stop):
+            comm.charge_io(chunk.shape[0] * chunk.shape[1] * itemsize,
+                           chunks=1)
+            yield chunk
+        return
+    if chunk_records <= 0:
+        raise DataError(f"chunk_records must be positive, got {chunk_records}")
+    stop = source.n_records if stop is None else stop
+    if not 0 <= start <= stop <= source.n_records:
+        raise DataError(
+            f"range [{start}, {stop}) out of bounds for "
+            f"{source.n_records} records")
+    fault_state = getattr(comm, "fault_state", None)
+    for index, lo in enumerate(range(start, stop, chunk_records)):
+        hi = min(lo + chunk_records, stop)
+
+        def attempt(lo: int = lo, hi: int = hi,
+                    index: int = index) -> np.ndarray:
+            if fault_state is not None:
+                fault_state.on_chunk_read(index)
+            return read_block(lo, hi)
+
+        chunk = read_with_retry(attempt, retry)
         comm.charge_io(chunk.shape[0] * chunk.shape[1] * itemsize, chunks=1)
         yield chunk

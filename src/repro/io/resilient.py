@@ -1,0 +1,87 @@
+"""Bounded retry with exponential backoff for chunk reads.
+
+pMAFIA re-reads all N records from local disk at every level, so a
+single transient I/O hiccup (NFS blip, overloaded disk, injected fault)
+at level k must not throw away the levels already computed.
+:func:`read_with_retry` re-attempts a read under a :class:`RetryPolicy`;
+the sleep function is injectable so tests assert the exact backoff
+schedule without real sleeps.
+
+Deterministic failures are never retried: any ``OSError`` that is also
+a :class:`~repro.errors.ReproError` — a bad header
+(:class:`~repro.errors.RecordFileError`) or on-disk corruption
+(:class:`~repro.errors.ChecksumError`) — propagates on the first
+attempt, because re-reading rotten bytes cannot fix them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+from ..errors import ParameterError, ReproError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry knobs for one class of transient failure.
+
+    ``max_attempts`` counts the first try; ``base_delay`` seconds are
+    slept before the first retry, multiplied by ``multiplier`` each
+    further retry and capped at ``max_delay``.  ``sleep`` is the clock
+    to wait on — inject a recorder in tests (it must be picklable, e.g.
+    a module-level function, to cross the process backend).
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    sleep: Callable[[float], None] = field(default=time.sleep, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ParameterError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ParameterError("retry delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ParameterError(
+                f"multiplier must be >= 1, got {self.multiplier}")
+
+    def delays(self) -> Iterator[float]:
+        """The backoff schedule: one delay per allowed retry."""
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            yield min(delay, self.max_delay)
+            delay *= self.multiplier
+
+
+#: policy used when callers do not pass one
+DEFAULT_RETRY = RetryPolicy()
+
+
+def read_with_retry(read: Callable[[], T],
+                    policy: RetryPolicy | None = None) -> T:
+    """Call ``read()`` until it succeeds or the retry budget runs out.
+
+    Transient ``OSError`` s are retried with backoff; structural
+    failures (any :class:`~repro.errors.ReproError`, even OSError-based
+    ones) and non-OSError exceptions propagate immediately.  The final
+    failed attempt re-raises the last ``OSError``.
+    """
+    policy = DEFAULT_RETRY if policy is None else policy
+    delays = list(policy.delays())
+    for attempt in range(policy.max_attempts):
+        try:
+            return read()
+        except OSError as exc:
+            if isinstance(exc, ReproError):
+                raise
+            if attempt == policy.max_attempts - 1:
+                raise
+            policy.sleep(delays[attempt])
+    raise AssertionError("unreachable")  # pragma: no cover

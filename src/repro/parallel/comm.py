@@ -159,15 +159,44 @@ class Comm:
     def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
         """Scatter one object per rank from ``root``."""
         self._check_rank(root)
+        if self.rank == root and (objs is None or len(objs) != self.size):
+            raise CommError(
+                f"scatter needs exactly {self.size} objects on root")
+        if self.size == 1:
+            return objs[0]
+        if self.strategy == "tree":
+            return self._scatter_tree(objs, root)
         if self.rank == root:
-            if objs is None or len(objs) != self.size:
-                raise CommError(
-                    f"scatter needs exactly {self.size} objects on root")
             for r in range(self.size):
                 if r != root:
                     self.send(objs[r], r, tag=_TAG_SCATTER)
             return objs[root]
         return self.recv(root, tag=_TAG_SCATTER)
+
+    def _scatter_tree(self, objs: Sequence[Any] | None, root: int) -> Any:
+        """Binomial-tree scatter (the mirror of :meth:`_bcast_tree`):
+        each parent forwards to a child only the per-rank payloads the
+        child's subtree will consume, keyed by virtual rank."""
+        p = self.size
+        vrank = (self.rank - root) % p
+        if vrank == 0:
+            payload = {v: objs[(v + root) % p] for v in range(p)}
+        mask = 1
+        while mask < p:
+            if vrank & mask:
+                payload = self.recv((self.rank - mask) % p,
+                                    tag=_TAG_SCATTER)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if vrank + mask < p:
+                child = {v: payload[v]
+                         for v in range(vrank + mask,
+                                        min(vrank + 2 * mask, p))}
+                self.send(child, (self.rank + mask) % p, tag=_TAG_SCATTER)
+            mask >>= 1
+        return payload[vrank]
 
     def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
         """Element-wise combine an equal-shaped array from every rank and

@@ -12,6 +12,13 @@ functions like :func:`repro.core.pmafia.pmafia_rank` are); for large
 data sets pass a record-file *path* rather than an array so each rank
 stages its own block from disk instead of pickling N×d floats through
 the queue.
+
+Failure semantics: a rank blocked in ``recv`` past its deadline raises
+:class:`~repro.errors.CommTimeoutError` (re-raised as such on the
+parent), so a dead or partitioned peer surfaces as a prompt abort
+instead of a hang; any child failure makes the parent terminate the
+surviving processes.  A :class:`~repro.parallel.faults.FaultPlan` can
+be threaded through to rehearse exactly these scenarios.
 """
 
 from __future__ import annotations
@@ -22,10 +29,10 @@ import traceback
 from collections import deque
 from typing import Any, Callable, Sequence
 
-from ..errors import CommError
+from ..errors import CommError, CommTimeoutError
 from .comm import Comm
 
-#: seconds a blocked recv waits before declaring deadlock
+#: default seconds a blocked recv waits before declaring the peer lost
 RECV_TIMEOUT = 300.0
 #: seconds the parent waits for each rank's result
 RESULT_TIMEOUT = 3600.0
@@ -35,12 +42,15 @@ class ProcessComm(Comm):
     """One rank's endpoint: an inbox queue plus every rank's outbox."""
 
     def __init__(self, rank: int, size: int, inboxes: Sequence[Any],
-                 strategy: str = "flat") -> None:
+                 strategy: str = "flat",
+                 recv_timeout: float | None = None) -> None:
         if not 0 <= rank < size:
             raise CommError(f"rank {rank} out of range for size {size}")
         self.rank = rank
         self.size = size
         self.strategy = strategy
+        self.recv_timeout = (RECV_TIMEOUT if recv_timeout is None
+                             else recv_timeout)
         self._inboxes = list(inboxes)
         self._stash: dict[tuple[int, int], deque] = {}
 
@@ -57,8 +67,8 @@ class ProcessComm(Comm):
         if stash:
             return stash.popleft()
         waited = 0.0
-        step = 0.1
-        while waited < RECV_TIMEOUT:
+        step = min(0.1, max(self.recv_timeout, 1e-3))
+        while waited < self.recv_timeout:
             try:
                 got_source, got_tag, obj = self._inboxes[self.rank].get(
                     timeout=step)
@@ -69,34 +79,43 @@ class ProcessComm(Comm):
                 return obj
             self._stash.setdefault((got_source, got_tag),
                                    deque()).append(obj)
-        raise CommError(
+        raise CommTimeoutError(
             f"rank {self.rank} timed out receiving from {source} "
-            f"(tag {tag}) after {RECV_TIMEOUT:.0f}s")
+            f"(tag {tag}) after {self.recv_timeout:.1f}s; "
+            f"peer lost or deadlocked")
 
 
 def _worker(fn: Callable, rank: int, size: int, inboxes, result_queue,
-            strategy: str, args: tuple, kwargs: dict) -> None:
+            strategy: str, recv_timeout, faults, args: tuple,
+            kwargs: dict) -> None:
     """Child-process entry: run the rank function, ship the outcome."""
-    comm = ProcessComm(rank, size, inboxes, strategy)
+    comm: Comm = ProcessComm(rank, size, inboxes, strategy, recv_timeout)
+    if faults is not None:
+        comm = faults.wrap(comm)
     try:
         value = fn(comm, *args, **kwargs)
     except BaseException as exc:  # noqa: BLE001 - reported to the parent
         result_queue.put((rank, "error",
-                          f"{type(exc).__name__}: {exc}\n"
-                          f"{traceback.format_exc()}"))
+                          (type(exc).__name__,
+                           f"{type(exc).__name__}: {exc}\n"
+                           f"{traceback.format_exc()}")))
         return
     result_queue.put((rank, "ok", value))
 
 
 def run_processes(fn: Callable, nprocs: int, *, collectives: str = "flat",
+                  recv_timeout: float | None = None, faults=None,
                   args: Sequence[Any] = (),
                   kwargs: dict[str, Any] | None = None) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` OS processes and
     return the per-rank values in rank order.
 
-    The first failing rank's error is re-raised as
-    :class:`~repro.errors.CommError` (with the child traceback) after
-    every process has been terminated.
+    The first failing rank's error is re-raised after every process has
+    been terminated — as :class:`~repro.errors.CommTimeoutError` when
+    the child hit its recv deadline, otherwise as
+    :class:`~repro.errors.CommError` carrying the child traceback.
+    ``faults`` (a picklable :class:`~repro.parallel.faults.FaultPlan`)
+    is re-instantiated per rank inside each child.
     """
     if nprocs < 1:
         raise CommError(f"nprocs must be >= 1, got {nprocs}")
@@ -106,7 +125,8 @@ def run_processes(fn: Callable, nprocs: int, *, collectives: str = "flat",
     processes = [
         ctx.Process(target=_worker,
                     args=(fn, rank, nprocs, inboxes, result_queue,
-                          collectives, tuple(args), dict(kwargs or {})),
+                          collectives, recv_timeout, faults,
+                          tuple(args), dict(kwargs or {})),
                     name=f"spmd-rank-{rank}", daemon=True)
         for rank in range(nprocs)
     ]
@@ -114,17 +134,18 @@ def run_processes(fn: Callable, nprocs: int, *, collectives: str = "flat",
         proc.start()
 
     values: list[Any] = [None] * nprocs
-    failure: tuple[int, str] | None = None
+    failure: tuple[int, str, str] | None = None
     try:
         for _ in range(nprocs):
             try:
                 rank, status, payload = result_queue.get(
                     timeout=RESULT_TIMEOUT)
             except queue_mod.Empty:
-                failure = (-1, "timed out waiting for rank results")
+                failure = (-1, "", "timed out waiting for rank results")
                 break
             if status == "error":
-                failure = (rank, payload)
+                exc_name, message = payload
+                failure = (rank, exc_name, message)
                 break
             values[rank] = payload
     finally:
@@ -139,6 +160,8 @@ def run_processes(fn: Callable, nprocs: int, *, collectives: str = "flat",
         result_queue.cancel_join_thread()
 
     if failure is not None:
-        rank, message = failure
+        rank, exc_name, message = failure
+        if exc_name == "CommTimeoutError":
+            raise CommTimeoutError(f"rank {rank} failed:\n{message}")
         raise CommError(f"rank {rank} failed:\n{message}")
     return values

@@ -26,6 +26,7 @@ from typing import Any, Callable, Sequence
 
 from ..errors import CommAborted, CommError
 from .comm import Comm
+from .faults import FaultPlan
 from .machine import MachineSpec, WorkCounters
 from .serial import SerialComm
 from .simtime import TimedComm
@@ -53,6 +54,8 @@ def run_spmd(
     backend: str = "thread",
     machine: MachineSpec | None = None,
     collectives: str = "flat",
+    recv_timeout: float | None = None,
+    faults: FaultPlan | None = None,
     args: Sequence[Any] = (),
     kwargs: dict[str, Any] | None = None,
 ) -> list[RankResult]:
@@ -60,10 +63,16 @@ def run_spmd(
 
     ``collectives`` picks the collective wire pattern: ``"flat"`` (the
     paper's O(p) root-centred model) or ``"tree"`` (binomial, O(log p)
-    as in real MPI).  Returns one :class:`RankResult` per rank, in rank
-    order.  If any rank raises, the program is aborted on all ranks and
-    the first exception (in rank order) is re-raised on the caller's
-    thread.
+    as in real MPI).  ``recv_timeout`` sets the per-rank recv deadline
+    in seconds (``None`` keeps each backend's default); a rank blocked
+    past it raises :class:`~repro.errors.CommTimeoutError` instead of
+    hanging on a lost peer.  ``faults`` threads a deterministic
+    :class:`~repro.parallel.faults.FaultPlan` through every rank's
+    communicator for failure rehearsal.
+
+    Returns one :class:`RankResult` per rank, in rank order.  If any
+    rank raises, the program is aborted on all ranks and the root-cause
+    exception is re-raised on the caller's thread.
     """
     if nprocs < 1:
         raise CommError(f"nprocs must be >= 1, got {nprocs}")
@@ -81,6 +90,8 @@ def run_spmd(
             raise CommError("backend='serial' supports exactly 1 rank; "
                             "use 'thread' or 'sim' for more")
         comm: Comm = SerialComm()
+        if faults is not None:
+            comm = faults.wrap(comm)
         comm.strategy = collectives
         value = fn(comm, *args, **kwargs)
         return [RankResult(rank=0, value=value)]
@@ -88,6 +99,7 @@ def run_spmd(
     if backend == "process":
         from .process import run_processes
         values = run_processes(fn, nprocs, collectives=collectives,
+                               recv_timeout=recv_timeout, faults=faults,
                                args=args, kwargs=kwargs)
         return [RankResult(rank=r, value=v) for r, v in enumerate(values)]
 
@@ -100,9 +112,13 @@ def run_spmd(
 
     def target(rank: int) -> None:
         comm: Comm = world.comm(rank)
+        if recv_timeout is not None:
+            comm.recv_timeout = recv_timeout
         if backend == "sim":
             assert machine is not None
             comm = TimedComm(comm, machine)
+        if faults is not None:
+            comm = faults.wrap(comm)
         comm.strategy = collectives
         try:
             value = fn(comm, *args, **kwargs)
@@ -126,10 +142,17 @@ def run_spmd(
     for t in threads:
         t.join()
 
-    for rank, exc in enumerate(errors):
-        if exc is not None and not isinstance(exc, CommAborted):
+    # Re-raise the root cause: the first (in rank order) exception that
+    # is not a CommAborted echo; when every failure is a CommAborted —
+    # i.e. the ranks aborted cooperatively — re-raise the first echo.
+    first_abort: BaseException | None = None
+    for exc in errors:
+        if exc is None:
+            continue
+        if not isinstance(exc, CommAborted):
             raise exc
-    for rank, exc in enumerate(errors):
-        if exc is not None:  # every failure was a CommAborted echo
-            raise exc
+        if first_abort is None:
+            first_abort = exc
+    if first_abort is not None:
+        raise first_abort
     return [r for r in results if r is not None]

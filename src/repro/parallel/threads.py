@@ -18,7 +18,7 @@ import queue
 import threading
 from typing import Any
 
-from ..errors import CommAborted, CommError
+from ..errors import CommAborted, CommError, CommTimeoutError
 from .comm import Comm
 
 
@@ -52,15 +52,19 @@ class ThreadComm(Comm):
 
     #: seconds between abort-flag checks while blocked in recv
     POLL_INTERVAL = 0.05
-    #: give up after this many seconds blocked in one recv (deadlock guard)
+    #: default recv deadline (override per-comm via ``recv_timeout``)
     RECV_TIMEOUT = 120.0
 
-    def __init__(self, world: ThreadWorld, rank: int) -> None:
+    def __init__(self, world: ThreadWorld, rank: int,
+                 recv_timeout: float | None = None) -> None:
         if not 0 <= rank < world.size:
             raise CommError(f"rank {rank} out of range for size {world.size}")
         self._world = world
         self.rank = rank
         self.size = world.size
+        #: seconds a blocked recv waits before declaring the peer lost
+        self.recv_timeout = (self.RECV_TIMEOUT if recv_timeout is None
+                             else recv_timeout)
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         self._check_rank(dest)
@@ -71,15 +75,17 @@ class ThreadComm(Comm):
     def recv(self, source: int, tag: int = 0) -> Any:
         self._check_rank(source)
         box = self._world.mailbox(self.rank, source, tag)
+        step = min(self.POLL_INTERVAL, max(self.recv_timeout, 1e-3))
         waited = 0.0
         while True:
             if self._world.abort.is_set():
                 raise CommAborted("SPMD program aborted by a peer rank")
             try:
-                return box.get(timeout=self.POLL_INTERVAL)
+                return box.get(timeout=step)
             except queue.Empty:
-                waited += self.POLL_INTERVAL
-                if waited >= self.RECV_TIMEOUT:
-                    raise CommError(
+                waited += step
+                if waited >= self.recv_timeout:
+                    raise CommTimeoutError(
                         f"rank {self.rank} timed out receiving from "
-                        f"{source} (tag {tag}) after {waited:.0f}s") from None
+                        f"{source} (tag {tag}) after {waited:.1f}s; "
+                        f"peer lost or deadlocked") from None

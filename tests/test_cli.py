@@ -124,3 +124,29 @@ class TestVerifyFlag:
         assert rc == 0
         out = capsys.readouterr().out
         assert "verification: OK" in out
+
+class TestCheckpointFlags:
+    def test_run_with_checkpoint_dir(self, record_file, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        rc = main(["run", str(record_file), "--fine-bins", "200",
+                   "--window", "2", "--chunk", "2000", "--procs", "2",
+                   "--checkpoint-dir", str(ckpt)])
+        assert rc == 0
+        assert list(ckpt.glob("level*.ckpt"))
+        # a second invocation resumes from the completed run
+        rc = main(["run", str(record_file), "--fine-bins", "200",
+                   "--window", "2", "--chunk", "2000", "--procs", "2",
+                   "--checkpoint-dir", str(ckpt), "--resume"])
+        assert rc == 0
+
+    def test_resume_requires_checkpoint_dir(self, record_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", str(record_file), "--resume"])
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpoint_dir_rejected_for_clique(self, record_file, tmp_path,
+                                                capsys):
+        with pytest.raises(SystemExit):
+            main(["run", str(record_file), "--algorithm", "clique",
+                  "--checkpoint-dir", str(tmp_path / "c")])
+        assert "clique" in capsys.readouterr().err

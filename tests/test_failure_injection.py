@@ -12,11 +12,20 @@ import time
 import numpy as np
 import pytest
 
-from repro import MafiaParams, mafia, pmafia
+from repro import (CrashPoint, FaultPlan, MafiaParams, MessageFault,
+                   ReadFault, mafia, pmafia, pmafia_resumable)
+from repro.core.checkpoint import (check_compatible, checkpoint_path,
+                                   clear_checkpoints, latest_checkpoint,
+                                   load_checkpoint, save_checkpoint)
+from repro.core.pmafia import pmafia_rank
 from repro.core.units import UnitTable
-from repro.errors import CommError, DataError, RecordFileError
-from repro.io import write_records
+from repro.errors import (CheckpointError, ChecksumError, CommAborted,
+                          CommError, CommTimeoutError, DataError,
+                          ParameterError, RecordFileError)
+from repro.io import RetryPolicy, read_with_retry, write_records
+from repro.io.records import RecordFile, read_header
 from repro.parallel import run_spmd
+from repro.parallel.faults import InjectedFailure
 from tests.conftest import DOMAINS_10D
 
 
@@ -117,3 +126,398 @@ class TestDegenerateWorkloads:
         run = pmafia(data, 8, MafiaParams(fine_bins=10, window_size=2,
                                           chunk_records=10))
         assert run.result.n_records == 5
+
+class TestSpmdErrorPropagation:
+    def test_all_ranks_comm_aborted_reraised(self):
+        """Regression: when every rank raises only CommAborted (no root
+        cause survived), run_spmd must still raise rather than return."""
+        def prog(comm):
+            raise CommAborted(f"rank {comm.rank} aborted")
+
+        with pytest.raises(CommAborted):
+            run_spmd(prog, 3)
+
+    def test_root_cause_preferred_over_abort_echoes(self):
+        """The rank that genuinely failed wins over the CommAborted
+        echoes its peers raise while being torn down."""
+        def prog(comm):
+            if comm.rank == 2:
+                raise ValueError("the real failure")
+            comm.recv((comm.rank + 1) % comm.size, tag=9)
+
+        with pytest.raises(ValueError, match="the real failure"):
+            run_spmd(prog, 3)
+
+
+class TestCommTimeout:
+    def test_thread_recv_deadline(self):
+        """A rank blocked on a peer that never sends raises
+        CommTimeoutError within (roughly) the configured deadline."""
+        def prog(comm):
+            if comm.rank == 1:
+                return comm.recv(0, tag=3)  # rank 0 never sends
+            return None
+
+        start = time.monotonic()
+        with pytest.raises(CommTimeoutError, match="timed out receiving"):
+            run_spmd(prog, 2, recv_timeout=0.5)
+        assert time.monotonic() - start < 10
+
+    def test_timeout_not_triggered_by_slow_sender(self):
+        def prog(comm):
+            if comm.rank == 0:
+                time.sleep(0.3)
+                comm.send("late", 1, tag=4)
+                return None
+            return comm.recv(0, tag=4)
+
+        results = run_spmd(prog, 2, recv_timeout=5.0)
+        assert results[1].value == "late"
+
+
+class TestFaultHarness:
+    def test_crash_point_kills_rank(self, one_cluster_dataset, small_params):
+        plan = FaultPlan(crashes=(CrashPoint(rank=1, site="start"),))
+        with pytest.raises(InjectedFailure, match="rank 1 at site 'start'"):
+            run_spmd(pmafia_rank, 3, faults=plan,
+                     args=(one_cluster_dataset.records, small_params,
+                           DOMAINS_10D))
+
+    def test_wildcard_crash_point(self, one_cluster_dataset, small_params):
+        """CrashPoint(rank=2) with no site kills rank 2 at the first
+        site it announces."""
+        plan = FaultPlan(crashes=(CrashPoint(rank=2),))
+        with pytest.raises(InjectedFailure, match="rank 2"):
+            run_spmd(pmafia_rank, 3, faults=plan,
+                     args=(one_cluster_dataset.records, small_params,
+                           DOMAINS_10D))
+
+    def test_dropped_message_strands_receiver(self):
+        """A dropped point-to-point message surfaces as a recv timeout
+        on the stranded peer, not a silent hang."""
+        plan = FaultPlan(message_faults=(
+            MessageFault(rank=0, action="drop", nth=0),))
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("lost", 1, tag=7)
+                return None
+            return comm.recv(0, tag=7)
+
+        with pytest.raises(CommTimeoutError):
+            run_spmd(prog, 2, faults=plan, recv_timeout=0.5)
+
+    def test_delay_fault_still_delivers(self):
+        plan = FaultPlan(message_faults=(
+            MessageFault(rank=0, action="delay", nth=0, delay=0.05),))
+        state = plan.state_for(0)
+        assert state.on_send(1, 0) == (True, 0.05)
+        assert state.on_send(1, 0) == (True, 0.0)
+
+    def test_chaos_mode_is_deterministic(self):
+        """Two runs of the same seeded plan make identical drop/delay
+        decisions — failures found under chaos replay exactly."""
+        plan = FaultPlan(seed=42, drop_rate=0.3, delay_rate=0.2)
+        a, b = plan.state_for(1), plan.state_for(1)
+        decisions_a = [a.on_send(0, 0) for _ in range(50)]
+        decisions_b = [b.on_send(0, 0) for _ in range(50)]
+        assert decisions_a == decisions_b
+        assert any(not deliver for deliver, _ in decisions_a)
+
+    def test_bad_message_fault_action_rejected(self):
+        with pytest.raises(ValueError, match="drop"):
+            MessageFault(rank=0, action="corrupt")
+
+
+def _recording_policy(calls):
+    """A fast retry policy whose sleeps are recorded, not slept."""
+    return RetryPolicy(max_attempts=3, base_delay=0.01, multiplier=2.0,
+                       sleep=calls.append)
+
+
+class TestResilientReads:
+    def test_transient_read_fault_retried(self, one_cluster_dataset,
+                                          small_params):
+        """Two injected EIO failures on one chunk are absorbed by the
+        retry loop with exponential backoff; the run still succeeds."""
+        sleeps: list[float] = []
+        plan = FaultPlan(read_faults=(
+            ReadFault(rank=0, site="histogram", chunk=0, errors=2),))
+        ranks = run_spmd(pmafia_rank, 1, backend="serial", faults=plan,
+                         args=(one_cluster_dataset.records, small_params,
+                               DOMAINS_10D),
+                         kwargs={"retry": _recording_policy(sleeps)})
+        expected = mafia(one_cluster_dataset.records, small_params,
+                         domains=DOMAINS_10D)
+        assert ranks[0].value.dense_per_level() == expected.dense_per_level()
+        assert sleeps == [0.01, 0.02]
+
+    def test_permanent_read_fault_exhausts_retries(self, one_cluster_dataset,
+                                                   small_params):
+        sleeps: list[float] = []
+        plan = FaultPlan(read_faults=(
+            ReadFault(rank=0, permanent=True),))
+        with pytest.raises(OSError, match="injected permanent"):
+            run_spmd(pmafia_rank, 1, backend="serial", faults=plan,
+                     args=(one_cluster_dataset.records, small_params,
+                           DOMAINS_10D),
+                     kwargs={"retry": _recording_policy(sleeps)})
+        assert sleeps == [0.01, 0.02]  # max_attempts - 1 backoffs
+
+    def test_structural_errors_not_retried(self):
+        """ReproError-based OSErrors (bad file, bad checksum) fail fast
+        — retrying cannot fix a structurally corrupt file."""
+        calls = {"n": 0}
+
+        def read():
+            calls["n"] += 1
+            raise ChecksumError("chunk 3 CRC mismatch")
+
+        sleeps: list[float] = []
+        with pytest.raises(ChecksumError):
+            read_with_retry(read, _recording_policy(sleeps))
+        assert calls["n"] == 1
+        assert sleeps == []
+
+    def test_success_after_transient(self):
+        attempts = {"n": 0}
+
+        def read():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise OSError("transient")
+            return "payload"
+
+        sleeps: list[float] = []
+        assert read_with_retry(read, _recording_policy(sleeps)) == "payload"
+        assert attempts["n"] == 3
+        assert sleeps == [0.01, 0.02]
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ParameterError):
+            RetryPolicy(base_delay=-1.0)
+
+
+class TestChecksums:
+    def test_v2_corruption_fails_fast(self, tmp_path, one_cluster_dataset):
+        path = tmp_path / "data.bin"
+        write_records(path, one_cluster_dataset.records[:500])
+        assert read_header(path).version == 2
+        raw = bytearray(path.read_bytes())
+        raw[read_header(path).data_offset + 123] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ChecksumError):
+            RecordFile(path).read_all()
+
+    def test_corruption_pinpoints_chunk(self, tmp_path, one_cluster_dataset):
+        path = tmp_path / "data.bin"
+        write_records(path, one_cluster_dataset.records[:300],
+                      crc_chunk_records=100)
+        info = read_header(path)
+        assert info.n_crc_chunks == 3
+        raw = bytearray(path.read_bytes())
+        # flip a byte inside the *second* CRC chunk (records 100-199)
+        raw[info.data_offset + 110 * info.record_nbytes] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        rf = RecordFile(path)
+        rf.verify_chunk(0)
+        rf.verify_chunk(2)
+        with pytest.raises(ChecksumError, match="chunk 1"):
+            rf.verify_chunk(1)
+        # reads that do not touch the bad chunk still succeed
+        assert rf.read_block(0, 100).shape == (100, 10)
+        with pytest.raises(ChecksumError):
+            rf.read_block(50, 150)
+
+    def test_v1_files_still_readable(self, tmp_path, one_cluster_dataset):
+        path = tmp_path / "legacy.bin"
+        write_records(path, one_cluster_dataset.records[:200], version=1)
+        info = read_header(path)
+        assert info.version == 1
+        assert info.n_crc_chunks == 0
+        got = RecordFile(path).read_all()
+        np.testing.assert_array_equal(got,
+                                      one_cluster_dataset.records[:200])
+
+    def test_corrupt_v2_detected_by_mafia_run(self, tmp_path,
+                                              one_cluster_dataset):
+        path = tmp_path / "data.bin"
+        write_records(path, one_cluster_dataset.records)
+        raw = bytearray(path.read_bytes())
+        raw[read_header(path).data_offset + 4096] ^= 0x10
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ChecksumError):
+            mafia(path, MafiaParams(fine_bins=200, window_size=2,
+                                    chunk_records=2000),
+                  domains=DOMAINS_10D)
+
+    def test_record_nbytes_rename(self, tmp_path, one_cluster_dataset):
+        path = tmp_path / "data.bin"
+        write_records(path, one_cluster_dataset.records[:10])
+        info = read_header(path)
+        assert info.record_nbytes == 10 * 8
+        with pytest.warns(DeprecationWarning, match="record_nbytes"):
+            assert info.record_nbyteses == info.record_nbytes
+
+
+class TestCheckpointFiles:
+    STATE = {"level": 3, "params": "p", "n_records": 100, "frontier": [1, 2]}
+
+    def test_roundtrip(self, tmp_path):
+        path = save_checkpoint(tmp_path, 3, self.STATE)
+        assert path == checkpoint_path(tmp_path, 3)
+        assert load_checkpoint(path) == self.STATE
+
+    def test_latest_picks_highest_level(self, tmp_path):
+        for level in (1, 4, 2):
+            save_checkpoint(tmp_path, level, dict(self.STATE, level=level))
+        assert latest_checkpoint(tmp_path) == checkpoint_path(tmp_path, 4)
+        assert latest_checkpoint(tmp_path / "absent") is None
+
+    def test_corrupt_checkpoint_rejected(self, tmp_path):
+        path = save_checkpoint(tmp_path, 2, self.STATE)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="CRC"):
+            load_checkpoint(path)
+
+    def test_truncated_checkpoint_rejected(self, tmp_path):
+        path = save_checkpoint(tmp_path, 2, self.STATE)
+        path.write_bytes(path.read_bytes()[:-4])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "level0001.ckpt"
+        path.write_bytes(b"JUNK" + b"\x00" * 30)
+        with pytest.raises(CheckpointError, match="magic"):
+            load_checkpoint(path)
+
+    def test_clear_checkpoints(self, tmp_path):
+        for level in (1, 2):
+            save_checkpoint(tmp_path, level, self.STATE)
+        (tmp_path / "unrelated.txt").write_text("keep me")
+        assert clear_checkpoints(tmp_path) == 2
+        assert latest_checkpoint(tmp_path) is None
+        assert (tmp_path / "unrelated.txt").exists()
+
+    def test_check_compatible(self, small_params):
+        state = {"params": small_params, "n_records": 5000}
+        check_compatible(state, small_params, 5000)
+        with pytest.raises(CheckpointError, match="parameters"):
+            check_compatible(state, MafiaParams(), 5000)
+        with pytest.raises(CheckpointError, match="records"):
+            check_compatible(state, small_params, 4999)
+
+
+@pytest.fixture(scope="module")
+def baseline(one_cluster_dataset, small_params):
+    """The uninterrupted 3-rank reference result for the resume matrix."""
+    return pmafia(one_cluster_dataset.records, 3, small_params,
+                  domains=DOMAINS_10D).result
+
+
+def _assert_identical(result, reference):
+    """Bit-identical clustering: per-level CDU and dense-unit counts,
+    the dense unit tables themselves, and the reported cluster DNFs."""
+    assert result.cdus_per_level() == reference.cdus_per_level()
+    assert result.dense_per_level() == reference.dense_per_level()
+    assert len(result.trace) == len(reference.trace)
+    for got, want in zip(result.trace, reference.trace):
+        np.testing.assert_array_equal(got.dense.dims, want.dense.dims)
+        np.testing.assert_array_equal(got.dense.bins, want.dense.bins)
+        np.testing.assert_array_equal(got.dense_counts, want.dense_counts)
+    assert [c.dnf for c in result.clusters] == \
+        [c.dnf for c in reference.clusters]
+
+
+@pytest.mark.fault
+class TestCheckpointResume:
+    """The acceptance matrix: kill rank 1 at every level, resume, and
+    demand a bit-identical result on both in-memory backends."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("level", [1, 2, 3, 4, 5, 6])
+    def test_kill_and_resume_matrix(self, tmp_path, backend, level,
+                                    baseline, one_cluster_dataset,
+                                    small_params):
+        if level > len(baseline.trace):
+            pytest.skip(f"run has only {len(baseline.trace)} levels")
+        plan = FaultPlan(crashes=(
+            CrashPoint(rank=1, site="populate", level=level),))
+        with pytest.raises((InjectedFailure, CommError)):
+            pmafia_resumable(one_cluster_dataset.records, 3, small_params,
+                             checkpoint_dir=tmp_path, domains=DOMAINS_10D,
+                             backend=backend, faults=plan, recv_timeout=30.0)
+        if level >= 2:
+            # a kill during the level-1 pass predates the first
+            # checkpoint; the resume below then simply starts fresh
+            assert latest_checkpoint(tmp_path) is not None
+        run = pmafia_resumable(one_cluster_dataset.records, 3, small_params,
+                               checkpoint_dir=tmp_path, domains=DOMAINS_10D,
+                               backend=backend)
+        _assert_identical(run.result, baseline)
+
+    def test_auto_restart_recovers_in_one_call(self, tmp_path, baseline,
+                                               one_cluster_dataset,
+                                               small_params):
+        """max_restarts=1 turns an injected crash into a transparent
+        retry-from-checkpoint inside a single call."""
+        plan = FaultPlan(crashes=(
+            CrashPoint(rank=2, site="join", level=2),))
+        run = pmafia_resumable(one_cluster_dataset.records, 3, small_params,
+                               checkpoint_dir=tmp_path, domains=DOMAINS_10D,
+                               faults=plan, max_restarts=1,
+                               recv_timeout=30.0)
+        _assert_identical(run.result, baseline)
+
+    def test_resume_with_different_nprocs(self, tmp_path, baseline,
+                                          one_cluster_dataset, small_params):
+        """Checkpoint state is rank-independent: a run killed on 3 ranks
+        resumes on 2 (or 1) with the identical result."""
+        plan = FaultPlan(crashes=(
+            CrashPoint(rank=0, site="dedup", level=2),))
+        with pytest.raises((InjectedFailure, CommError)):
+            pmafia_resumable(one_cluster_dataset.records, 3, small_params,
+                             checkpoint_dir=tmp_path, domains=DOMAINS_10D,
+                             faults=plan, recv_timeout=30.0)
+        run = pmafia_resumable(one_cluster_dataset.records, 2, small_params,
+                               checkpoint_dir=tmp_path, domains=DOMAINS_10D)
+        _assert_identical(run.result, baseline)
+
+    def test_resume_after_completion_is_stable(self, tmp_path, baseline,
+                                               one_cluster_dataset,
+                                               small_params):
+        first = pmafia_resumable(one_cluster_dataset.records, 3,
+                                 small_params, checkpoint_dir=tmp_path,
+                                 domains=DOMAINS_10D)
+        again = pmafia_resumable(one_cluster_dataset.records, 3,
+                                 small_params, checkpoint_dir=tmp_path,
+                                 domains=DOMAINS_10D)
+        _assert_identical(first.result, baseline)
+        _assert_identical(again.result, baseline)
+
+    def test_fresh_run_clears_stale_checkpoints(self, tmp_path,
+                                                one_cluster_dataset,
+                                                small_params):
+        save_checkpoint(tmp_path, 9, {"level": 9, "params": None,
+                                      "n_records": 0})
+        run = pmafia_resumable(one_cluster_dataset.records, 2, small_params,
+                               checkpoint_dir=tmp_path, domains=DOMAINS_10D,
+                               resume=False)
+        assert run.result.n_records == len(one_cluster_dataset.records)
+        assert not checkpoint_path(tmp_path, 9).exists()
+
+    def test_incompatible_checkpoint_refused(self, tmp_path,
+                                             one_cluster_dataset,
+                                             small_params):
+        pmafia_resumable(one_cluster_dataset.records, 2, small_params,
+                         checkpoint_dir=tmp_path, domains=DOMAINS_10D)
+        with pytest.raises(CheckpointError, match="parameters"):
+            pmafia_resumable(one_cluster_dataset.records, 2,
+                             MafiaParams(fine_bins=100, window_size=2,
+                                         chunk_records=2000),
+                             checkpoint_dir=tmp_path, domains=DOMAINS_10D)

@@ -90,3 +90,34 @@ class TestProcessBackend:
                       domains=DOMAINS_10D)
         assert [c.describe() for c in proc.result.clusters] == \
             [c.describe() for c in run.result.clusters]
+
+def _crash_on(comm, crasher):
+    if comm.rank == crasher:
+        raise RuntimeError(f"rank {crasher} exploded")
+    comm.allreduce(np.zeros(2))
+    return comm.rank
+
+
+def _silent_peer(comm):
+    if comm.rank == 1:
+        return comm.recv(0, tag=8)  # rank 0 never sends
+    return None
+
+
+class TestProcessFailures:
+    @pytest.mark.parametrize("crasher", [0, 1, 2])
+    def test_any_rank_crash_aborts_run(self, crasher):
+        """A crash on any child process surfaces as CommError on the
+        parent instead of hanging the surviving ranks."""
+        import time
+        start = time.monotonic()
+        with pytest.raises(CommError,
+                           match=f"rank {crasher} exploded"):
+            run_spmd(_crash_on, 3, backend="process",
+                     args=(crasher,))
+        assert time.monotonic() - start < 60
+
+    def test_recv_timeout_raises_typed_error(self):
+        from repro.errors import CommTimeoutError
+        with pytest.raises(CommTimeoutError, match="timed out receiving"):
+            run_spmd(_silent_peer, 2, backend="process", recv_timeout=1.0)
