@@ -1,0 +1,322 @@
+#!/usr/bin/env python
+"""Pinned hot-path benchmark suite with a JSON trajectory output.
+
+Runs the kernels the system's wall-clock time actually goes to —
+population (float, binned-bitmap and overflow-fallback engines), record
+location, bin-index staging, histogramming, the CDU join and repeat
+elimination — plus an end-to-end 5-level pMAFIA run under
+``bin_cache="off"`` vs ``"memory"``, and writes one JSON document
+(kernel → median seconds, machine info, e2e speedup).
+
+Usage::
+
+    python benchmarks/run_bench.py --output BENCH_pr2.json
+    python benchmarks/run_bench.py --smoke --output bench.json \
+        --compare benchmarks/bench_smoke_baseline.json --fail-over 3.0
+
+``--smoke`` runs a scaled-down suite suitable for CI; ``--compare``
+checks each kernel's median against a previously committed baseline of
+the *same* suite and exits non-zero when any kernel regressed by more
+than ``--fail-over`` (default 3x — wide enough for shared-runner noise,
+narrow enough to catch an accidentally de-vectorised kernel).
+
+The e2e section verifies that both cache policies produce identical
+clusters and that the result passes ``repro.analysis.verify_result``
+(an independent float-path recount), so a reported speedup can never
+come from a silently wrong fast path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+for p in (str(_REPO_ROOT), str(_REPO_ROOT / "src")):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+import numpy as np  # noqa: E402
+
+from repro.analysis.verify import verify_result  # noqa: E402
+from repro.core.candidates import join_all  # noqa: E402
+from repro.core.histogram import fine_histogram_local  # noqa: E402
+from repro.core.mafia import mafia  # noqa: E402
+from repro.core.population import populate_local  # noqa: E402
+from repro.core.units import UnitTable  # noqa: E402
+from repro.io import ArraySource  # noqa: E402
+from repro.io.binned import stage_binned  # noqa: E402
+from repro.parallel import SerialComm  # noqa: E402
+from repro.types import DimensionGrid, Grid  # noqa: E402
+
+from benchmarks.workloads import (bench_params, clustered_dataset,  # noqa: E402
+                                  domains)
+
+SCHEMA = "pmafia-bench/1"
+
+
+def uniform_grid(d: int, nbins: int) -> Grid:
+    dims = []
+    for j in range(d):
+        edges = tuple(np.linspace(0, 100, nbins + 1))
+        dims.append(DimensionGrid(dim=j, edges=edges,
+                                  thresholds=(1.0,) * nbins))
+    return Grid(dims=tuple(dims))
+
+
+def random_units(n_units: int, k: int, n_dims: int, nbins: int,
+                 seed: int) -> UnitTable:
+    rng = np.random.default_rng(seed)
+    units = []
+    for _ in range(n_units):
+        dims = sorted(rng.choice(n_dims, size=k, replace=False).tolist())
+        units.append([(d, int(rng.integers(0, nbins))) for d in dims])
+    return UnitTable.from_pairs(units).unique()
+
+
+def median_time(fn, runs: int) -> float:
+    times = []
+    for _ in range(runs):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def build_suite(smoke: bool):
+    """The pinned kernel set at full or smoke scale.
+
+    Returns ``(kernels, e2e_config)`` where kernels maps name ->
+    (callable, runs).
+    """
+    if smoke:
+        n_records, n_dims, nbins = 20_000, 8, 8
+        n_units, chunk = 400, 10_000
+        overflow_records, overflow_units = 5_000, 64
+        join_units, dedup_base = 200, 1_000
+        runs = 3
+    else:
+        # the reference load: 200k records x ~3000 4-d CDUs
+        n_records, n_dims, nbins = 200_000, 15, 10
+        n_units, chunk = 3_000, 50_000
+        overflow_records, overflow_units = 50_000, 512
+        join_units, dedup_base = 800, 5_000
+        runs = 5
+
+    rng = np.random.default_rng(7)
+    records = rng.random((n_records, n_dims)) * 100.0
+    source = ArraySource(records)
+    grid = uniform_grid(n_dims, nbins)
+    units = random_units(n_units, 4 if not smoke else 3, n_dims, nbins,
+                         seed=8)
+    comm = SerialComm()
+    store = stage_binned(source, comm, grid, chunk)
+
+    # overflow load: radix product 200^9 >> 2**62 forces the fallback.
+    # Many units per subspace (the usual MAFIA shape) so the per-unit
+    # matcher — not locate_records or the per-subspace column selection
+    # — dominates the kernel and the column-narrowing short-circuit is
+    # actually what gets pinned.
+    over_d = max(n_dims, 9)
+    over_grid = uniform_grid(over_d, 200)
+    rng11 = np.random.default_rng(11)
+    over_pairs = []
+    for _ in range(8):
+        ds = sorted(rng11.choice(over_d, size=9, replace=False).tolist())
+        for _ in range(overflow_units // 8):
+            over_pairs.append([(d, int(rng11.integers(0, 200)))
+                               for d in ds])
+    over_units = UnitTable.from_pairs(over_pairs).unique()
+    over_source = ArraySource(
+        np.ascontiguousarray(records[:overflow_records, :1])
+        * np.ones((1, over_d)))
+
+    dense = random_units(join_units, 3, min(n_dims, 12), 6, seed=9)
+    rng10 = np.random.default_rng(10)
+    dup = []
+    for _ in range(dedup_base):
+        ds = sorted(rng10.choice(min(n_dims, 12), size=4,
+                                 replace=False).tolist())
+        dup.append([(d, int(rng10.integers(0, 6))) for d in ds])
+    dup_table = UnitTable.from_pairs(dup * 10)
+
+    kernels = {
+        "locate_records": (lambda: grid.locate_records(records), runs),
+        "populate_local_float": (
+            lambda: populate_local(source, comm, grid, units, chunk), runs),
+        "binned_store_build": (
+            lambda: stage_binned(source, comm, grid, chunk), runs),
+        "populate_local_binned": (
+            lambda: populate_local(source, comm, grid, units, chunk,
+                                   binned=store), runs),
+        "populate_overflow_fallback": (
+            lambda: populate_local(over_source, comm, over_grid, over_units,
+                                   chunk), runs),
+        "fine_histogram_local": (
+            lambda: fine_histogram_local(source, comm,
+                                         np.array([[0.0, 100.0]] * n_dims),
+                                         1000 if not smoke else 200, chunk),
+            runs),
+        "cdu_join": (lambda: join_all(dense), runs),
+        "repeat_mask": (lambda: dup_table.repeat_mask(), runs),
+    }
+
+    if smoke:
+        e2e = dict(n_records=20_000, n_dims=8, n_clusters=2, cluster_dim=4,
+                   chunk=10_000)
+    else:
+        e2e = dict(n_records=200_000, n_dims=15, n_clusters=10,
+                   cluster_dim=5, chunk=50_000)
+    return kernels, e2e
+
+
+def cluster_signature(result):
+    """An order-stable, comparison-safe digest of the clusters."""
+    return [
+        (tuple(c.subspace.dims), c.units_bins.tolist(), c.point_count)
+        for c in result.clusters
+    ]
+
+
+def run_e2e(cfg: dict) -> dict:
+    ds = clustered_dataset(cfg["n_records"], cfg["n_dims"],
+                           n_clusters=cfg["n_clusters"],
+                           cluster_dim=cfg["cluster_dim"], seed=3)
+    doms = domains(cfg["n_dims"])
+    base = bench_params(chunk_records=cfg["chunk"])
+
+    t0 = time.perf_counter()
+    off = mafia(ds.records, base.with_(bin_cache="off"), domains=doms)
+    t_off = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    mem = mafia(ds.records, base.with_(bin_cache="memory"), domains=doms)
+    t_mem = time.perf_counter() - t0
+
+    identical = cluster_signature(off) == cluster_signature(mem)
+    trace_identical = all(
+        a.level == b.level and a.n_cdus == b.n_cdus
+        and a.n_dense == b.n_dense
+        and np.array_equal(a.dense_counts, b.dense_counts)
+        for a, b in zip(off.trace, mem.trace)) \
+        and len(off.trace) == len(mem.trace)
+    report = verify_result(mem, ds.records, cfg["chunk"])
+
+    return {
+        "workload": cfg,
+        "levels": len(mem.trace),
+        "n_clusters_found": len(mem.clusters),
+        "bin_cache_off_s": round(t_off, 4),
+        "bin_cache_memory_s": round(t_mem, 4),
+        "speedup": round(t_off / t_mem, 2) if t_mem > 0 else None,
+        "clusters_identical": bool(identical),
+        "trace_identical": bool(trace_identical),
+        "verify_ok": bool(report.ok),
+        "verify_findings": report.findings,
+    }
+
+
+def machine_info() -> dict:
+    import multiprocessing
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpus": multiprocessing.cpu_count(),
+    }
+
+
+def compare(current: dict, baseline_path: Path, fail_over: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("suite") != current.get("suite"):
+        print(f"warning: comparing {current.get('suite')} run against "
+              f"{baseline.get('suite')} baseline; kernel loads differ",
+              file=sys.stderr)
+    failures = []
+    for name, entry in current["kernels"].items():
+        ref = baseline.get("kernels", {}).get(name)
+        if ref is None:
+            continue
+        ratio = entry["median_s"] / ref["median_s"] if ref["median_s"] else 0
+        marker = ""
+        if ratio > fail_over:
+            failures.append(name)
+            marker = f"  REGRESSED (> {fail_over:.1f}x)"
+        print(f"  {name:32s} {entry['median_s']:.4f}s vs "
+              f"{ref['median_s']:.4f}s  ({ratio:.2f}x){marker}")
+    if failures:
+        print(f"FAIL: {len(failures)} kernel(s) regressed more than "
+              f"{fail_over:.1f}x over baseline: {', '.join(failures)}")
+        return 1
+    print("compare: no kernel regressed past the threshold")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="scaled-down suite for CI")
+    ap.add_argument("--output", type=Path, default=None,
+                    help="write the JSON document here")
+    ap.add_argument("--compare", type=Path, default=None,
+                    help="baseline JSON to diff kernel medians against")
+    ap.add_argument("--fail-over", type=float, default=3.0,
+                    help="fail when any kernel is this many times slower "
+                         "than the baseline (default 3.0)")
+    ap.add_argument("--min-speedup", type=float, default=0.0,
+                    help="fail unless the e2e memory-vs-off speedup "
+                         "reaches this factor")
+    ap.add_argument("--skip-e2e", action="store_true",
+                    help="kernels only (no end-to-end runs)")
+    args = ap.parse_args(argv)
+
+    suite = "smoke" if args.smoke else "full"
+    print(f"suite: {suite}")
+    kernels, e2e_cfg = build_suite(args.smoke)
+
+    doc = {"schema": SCHEMA, "suite": suite, "machine": machine_info(),
+           "kernels": {}}
+    for name, (fn, runs) in kernels.items():
+        median = median_time(fn, runs)
+        doc["kernels"][name] = {"median_s": round(median, 5), "runs": runs}
+        print(f"  {name:32s} {median:.4f}s  (median of {runs})")
+
+    if not args.skip_e2e:
+        print("running end-to-end bin_cache off vs memory ...")
+        doc["e2e"] = run_e2e(e2e_cfg)
+        e = doc["e2e"]
+        print(f"  off: {e['bin_cache_off_s']:.2f}s  "
+              f"memory: {e['bin_cache_memory_s']:.2f}s  "
+              f"speedup: {e['speedup']}x  levels: {e['levels']}  "
+              f"clusters identical: {e['clusters_identical']}  "
+              f"verified: {e['verify_ok']}")
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    rc = 0
+    if args.compare is not None:
+        rc = compare(doc, args.compare, args.fail_over)
+    if not args.skip_e2e:
+        e = doc["e2e"]
+        if not (e["clusters_identical"] and e["trace_identical"]
+                and e["verify_ok"]):
+            print("FAIL: binned and float paths disagree or verification "
+                  "failed")
+            rc = 1
+        if args.min_speedup and (e["speedup"] or 0) < args.min_speedup:
+            print(f"FAIL: e2e speedup {e['speedup']}x below required "
+                  f"{args.min_speedup}x")
+            rc = 1
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

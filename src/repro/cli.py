@@ -94,7 +94,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                              fine_bins=args.fine_bins,
                              window_size=args.window,
                              chunk_records=args.chunk,
-                             report=args.report)
+                             report=args.report,
+                             bin_cache=args.bin_cache)
         data: object = Path(args.data)
         if Path(args.data).suffix in (".npy", ".csv", ".txt"):
             data = _load_records(Path(args.data))
@@ -172,6 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--report", choices=("merged", "paper", "maximal"),
                      default="merged",
                      help="cluster-reporting semantics (DESIGN.md 4.1)")
+    run.add_argument("--bin-cache", choices=("memory", "disk", "off"),
+                     default="memory", dest="bin_cache",
+                     help="staged bin-index store policy: keep per-record "
+                          "bin indices in RAM, on disk beside the staged "
+                          "records, or re-locate records every pass")
     run.add_argument("--collectives", choices=("flat", "tree"),
                      default="flat",
                      help="collective wire pattern for parallel runs")

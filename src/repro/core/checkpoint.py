@@ -129,8 +129,20 @@ def clear_checkpoints(directory: str | os.PathLike) -> int:
 def check_compatible(state: dict[str, Any], params: Any,
                      n_records: int) -> None:
     """Refuse to resume from a checkpoint written under different
-    parameters or data — the replayed passes would silently diverge."""
-    if state.get("params") != params:
+    parameters or data — the replayed passes would silently diverge.
+
+    ``bin_cache`` is excluded from the comparison: the bin-index store
+    is a transparent encoding of the same pass (bit-identical counts),
+    so a run may legitimately resume under a different cache policy —
+    the store is restaged from the checkpointed grid either way.
+    """
+    stored = state.get("params")
+    if stored is not None:
+        try:
+            stored = stored.with_(bin_cache=params.bin_cache)
+        except (AttributeError, TypeError):
+            pass
+    if stored != params:
         raise CheckpointError(
             "checkpoint was written with different parameters "
             f"({state.get('params')!r} != {params!r}); "

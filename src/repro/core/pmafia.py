@@ -31,6 +31,7 @@ from typing import Any
 import numpy as np
 
 from ..errors import DataError
+from ..io.binned import grid_fingerprint, stage_binned
 from ..io.chunks import DataSource, as_source
 from ..io.partition import block_range
 from ..io.resilient import RetryPolicy
@@ -260,6 +261,7 @@ def pmafia_rank(comm: Comm, data: Any, params: MafiaParams | None = None,
             "n_records": n_records,
             "domains": np.asarray(domains, dtype=np.float64),
             "grid": grid,
+            "grid_hash": grid_fingerprint(grid),
             "trace": tuple(trace),
             "registered": tuple(registered),
         })
@@ -282,10 +284,17 @@ def pmafia_rank(comm: Comm, data: Any, params: MafiaParams | None = None,
                                      retry)
         grid = build_grid(fine, domains, n_records, params)
 
+    # once the grid is fixed, stage this rank's bin-index store — every
+    # level pass then streams compact indices instead of re-locating the
+    # float records (charges nothing, like shared-to-local staging)
+    binned = stage_binned(source, comm, grid, params.chunk_records,
+                          start, stop, policy=params.bin_cache, retry=retry)
+
     def level_pass(cdus: UnitTable, raw_count: int, level: int) -> LevelTrace:
         fault_site(comm, "populate", level)
         counts = populate_global(source, comm, grid, cdus,
-                                 params.chunk_records, start, stop, retry)
+                                 params.chunk_records, start, stop, retry,
+                                 binned=binned)
         mask, ndu = _identify_dense(comm, cdus, counts, grid, params.tau,
                                     params.min_bin_points)
         dense, dense_counts = dense_units(cdus, counts, mask)

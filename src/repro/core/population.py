@@ -6,12 +6,30 @@ this is the data-parallel heart of pMAFIA: every rank streams its N/p
 local records in chunks of B and increments the histogram count of each
 CDU a record falls in; a sum-Reduce yields global counts.
 
-Implementation: records are first mapped to per-dimension bin indices
-(one ``searchsorted`` per column), then CDUs are grouped by subspace and
-records matched by mixed-radix subspace keys — O(B·k) per subspace
-instead of O(B·Ncdu·k) naive masking.  The simulated-time backend is
-charged the naive per-CDU cost (what the paper's per-record scan on the
-SP2 paid), keeping virtual runtimes faithful to the measured system.
+Two engines share this module, selected by whether the caller staged a
+:class:`~repro.io.binned.BinnedStore` (the ``bin_cache`` policy):
+
+* **Float path** (``binned=None``): records are mapped to per-dimension
+  bin indices (one ``searchsorted`` per column), then CDUs are grouped
+  by subspace and records matched by mixed-radix subspace keys —
+  O(B·k) per subspace instead of O(B·Ncdu·k) naive masking.  Matchers
+  are visited in lexicographic subspace order so Horner key folds are
+  shared between subspaces with a common dim prefix: the level-k fold
+  for ``(d0..dk)`` reuses the cached level-(k-1) fold for ``(d0..dk-1)``
+  instead of restarting from column 0.
+
+* **Bitmap path** (``binned`` given): the staged uint8/uint16 columns
+  are turned into packed per-(dim, bin) membership bitmaps once per
+  chunk (``np.packbits`` of ``col == b``, built only for pairs some CDU
+  references) and each CDU's count is the popcount of the AND of its k
+  bitmaps, batched across CDUs.  Per chunk this is one byte-wide AND +
+  popcount per CDU — no per-record keys at all — and skips
+  ``locate_records`` because the store did it once at staging time.
+
+Both engines produce bit-identical counts.  The simulated-time backend
+is charged the naive per-CDU cost (what the paper's per-record scan on
+the SP2 paid) and float-width I/O either way, keeping virtual runtimes
+faithful to the measured system and independent of the engine.
 """
 
 from __future__ import annotations
@@ -19,6 +37,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import DataError
+from ..io.binned import BinnedStore
 from ..io.chunks import DataSource, charged_chunks
 from ..io.resilient import RetryPolicy
 from ..parallel.comm import Comm
@@ -29,6 +48,23 @@ from .units import UnitTable
 #: would overflow
 _KEY_LIMIT = 2**62
 
+#: CDUs ANDed per batched bitmap gather — bounds the (batch, k, n/8)
+#: gather scratch while keeping the popcount loop out of Python
+_UNIT_BATCH = 512
+
+#: past this many bitmap bytes per chunk the bitmap engine would thrash
+#: cache for sparse unit tables; fall back to keyed matching instead
+_BITMAP_BYTE_CAP = 1 << 27
+
+_POPCOUNT8 = np.unpackbits(
+    np.arange(256, dtype=np.uint8)[:, None], axis=1).sum(axis=1)
+
+
+def _popcount_rows(acc: np.ndarray) -> np.ndarray:
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(acc).sum(axis=1, dtype=np.int64)
+    return _POPCOUNT8[acc].sum(axis=1, dtype=np.int64)
+
 
 class _SubspaceMatcher:
     """Pre-computed matching state for the units of one subspace."""
@@ -36,24 +72,28 @@ class _SubspaceMatcher:
     def __init__(self, dims: tuple[int, ...], rows: np.ndarray,
                  units: UnitTable, grid: Grid) -> None:
         self.dims = np.asarray(dims, dtype=np.int64)
+        self.dims_t = tuple(int(d) for d in dims)
         self.rows = rows                      # indices into the CDU table
         bins = units.bins[rows][:, :].astype(np.int64)
-        radices = np.array([grid[d].nbins for d in dims], dtype=np.int64)
+        self.radices = np.array([grid[d].nbins for d in dims], dtype=np.int64)
         product = 1
-        for r in radices:
+        for r in self.radices:
             product *= int(r)
             if product >= _KEY_LIMIT:
                 break
         self.overflow = product >= _KEY_LIMIT
         if self.overflow:
-            # rare: fall back to per-unit column masks
+            # rare: fall back to per-unit column matching
             self.unit_bins = bins
             return
-        self.radices = radices
         keys = self._keys(bins)
         order = np.argsort(keys)
         self.sorted_keys = keys[order]
         self.order = order
+        # counts[mapped_rows] += hist is a permutation (unit keys are
+        # unique within a subspace), so plain fancy-index assignment
+        # replaces the unbuffered np.add.at scatter
+        self.mapped_rows = rows[order]
 
     def _keys(self, idx: np.ndarray) -> np.ndarray:
         key = idx[:, 0].astype(np.int64)
@@ -61,62 +101,194 @@ class _SubspaceMatcher:
             key = key * self.radices[j] + idx[:, j]
         return key
 
+    def _subspace_columns(self, bin_idx: np.ndarray) -> np.ndarray:
+        if bin_idx.shape[1] == len(self.dims_t):
+            # dims are strictly increasing, so covering every column
+            # means the identity selection — skip the fancy-index copy
+            return bin_idx
+        return bin_idx[:, self.dims]
+
     def count_chunk(self, bin_idx: np.ndarray, counts: np.ndarray) -> None:
         """Add this chunk's matches into ``counts`` (full CDU-table length)."""
-        sub = bin_idx[:, self.dims]
+        sub = self._subspace_columns(bin_idx)
         if self.overflow:
-            for local, row in enumerate(self.rows):
-                mask = np.all(sub == self.unit_bins[local], axis=1)
-                counts[row] += int(mask.sum())
+            self._count_overflow(sub, counts)
             return
-        rec_keys = self._keys(sub)
+        self.count_keys(self._keys(sub), counts)
+
+    def _count_overflow(self, sub: np.ndarray, counts: np.ndarray) -> None:
+        # narrow the candidate set column by column and stop at the
+        # first empty intersection instead of building a full
+        # (rows, k) equality mask per unit
+        for local, row in enumerate(self.rows):
+            target = self.unit_bins[local]
+            cand = np.flatnonzero(sub[:, 0] == target[0])
+            for j in range(1, sub.shape[1]):
+                if cand.size == 0:
+                    break
+                cand = cand[sub[cand, j] == target[j]]
+            counts[row] += int(cand.size)
+
+    def count_keys(self, rec_keys: np.ndarray, counts: np.ndarray) -> None:
+        """Match pre-folded record keys against this subspace's units."""
         pos = np.searchsorted(self.sorted_keys, rec_keys)
-        pos_clipped = np.minimum(pos, len(self.sorted_keys) - 1)
-        hit = self.sorted_keys[pos_clipped] == rec_keys
+        np.minimum(pos, len(self.sorted_keys) - 1, out=pos)
+        hit = self.sorted_keys[pos] == rec_keys
         if hit.any():
-            local_counts = np.bincount(pos_clipped[hit],
+            local_counts = np.bincount(pos[hit],
                                        minlength=len(self.sorted_keys))
-            np.add.at(counts, self.rows[self.order], local_counts)
+            counts[self.mapped_rows] += local_counts
 
 
 def build_matchers(units: UnitTable, grid: Grid) -> list[_SubspaceMatcher]:
-    """One matcher per distinct subspace of the unit table."""
+    """One matcher per distinct subspace, in lexicographic dim order so
+    consecutive matchers share key-fold prefixes."""
     if units.n_units and int(units.dims.max()) >= grid.ndim:
         raise DataError("unit table references dimensions beyond the grid")
     return [
         _SubspaceMatcher(dims, rows, units, grid)
-        for dims, rows in units.group_by_subspace().items()
+        for dims, rows in sorted(units.group_by_subspace().items())
     ]
 
 
-def populate_local(source: DataSource, comm: Comm, grid: Grid,
+def _count_with_matchers(matchers: list[_SubspaceMatcher],
+                         bin_idx: np.ndarray,
+                         counts: np.ndarray) -> None:
+    """Run one chunk through every matcher, reusing Horner fold
+    prefixes between consecutive (lexicographically sorted) subspaces.
+
+    The stack holds at most k live key arrays — the folds along the
+    current subspace's dim prefix — so sharing costs O(k·B) transient
+    memory, never one cached array per subspace.
+    """
+    stack_dims: list[int] = []
+    stack_keys: list[np.ndarray] = []
+    for m in matchers:
+        if m.overflow:
+            m.count_chunk(bin_idx, counts)
+            continue
+        dims_t = m.dims_t
+        keep = 0
+        limit = min(len(stack_dims), len(dims_t))
+        while keep < limit and stack_dims[keep] == dims_t[keep]:
+            keep += 1
+        del stack_dims[keep:], stack_keys[keep:]
+        for j in range(keep, len(dims_t)):
+            col = bin_idx[:, dims_t[j]]
+            if j == 0:
+                key = col.astype(np.int64)
+            else:
+                key = stack_keys[j - 1] * m.radices[j] + col
+            stack_dims.append(dims_t[j])
+            stack_keys.append(key)
+        m.count_keys(stack_keys[-1], counts)
+
+
+class _BitmapCounter:
+    """Batched bitmap-AND population over staged bin-index columns.
+
+    For each (dim, bin) pair some CDU references, one packed membership
+    bitmap is built per chunk; a CDU's count is then the popcount of
+    the AND of its k bitmaps.  ``np.packbits`` pads the last byte with
+    zero bits, which AND/popcount ignore, so partial chunks need no
+    special casing.
+    """
+
+    def __init__(self, units: UnitTable, grid: Grid) -> None:
+        nbins = np.array([grid[d].nbins for d in range(grid.ndim)],
+                         dtype=np.int64)
+        offsets = np.zeros(grid.ndim + 1, dtype=np.int64)
+        np.cumsum(nbins, out=offsets[1:])
+        flat = offsets[units.dims.astype(np.int64)] \
+            + units.bins.astype(np.int64)
+        self.used = np.unique(flat)           # referenced (dim, bin) pairs
+        self.unit_rows = np.searchsorted(self.used, flat)  # (n_units, k)
+        self.used_dims = np.searchsorted(offsets, self.used,
+                                         side="right") - 1
+        self.used_bins = self.used - offsets[self.used_dims]
+
+    def bitmap_nbytes(self, rows: int) -> int:
+        return len(self.used) * (-(-rows // 8))
+
+    def count_columns(self, cols: np.ndarray, counts: np.ndarray) -> None:
+        """Add one ``(n_dims, rows)`` column block's matches to ``counts``."""
+        bitmaps = np.empty((len(self.used), -(-cols.shape[1] // 8)),
+                           dtype=np.uint8)
+        for i in range(len(self.used)):
+            bitmaps[i] = np.packbits(
+                cols[self.used_dims[i]] == self.used_bins[i])
+        n_units = self.unit_rows.shape[0]
+        for lo in range(0, n_units, _UNIT_BATCH):
+            gathered = bitmaps[self.unit_rows[lo:lo + _UNIT_BATCH]]
+            acc = np.bitwise_and.reduce(gathered, axis=1)
+            counts[lo:lo + _UNIT_BATCH] += _popcount_rows(acc)
+
+
+def _populate_binned(binned: BinnedStore, comm: Comm, grid: Grid,
+                     units: UnitTable, chunk_records: int,
+                     counts: np.ndarray,
+                     retry: RetryPolicy | None) -> np.ndarray:
+    if binned.n_dims != grid.ndim:
+        raise DataError(
+            f"binned store has {binned.n_dims} dimensions, grid has "
+            f"{grid.ndim}")
+    per_record_cost = units.n_units * units.level
+    counter = _BitmapCounter(units, grid)
+    rows = min(chunk_records, binned.n_records)
+    use_bitmaps = counter.bitmap_nbytes(rows) <= _BITMAP_BYTE_CAP
+    matchers = None if use_bitmaps else build_matchers(units, grid)
+    for cols in binned.charged_chunks(comm, chunk_records, retry=retry):
+        comm.charge_cells(cols.shape[1] * per_record_cost)
+        if use_bitmaps:
+            counter.count_columns(cols, counts)
+        else:
+            bin_idx = np.ascontiguousarray(cols.T).astype(np.int64)
+            _count_with_matchers(matchers, bin_idx, counts)
+    return counts
+
+
+def populate_local(source: DataSource | None, comm: Comm, grid: Grid,
                    units: UnitTable, chunk_records: int,
                    start: int = 0, stop: int | None = None,
-                   retry: RetryPolicy | None = None) -> np.ndarray:
+                   retry: RetryPolicy | None = None, *,
+                   binned: BinnedStore | None = None) -> np.ndarray:
     """Counts of this rank's local records per CDU (one data pass).
 
     ``start``/``stop`` select the rank's block when the source holds the
     full data set (in-memory SPMD); a staged local file is passed whole.
+    With ``binned`` given the pass streams the staged bin-index store
+    (which must cover exactly this rank's ``[start, stop)`` block)
+    through the bitmap engine instead of re-reading and re-locating the
+    float records; counts and simulated-time charges are identical.
     """
     counts = np.zeros(units.n_units, dtype=np.int64)
     if units.n_units == 0:
         return counts
+    if binned is not None:
+        if source is not None:
+            expected = (source.n_records if stop is None else stop) - start
+            if binned.n_records != expected:
+                raise DataError(
+                    f"binned store holds {binned.n_records} records but the "
+                    f"rank's block has {expected}")
+        return _populate_binned(binned, comm, grid, units, chunk_records,
+                                counts, retry)
     matchers = build_matchers(units, grid)
     per_record_cost = units.n_units * units.level
     for chunk in charged_chunks(source, comm, chunk_records, start, stop,
                                 retry=retry):
         comm.charge_cells(chunk.shape[0] * per_record_cost)
         bin_idx = grid.locate_records(chunk)
-        for matcher in matchers:
-            matcher.count_chunk(bin_idx, counts)
+        _count_with_matchers(matchers, bin_idx, counts)
     return counts
 
 
-def populate_global(source: DataSource, comm: Comm, grid: Grid,
+def populate_global(source: DataSource | None, comm: Comm, grid: Grid,
                     units: UnitTable, chunk_records: int,
                     start: int = 0, stop: int | None = None,
-                    retry: RetryPolicy | None = None) -> np.ndarray:
+                    retry: RetryPolicy | None = None, *,
+                    binned: BinnedStore | None = None) -> np.ndarray:
     """Global CDU counts: local pass + sum Reduce (§4.1)."""
     local = populate_local(source, comm, grid, units, chunk_records,
-                           start, stop, retry)
+                           start, stop, retry, binned=binned)
     return comm.allreduce(local, op="sum")

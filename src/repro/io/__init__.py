@@ -1,6 +1,9 @@
 """Out-of-core I/O substrate: binary record files, chunked passes,
-block partitioning of N over p ranks and shared→local disk staging."""
+block partitioning of N over p ranks, shared→local disk staging and the
+staged bin-index store behind the ``bin_cache`` policy."""
 
+from .binned import (BinnedStore, binned_cache_path, build_binned_store,
+                     grid_fingerprint, load_binned_cache, stage_binned)
 from .chunks import ArraySource, DataSource, as_source, charged_chunks
 from .partition import block_offsets, block_range
 from .records import (DEFAULT_CRC_CHUNK_RECORDS, RecordFile, RecordFileInfo,
@@ -10,6 +13,7 @@ from .staging import local_path, stage_local
 
 __all__ = [
     "ArraySource",
+    "BinnedStore",
     "DEFAULT_CRC_CHUNK_RECORDS",
     "DEFAULT_RETRY",
     "DataSource",
@@ -18,12 +22,17 @@ __all__ = [
     "RecordFileWriter",
     "RetryPolicy",
     "as_source",
+    "binned_cache_path",
     "block_offsets",
     "block_range",
+    "build_binned_store",
     "charged_chunks",
+    "grid_fingerprint",
+    "load_binned_cache",
     "local_path",
     "read_header",
     "read_with_retry",
+    "stage_binned",
     "stage_local",
     "write_records",
 ]

@@ -1,0 +1,416 @@
+"""Staged bin-index store: the binned-pass engine's data layer.
+
+Every population pass after grid construction needs only each record's
+*bin index* per dimension — re-reading the float64 records and redoing
+``grid.locate_records`` (one ``searchsorted`` per column) on all k level
+passes is pure redundancy.  A :class:`BinnedStore` is the one-time
+compact encoding that removes it: immediately after the adaptive grid is
+fixed, one pass converts the rank's local records to per-dimension bin
+indices packed as ``uint8``/``uint16`` columns (8-16x smaller than the
+float records), held in memory or written as a CRC-footered on-disk
+format alongside record-file v2.  Level passes then stream the store and
+skip ``locate_records`` entirely (see ``repro.core.population``).
+
+On-disk format (version 1)::
+
+    header  <4sHHqq32s>  magic b"PMBS" | u16 version | u16 dtype code
+                         (1 = uint8, 2 = uint16) | i64 n_records |
+                         i64 n_dims | 32-byte grid fingerprint
+    data    column-major: dimension 0's n_records indices, then
+            dimension 1's, ... (contiguous columns are what the
+            population engine consumes)
+    footer  one CRC32 per dimension column
+
+The grid fingerprint (:func:`grid_fingerprint`, SHA-256 over the exact
+bin edges, thresholds and uniform flags) is the cache-invalidation rule:
+a store is only valid for the grid it was built from, so
+:func:`load_binned_cache` silently rejects — and the driver rebuilds —
+any on-disk store whose fingerprint does not match the current run's
+grid (e.g. after the data or the α/β knobs changed).  Column CRCs are
+verified lazily on first access and raise
+:class:`~repro.errors.ChecksumError` on silent bit rot, like record
+files.
+
+Cost-model note: the simulated-time backend charges binned chunk reads
+at *float64 width* (:data:`RECORD_ITEMSIZE`) — the virtual SP2 models
+the paper's implementation, which re-read 8-byte records on every pass.
+Wall clock drops; virtual runtimes stay faithful (and bit-identical to
+the float path).  The staging pass itself charges nothing, like
+shared-to-local staging (§5.2 excludes it from measurements).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import tempfile
+import weakref
+import zlib
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ChecksumError, DataError, RecordFileError
+from ..parallel.comm import Comm
+from ..types import Grid
+from .chunks import DataSource
+from .records import RecordFile
+from .resilient import RetryPolicy, read_with_retry
+
+_MAGIC = b"PMBS"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHHqq32s")
+_CRC_ITEM = struct.Struct("<I")
+_DTYPES = {1: np.dtype(np.uint8), 2: np.dtype(np.uint16)}
+_DTYPE_CODES = {v: k for k, v in _DTYPES.items()}
+
+#: bytes a chunk read is charged per record cell on the virtual clock —
+#: float64 width, so the simulated machine keeps paying the paper's
+#: per-pass record-read cost whatever the store's physical dtype is
+RECORD_ITEMSIZE = 8
+
+_CRC_BLOCK = 1 << 20
+
+
+def grid_fingerprint(grid: Grid) -> bytes:
+    """32-byte SHA-256 fingerprint of a grid's exact geometry.
+
+    Covers dimension count and, per dimension, the bin edges, density
+    thresholds and the uniform-resplit flag — everything the bin-index
+    mapping depends on.  Two grids share a fingerprint iff a binned
+    store built under one is valid under the other.
+    """
+    h = hashlib.sha256()
+    h.update(struct.pack("<q", grid.ndim))
+    for dg in grid:
+        h.update(struct.pack("<qq?", dg.dim, dg.nbins, dg.uniform))
+        h.update(np.asarray(dg.edges, dtype="<f8").tobytes())
+        h.update(np.asarray(dg.thresholds, dtype="<f8").tobytes())
+    return h.digest()
+
+
+def store_dtype(grid: Grid) -> np.dtype:
+    """Narrowest unsigned dtype that can hold every bin index."""
+    widest = max((dg.nbins for dg in grid), default=1)
+    if widest <= 256:
+        return np.dtype(np.uint8)
+    if widest <= 65536:
+        return np.dtype(np.uint16)
+    raise DataError(
+        f"grid has {widest} bins in one dimension; the binned store "
+        f"supports at most 65536")
+
+
+def binned_cache_path(record_path: str | os.PathLike) -> Path:
+    """The on-disk bin-index cache sitting alongside a record file."""
+    record_path = Path(record_path)
+    return record_path.with_suffix(".bins")
+
+
+class BinnedStore:
+    """Per-dimension bin-index columns for one rank's local records.
+
+    Holds an ``(n_dims, n_records)`` column-major index matrix, either
+    in memory or memory-mapped from the on-disk format.  Not a float
+    :class:`~repro.io.chunks.DataSource` — consumers read *columns*
+    (:meth:`read_columns`) because the population engine wants
+    contiguous per-dimension slices.
+    """
+
+    def __init__(self, *, columns: np.ndarray | None = None,
+                 path: Path | None = None,
+                 grid_hash: bytes = b"") -> None:
+        if (columns is None) == (path is None):
+            raise DataError("BinnedStore needs exactly one of columns/path")
+        self.grid_hash = bytes(grid_hash)
+        self.path = path
+        self._columns = columns
+        self._mmap: np.ndarray | None = None
+        self._verified: set[int] = set()
+        self._crcs: tuple[int, ...] = ()
+        if columns is not None:
+            if columns.ndim != 2:
+                raise DataError(
+                    f"columns must be (n_dims, n_records), got {columns.shape}")
+            self.n_dims = int(columns.shape[0])
+            self.n_records = int(columns.shape[1])
+            self.dtype = columns.dtype
+            self._data_offset = 0
+        else:
+            (self.n_records, self.n_dims, self.dtype, self._data_offset,
+             self.grid_hash, self._crcs) = _read_store_header(path)
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def in_memory(cls, columns: np.ndarray, grid_hash: bytes) -> "BinnedStore":
+        """Wrap an already-built ``(n_dims, n_records)`` index matrix."""
+        return cls(columns=np.ascontiguousarray(columns),
+                   grid_hash=grid_hash)
+
+    @classmethod
+    def open(cls, path: str | os.PathLike,
+             expected_grid_hash: bytes | None = None) -> "BinnedStore":
+        """Open an on-disk store; with ``expected_grid_hash`` given, a
+        fingerprint mismatch (stale cache) raises
+        :class:`~repro.errors.RecordFileError`."""
+        store = cls(path=Path(path))
+        if (expected_grid_hash is not None
+                and store.grid_hash != bytes(expected_grid_hash)):
+            raise RecordFileError(
+                f"{path}: binned store was built for a different grid "
+                f"(stale cache; rebuild it)")
+        return store
+
+    # -- reads ------------------------------------------------------------
+    def _map(self) -> np.ndarray:
+        if self._columns is not None:
+            return self._columns
+        if self._mmap is None:
+            self._mmap = np.memmap(self.path, mode="r", dtype=self.dtype,
+                                   offset=self._data_offset,
+                                   shape=(self.n_dims, self.n_records))
+        return self._mmap
+
+    def _verify_column(self, dim: int) -> None:
+        if not self._crcs or dim in self._verified:
+            return
+        column = self._map()[dim]
+        crc = 0
+        for lo in range(0, self.n_records, _CRC_BLOCK):
+            crc = zlib.crc32(
+                np.ascontiguousarray(column[lo:lo + _CRC_BLOCK]), crc)
+        if crc != self._crcs[dim]:
+            raise ChecksumError(
+                f"{self.path}: CRC mismatch in bin-index column {dim}: "
+                f"stored {self._crcs[dim]:#010x}, computed {crc:#010x}")
+        self._verified.add(dim)
+
+    def read_columns(self, start: int, stop: int) -> np.ndarray:
+        """The ``(n_dims, rows)`` index block for records ``[start, stop)``
+        (a view for in-memory stores, a verified copy from disk)."""
+        if not 0 <= start <= stop <= self.n_records:
+            raise DataError(
+                f"block [{start}, {stop}) out of range for "
+                f"{self.n_records} records")
+        if self._columns is not None:
+            return self._columns[:, start:stop]
+        for dim in range(self.n_dims):
+            self._verify_column(dim)
+        return np.array(self._map()[:, start:stop])
+
+    def charged_chunks(self, comm: Comm, chunk_records: int,
+                       retry: RetryPolicy | None = None
+                       ) -> Iterator[np.ndarray]:
+        """Stream ``(n_dims, rows)`` column blocks while charging each
+        read to the rank's virtual I/O clock at *float64 width*
+        (:data:`RECORD_ITEMSIZE`), so simulated runtimes are identical
+        to the float-record pass the virtual machine models.  The
+        rank's fault state is consulted before every block read and
+        transient failures retry under ``retry``, exactly like
+        :func:`repro.io.chunks.charged_chunks`.
+        """
+        if chunk_records <= 0:
+            raise DataError(
+                f"chunk_records must be positive, got {chunk_records}")
+        fault_state = getattr(comm, "fault_state", None)
+        for index, lo in enumerate(range(0, self.n_records, chunk_records)):
+            hi = min(lo + chunk_records, self.n_records)
+
+            def attempt(lo: int = lo, hi: int = hi,
+                        index: int = index) -> np.ndarray:
+                if fault_state is not None:
+                    fault_state.on_chunk_read(index)
+                return self.read_columns(lo, hi)
+
+            cols = read_with_retry(attempt, retry)
+            comm.charge_io(cols.shape[1] * self.n_dims * RECORD_ITEMSIZE,
+                           chunks=1)
+            yield cols
+
+
+def _read_store_header(path: Path):
+    try:
+        size = path.stat().st_size
+        with open(path, "rb") as fh:
+            raw = fh.read(_HEADER.size)
+            if len(raw) < _HEADER.size:
+                raise RecordFileError(f"{path}: truncated binned-store header")
+            magic, version, dtype_code, n_records, n_dims, grid_hash = (
+                _HEADER.unpack(raw))
+            if magic != _MAGIC:
+                raise RecordFileError(f"{path}: bad magic {magic!r}")
+            if version != _VERSION:
+                raise RecordFileError(
+                    f"{path}: unsupported binned-store version {version}")
+            if dtype_code not in _DTYPES:
+                raise RecordFileError(
+                    f"{path}: unknown dtype code {dtype_code}")
+            if n_records < 0 or n_dims <= 0:
+                raise RecordFileError(
+                    f"{path}: bad shape ({n_records}, {n_dims})")
+            dtype = _DTYPES[dtype_code]
+            data_nbytes = n_records * n_dims * dtype.itemsize
+            expected = _HEADER.size + data_nbytes + n_dims * _CRC_ITEM.size
+            if size != expected:
+                raise RecordFileError(
+                    f"{path}: file is {size} bytes, header implies {expected}")
+            fh.seek(_HEADER.size + data_nbytes)
+            table = fh.read(n_dims * _CRC_ITEM.size)
+            if len(table) != n_dims * _CRC_ITEM.size:
+                raise RecordFileError(f"{path}: truncated CRC table")
+            crcs = tuple(int(v) for v in np.frombuffer(table, dtype="<u4"))
+    except RecordFileError:
+        raise
+    except OSError as exc:
+        raise RecordFileError(
+            f"cannot open binned store {path}: {exc}") from exc
+    return n_records, n_dims, dtype, _HEADER.size, grid_hash, crcs
+
+
+def _source_chunks(source: DataSource, chunk_records: int, start: int,
+                   stop: int, retry: RetryPolicy | None,
+                   fault_state) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(offset_from_start, chunk)`` pairs covering
+    ``[start, stop)`` — the resilient-read pattern of
+    :func:`repro.io.chunks.charged_chunks`, minus the charging (the
+    staging pass is free on the virtual clock, like
+    :func:`repro.io.staging.stage_local`)."""
+    read_block = getattr(source, "read_block", None)
+    if read_block is None:
+        offset = 0
+        for chunk in source.iter_chunks(chunk_records, start, stop):
+            yield offset, chunk
+            offset += chunk.shape[0]
+        return
+    for index, lo in enumerate(range(start, stop, chunk_records)):
+        hi = min(lo + chunk_records, stop)
+
+        def attempt(lo: int = lo, hi: int = hi,
+                    index: int = index) -> np.ndarray:
+            if fault_state is not None:
+                fault_state.on_chunk_read(index)
+            return read_block(lo, hi)
+
+        yield lo - start, read_with_retry(attempt, retry)
+
+
+def build_binned_store(source: DataSource, grid: Grid, chunk_records: int,
+                       start: int = 0, stop: int | None = None, *,
+                       path: str | os.PathLike | None = None,
+                       retry: RetryPolicy | None = None,
+                       fault_state=None) -> BinnedStore:
+    """One staging pass: locate every record of ``[start, stop)`` once
+    and pack the bin indices as compact columns, in memory (``path``
+    None) or into the on-disk format (atomic temp + rename publish)."""
+    stop = source.n_records if stop is None else stop
+    if not 0 <= start <= stop <= source.n_records:
+        raise DataError(
+            f"range [{start}, {stop}) out of bounds for "
+            f"{source.n_records} records")
+    n = stop - start
+    dtype = store_dtype(grid)
+    ghash = grid_fingerprint(grid)
+    chunks = _source_chunks(source, chunk_records, start, stop, retry,
+                            fault_state)
+    if path is None or n == 0:
+        columns = np.empty((grid.ndim, n), dtype=dtype)
+        for offset, chunk in chunks:
+            block = grid.locate_records(chunk)
+            columns[:, offset:offset + block.shape[0]] = block.T
+        return BinnedStore.in_memory(columns, ghash)
+
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    header = _HEADER.pack(_MAGIC, _VERSION, _DTYPE_CODES[dtype], n,
+                          grid.ndim, ghash)
+    with open(tmp, "wb") as fh:
+        fh.write(header)
+        fh.truncate(_HEADER.size + n * grid.ndim * dtype.itemsize)
+    mm = np.memmap(tmp, mode="r+", dtype=dtype, offset=_HEADER.size,
+                   shape=(grid.ndim, n))
+    try:
+        for offset, chunk in chunks:
+            block = grid.locate_records(chunk)
+            mm[:, offset:offset + block.shape[0]] = block.T
+        mm.flush()
+        crcs = []
+        for dim in range(grid.ndim):
+            crc = 0
+            for lo in range(0, n, _CRC_BLOCK):
+                crc = zlib.crc32(
+                    np.ascontiguousarray(mm[dim, lo:lo + _CRC_BLOCK]), crc)
+            crcs.append(crc)
+    finally:
+        del mm
+    with open(tmp, "ab") as fh:
+        for crc in crcs:
+            fh.write(_CRC_ITEM.pack(crc))
+    os.replace(tmp, path)
+    return BinnedStore.open(path)
+
+
+def load_binned_cache(path: str | os.PathLike, grid: Grid,
+                      n_records: int) -> BinnedStore | None:
+    """Reopen an on-disk bin-index cache, or ``None`` when it is
+    missing, malformed, or stale — the fingerprint/shape checks are the
+    cache-invalidation rule: anything not built from exactly this grid
+    over exactly this record range is rebuilt, never trusted."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        store = BinnedStore.open(path, expected_grid_hash=grid_fingerprint(grid))
+    except RecordFileError:
+        return None
+    if store.n_records != n_records or store.n_dims != grid.ndim:
+        return None
+    return store
+
+
+def _unlink_quiet(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def stage_binned(source: DataSource, comm: Comm, grid: Grid,
+                 chunk_records: int, start: int = 0,
+                 stop: int | None = None, *, policy: str = "memory",
+                 retry: RetryPolicy | None = None) -> BinnedStore | None:
+    """Stage this rank's bin-index store under a ``bin_cache`` policy.
+
+    ``"memory"`` builds the compact columns in RAM (n x d bytes, 8-16x
+    below the float records); ``"disk"`` writes the on-disk format —
+    next to the rank's staged record file when the source is one
+    (reusing a still-valid cache from an earlier run), otherwise into
+    an anonymous temp file removed with the store; ``"off"`` returns
+    ``None`` (the float path).  The staging pass charges nothing to the
+    virtual clock.
+    """
+    if policy == "off":
+        return None
+    if policy not in ("memory", "disk"):
+        raise DataError(f"unknown bin_cache policy {policy!r}")
+    stop = source.n_records if stop is None else stop
+    fault_state = getattr(comm, "fault_state", None)
+    if policy == "memory":
+        return build_binned_store(source, grid, chunk_records, start, stop,
+                                  retry=retry, fault_state=fault_state)
+    if isinstance(source, RecordFile):
+        path = binned_cache_path(source.path)
+        cached = load_binned_cache(path, grid, stop - start)
+        if cached is not None:
+            return cached
+        return build_binned_store(source, grid, chunk_records, start, stop,
+                                  path=path, retry=retry,
+                                  fault_state=fault_state)
+    fd, tmpname = tempfile.mkstemp(prefix="pmafia-rank-", suffix=".bins")
+    os.close(fd)
+    store = build_binned_store(source, grid, chunk_records, start, stop,
+                               path=tmpname, retry=retry,
+                               fault_state=fault_state)
+    weakref.finalize(store, _unlink_quiet, tmpname)
+    return store

@@ -41,7 +41,11 @@ class ArraySource:
     """An in-memory ``(n, d)`` array exposed as a :class:`DataSource`."""
 
     def __init__(self, records: np.ndarray) -> None:
-        records = np.asarray(records, dtype=np.float64)
+        # already-float64 input must be wrapped without a copy (callers
+        # hand in multi-GB blocks); only foreign dtypes convert
+        records = np.asarray(records)
+        if records.dtype != np.float64:
+            records = records.astype(np.float64)
         if records.ndim != 2:
             raise DataError(f"records must be 2-D, got shape {records.shape}")
         if records.shape[1] == 0:

@@ -200,16 +200,26 @@ class Comm:
 
     def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
         """Element-wise combine an equal-shaped array from every rank and
-        return the combined vector on *all* ranks (the paper's Reduce)."""
+        return the combined vector on *all* ranks (the paper's Reduce).
+
+        The wire pattern is the underlying allgather (unchanged by any
+        backend fast path); the fold accumulates in place when the
+        operator's output dtype matches, so combining p large histograms
+        allocates one result buffer instead of p.
+        """
         fn = resolve_op(op)
         array = np.asarray(array)
         contributions = self.allgather(array)
         result = contributions[0].copy()
+        inplace = _can_fold_inplace(fn, result)
         for contrib in contributions[1:]:
             if contrib.shape != result.shape:
                 raise CommError(
                     f"allreduce shape mismatch: {contrib.shape} vs {result.shape}")
-            result = fn(result, contrib)
+            if inplace and contrib.dtype == result.dtype:
+                fn(result, contrib, out=result)
+            else:
+                result = fn(result, contrib)
         return result
 
     def reduce(self, array: np.ndarray, op: str = "sum",
@@ -220,8 +230,12 @@ class Comm:
         if contributions is None:
             return None
         result = contributions[0].copy()
+        inplace = _can_fold_inplace(fn, result)
         for contrib in contributions[1:]:
-            result = fn(result, contrib)
+            if inplace and contrib.dtype == result.dtype:
+                fn(result, contrib, out=result)
+            else:
+                result = fn(result, contrib)
         return result
 
     # -- cost accounting hooks (overridden by the sim backend) ----------
@@ -248,6 +262,16 @@ class Comm:
     def _check_rank(self, r: int) -> None:
         if not 0 <= r < self.size:
             raise CommError(f"rank {r} out of range for size {self.size}")
+
+
+def _can_fold_inplace(fn, result: np.ndarray) -> bool:
+    """Whether folding with ``out=result`` preserves the out-of-place
+    dtype (``np.logical_or`` on int arrays yields bool out-of-place but
+    would stay int with ``out=``, so it must take the copying path)."""
+    if not isinstance(fn, np.ufunc) or result.size == 0:
+        return False
+    empty = result[:0]
+    return fn(empty, empty).dtype == result.dtype
 
 
 _TAG_BCAST = -1

@@ -13,6 +13,16 @@ data sets pass a record-file *path* rather than an array so each rank
 stages its own block from disk instead of pickling N×d floats through
 the queue.
 
+Large numeric ndarrays (CDU histograms, flag vectors) take a buffer
+fast path instead of the pickler: the sender copies the raw bytes into
+a POSIX shared-memory segment and ships only a tiny
+:class:`_ShmRef` descriptor through the queue; the receiver attaches,
+copies out and unlinks.  The payload therefore crosses the queue
+without ever being pickled, at any nesting depth the collectives use
+(gather lists, tree ``(vrank, obj)`` tuples, scatter dicts — the same
+path serves flat and tree strategies).  ``Comm.serialized_arrays``
+counts ndarrays that still went through the pickler, as a test hook.
+
 Failure semantics: a rank blocked in ``recv`` past its deadline raises
 :class:`~repro.errors.CommTimeoutError` (re-raised as such on the
 parent), so a dead or partitioned peer surfaces as a prompt abort
@@ -27,7 +37,10 @@ import multiprocessing as mp
 import queue as queue_mod
 import traceback
 from collections import deque
+from multiprocessing import resource_tracker, shared_memory
 from typing import Any, Callable, Sequence
+
+import numpy as np
 
 from ..errors import CommError, CommTimeoutError
 from .comm import Comm
@@ -36,6 +49,117 @@ from .comm import Comm
 RECV_TIMEOUT = 300.0
 #: seconds the parent waits for each rank's result
 RESULT_TIMEOUT = 3600.0
+
+#: ndarrays at least this large ship as shared-memory segments instead
+#: of pickles; below it the segment setup costs more than the pickle
+SHM_MIN_BYTES = 1 << 16
+
+#: containers are rewritten this deep looking for shippable arrays —
+#: enough for every collective payload shape (gather list of tree
+#: (vrank, obj) tuples, scatter dict of per-rank values)
+_SHM_DEPTH = 3
+
+
+class _ShmRef:
+    """Wire descriptor for an ndarray shipped out-of-band: the pickled
+    message carries only segment name, dtype and shape."""
+
+    __slots__ = ("name", "dtype", "shape")
+
+    def __init__(self, name: str, dtype: str, shape: tuple) -> None:
+        self.name = name
+        self.dtype = dtype
+        self.shape = shape
+
+    def __reduce__(self):
+        return (_ShmRef, (self.name, self.dtype, self.shape))
+
+
+def _untrack(seg) -> None:
+    """Hand segment ownership to the receiver: the creating process must
+    not let its resource tracker unlink (or warn about) a segment whose
+    lifetime now belongs to the other end.  The tracker keys segments by
+    the raw POSIX name (leading slash included), which ``seg.name``
+    strips — use the internal name when present."""
+    raw = getattr(seg, "_name", None) or "/" + seg.name
+    try:
+        resource_tracker.unregister(raw, "shared_memory")
+    except Exception:  # noqa: BLE001 - tracker internals vary
+        pass
+
+
+def _shm_export(obj: Any, stats: list, depth: int = 0) -> Any:
+    """Replace large numeric ndarrays in a payload with shared-memory
+    references; ``stats[0]`` counts ndarrays left to the pickler."""
+    if isinstance(obj, np.ndarray):
+        if obj.dtype != object and obj.nbytes >= SHM_MIN_BYTES:
+            seg = shared_memory.SharedMemory(create=True, size=obj.nbytes)
+            try:
+                view = np.ndarray(obj.shape, dtype=obj.dtype, buffer=seg.buf)
+                view[...] = obj
+                del view
+                ref = _ShmRef(seg.name, obj.dtype.str, obj.shape)
+            finally:
+                seg.close()
+            _untrack(seg)
+            return ref
+        stats[0] += 1
+        return obj
+    if depth < _SHM_DEPTH:
+        if isinstance(obj, tuple):
+            return tuple(_shm_export(x, stats, depth + 1) for x in obj)
+        if isinstance(obj, list):
+            return [_shm_export(x, stats, depth + 1) for x in obj]
+        if isinstance(obj, dict):
+            return {k: _shm_export(v, stats, depth + 1)
+                    for k, v in obj.items()}
+    return obj
+
+
+def _shm_resolve(obj: Any, depth: int = 0) -> Any:
+    """Materialise any :class:`_ShmRef` in a received payload and unlink
+    the segment (receipt transfers ownership to this process)."""
+    if isinstance(obj, _ShmRef):
+        seg = shared_memory.SharedMemory(name=obj.name)
+        try:
+            src = np.ndarray(obj.shape, dtype=np.dtype(obj.dtype),
+                             buffer=seg.buf)
+            out = src.copy()
+            del src
+        finally:
+            seg.close()
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        return out
+    if depth < _SHM_DEPTH:
+        if isinstance(obj, tuple):
+            return tuple(_shm_resolve(x, depth + 1) for x in obj)
+        if isinstance(obj, list):
+            return [_shm_resolve(x, depth + 1) for x in obj]
+        if isinstance(obj, dict):
+            return {k: _shm_resolve(v, depth + 1) for k, v in obj.items()}
+    return obj
+
+
+def _discard_refs(obj: Any, depth: int = 0) -> None:
+    """Unlink any segments referenced by an undelivered payload (used by
+    the parent when draining queues after a failed run)."""
+    if isinstance(obj, _ShmRef):
+        try:
+            seg = shared_memory.SharedMemory(name=obj.name)
+            seg.close()
+            seg.unlink()
+        except Exception:  # noqa: BLE001 - best-effort cleanup
+            pass
+        return
+    if depth < _SHM_DEPTH and isinstance(obj, (tuple, list)):
+        for x in obj:
+            _discard_refs(x, depth + 1)
+    elif depth < _SHM_DEPTH and isinstance(obj, dict):
+        for x in obj.values():
+            _discard_refs(x, depth + 1)
 
 
 class ProcessComm(Comm):
@@ -53,11 +177,17 @@ class ProcessComm(Comm):
                              else recv_timeout)
         self._inboxes = list(inboxes)
         self._stash: dict[tuple[int, int], deque] = {}
+        #: ndarrays this rank pickled through the queue instead of the
+        #: shared-memory fast path (test hook; stays 0 for large payloads)
+        self.serialized_arrays = 0
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Send ``obj`` to rank ``dest`` (FIFO per (source, tag))."""
         self._check_rank(dest)
-        self._inboxes[dest].put((self.rank, tag, obj))
+        stats = [0]
+        payload = _shm_export(obj, stats)
+        self.serialized_arrays += stats[0]
+        self._inboxes[dest].put((self.rank, tag, payload))
 
     def recv(self, source: int, tag: int = 0) -> Any:
         """Receive the next object from rank ``source`` with ``tag``."""
@@ -75,6 +205,9 @@ class ProcessComm(Comm):
             except queue_mod.Empty:
                 waited += step
                 continue
+            # resolve refs immediately: stashed messages must not hold
+            # shared segments open longer than necessary
+            obj = _shm_resolve(obj)
             if (got_source, got_tag) == key:
                 return obj
             self._stash.setdefault((got_source, got_tag),
@@ -156,6 +289,14 @@ def run_processes(fn: Callable, nprocs: int, *, collectives: str = "flat",
         for proc in processes:
             proc.join(timeout=30)
         for q in inboxes:
+            # a failed run can leave undelivered messages whose shm
+            # segments nobody will ever attach; unlink them here
+            try:
+                while True:
+                    _, _, payload = q.get_nowait()
+                    _discard_refs(payload)
+            except (queue_mod.Empty, OSError, ValueError):
+                pass
             q.cancel_join_thread()
         result_queue.cancel_join_thread()
 

@@ -72,6 +72,17 @@ class MafiaParams:
         Algorithm 3 rule.  ``"maximal"`` reports every dense unit that
         is not a projection of a dense unit one level up (strictly
         lossless, may surface marginal boundary leftovers).
+    bin_cache:
+        Where the staged bin-index store lives.  Once the adaptive grid
+        is fixed, each rank converts its local records to per-dimension
+        bin indices exactly once; every level pass then streams those
+        compact columns instead of re-reading and re-locating the float
+        records.  ``"memory"`` (default) keeps the store in RAM (n x d
+        bytes per rank), ``"disk"`` writes it next to the rank's staged
+        record file (reused across runs while the grid fingerprint
+        matches), ``"off"`` disables the cache and re-locates records
+        every pass.  Results and simulated runtimes are identical under
+        all three policies.
     """
 
     alpha: float = 1.5
@@ -85,12 +96,17 @@ class MafiaParams:
     max_dimensionality: int = 64
     min_bin_points: int = 0
     report: str = "merged"
+    bin_cache: str = "memory"
 
     def __post_init__(self) -> None:
         if self.report not in ("merged", "paper", "maximal"):
             raise ParameterError(
                 f"report must be 'merged', 'paper' or 'maximal', "
                 f"got {self.report!r}")
+        if self.bin_cache not in ("memory", "disk", "off"):
+            raise ParameterError(
+                f"bin_cache must be 'memory', 'disk' or 'off', "
+                f"got {self.bin_cache!r}")
         _check_positive("alpha", self.alpha)
         if not 0.0 < self.beta < 1.0:
             raise ParameterError(f"beta must be in (0, 1), got {self.beta!r}")

@@ -1,0 +1,300 @@
+"""The staged bin-index store (binned-pass engine).
+
+The load-bearing property: a population pass through a
+:class:`~repro.io.binned.BinnedStore` — under any cache policy, any
+backend, and across a checkpoint/resume boundary — produces
+*bit-identical* CDU counts and final clusters to the float path.  The
+store is a pure encoding; any observable difference is a bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mafia import mafia, pmafia, pmafia_resumable
+from repro.core.population import populate_global, populate_local
+from repro.core.units import UnitTable
+from repro.errors import ChecksumError, DataError, RecordFileError
+from repro.io import ArraySource, write_records
+from repro.io.binned import (BinnedStore, binned_cache_path,
+                             build_binned_store, grid_fingerprint,
+                             load_binned_cache, stage_binned)
+from repro.parallel import SerialComm
+from repro.params import MafiaParams
+from repro.types import DimensionGrid, Grid
+
+from tests.conftest import DOMAINS_10D
+
+
+def uniform_grid(d: int, nbins: int) -> Grid:
+    dims = []
+    for j in range(d):
+        edges = tuple(np.linspace(0, 100, nbins + 1))
+        dims.append(DimensionGrid(dim=j, edges=edges,
+                                  thresholds=(1.0,) * nbins))
+    return Grid(dims=tuple(dims))
+
+
+def random_units(rng, d: int, nbins: int, level: int,
+                 n_units: int) -> UnitTable:
+    units = []
+    for _ in range(n_units):
+        dims = sorted(rng.choice(d, size=level, replace=False).tolist())
+        units.append([(dim, int(rng.integers(0, nbins))) for dim in dims])
+    return UnitTable.from_pairs(units).unique()
+
+
+def cluster_signature(result):
+    return [
+        (tuple(c.subspace.dims), c.units_bins.tolist(), c.point_count)
+        for c in result.clusters
+    ]
+
+
+class TestStoreFormat:
+    def test_memory_store_round_trip(self):
+        rng = np.random.default_rng(0)
+        records = rng.random((500, 4)) * 100.0
+        grid = uniform_grid(4, 7)
+        store = build_binned_store(ArraySource(records), grid, 128)
+        assert store.n_records == 500
+        assert store.n_dims == 4
+        assert store.dtype == np.uint8
+        cols = store.read_columns(0, 500)
+        assert np.array_equal(cols.T, grid.locate_records(records))
+
+    def test_disk_store_round_trip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        records = rng.random((777, 3)) * 100.0
+        grid = uniform_grid(3, 9)
+        path = tmp_path / "data.bins"
+        built = build_binned_store(ArraySource(records), grid, 100,
+                                   path=path)
+        reopened = BinnedStore.open(path,
+                                    expected_grid_hash=grid_fingerprint(grid))
+        for store in (built, reopened):
+            assert np.array_equal(store.read_columns(0, 777).T,
+                                  grid.locate_records(records))
+        # partial block reads line up with the full matrix
+        assert np.array_equal(reopened.read_columns(100, 250),
+                              built.read_columns(0, 777)[:, 100:250])
+
+    def test_uint16_dtype_for_wide_grids(self, tmp_path):
+        rng = np.random.default_rng(2)
+        records = rng.random((200, 2)) * 100.0
+        grid = uniform_grid(2, 300)          # > 256 bins -> uint16
+        path = tmp_path / "wide.bins"
+        store = build_binned_store(ArraySource(records), grid, 64, path=path)
+        assert store.dtype == np.uint16
+        assert np.array_equal(BinnedStore.open(path).read_columns(0, 200).T,
+                              grid.locate_records(records))
+
+    def test_crc_detects_corruption(self, tmp_path):
+        rng = np.random.default_rng(3)
+        records = rng.random((400, 3)) * 100.0
+        grid = uniform_grid(3, 5)
+        path = tmp_path / "corrupt.bins"
+        build_binned_store(ArraySource(records), grid, 100, path=path)
+        raw = bytearray(path.read_bytes())
+        raw[80] ^= 0xFF                       # flip a data byte
+        path.write_bytes(bytes(raw))
+        store = BinnedStore.open(path)
+        with pytest.raises(ChecksumError):
+            store.read_columns(0, 400)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        rng = np.random.default_rng(4)
+        records = rng.random((100, 2)) * 100.0
+        grid = uniform_grid(2, 5)
+        path = tmp_path / "trunc.bins"
+        build_binned_store(ArraySource(records), grid, 50, path=path)
+        path.write_bytes(path.read_bytes()[:-7])
+        with pytest.raises(RecordFileError):
+            BinnedStore.open(path)
+
+    def test_grid_hash_mismatch_is_stale(self, tmp_path):
+        rng = np.random.default_rng(5)
+        records = rng.random((100, 2)) * 100.0
+        grid = uniform_grid(2, 5)
+        other = uniform_grid(2, 6)
+        path = tmp_path / "stale.bins"
+        build_binned_store(ArraySource(records), grid, 50, path=path)
+        with pytest.raises(RecordFileError, match="stale"):
+            BinnedStore.open(path,
+                             expected_grid_hash=grid_fingerprint(other))
+        # the cache loader invalidates instead of raising
+        assert load_binned_cache(path, other, 100) is None
+        assert load_binned_cache(path, grid, 99) is None
+        assert load_binned_cache(path, grid, 100) is not None
+
+    def test_grid_fingerprint_sensitivity(self):
+        a = uniform_grid(3, 5)
+        b = uniform_grid(3, 6)
+        assert grid_fingerprint(a) == grid_fingerprint(uniform_grid(3, 5))
+        assert grid_fingerprint(a) != grid_fingerprint(b)
+
+    def test_bad_policy_rejected(self):
+        records = np.zeros((10, 2))
+        grid = uniform_grid(2, 3)
+        with pytest.raises(DataError):
+            stage_binned(ArraySource(records), SerialComm(), grid, 5,
+                         policy="ram")
+
+
+class TestBinnedCountsIdentical:
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_counts_bit_identical_any_policy(self, tmp_path_factory, data):
+        d = data.draw(st.integers(2, 5))
+        nbins = data.draw(st.integers(2, 6))
+        n = data.draw(st.integers(1, 300))
+        level = data.draw(st.integers(1, min(3, d)))
+        chunk = data.draw(st.integers(1, 128))
+        seed = data.draw(st.integers(0, 2**31 - 1))
+        rng = np.random.default_rng(seed)
+        records = rng.random((n, d)) * 100.0
+        grid = uniform_grid(d, nbins)
+        units = random_units(rng, d, nbins, level,
+                             data.draw(st.integers(1, 20)))
+        source = ArraySource(records)
+        comm = SerialComm()
+        ref = populate_local(source, comm, grid, units, chunk)
+
+        mem = stage_binned(source, comm, grid, chunk)
+        assert np.array_equal(
+            populate_local(source, comm, grid, units, chunk, binned=mem),
+            ref)
+
+        path = tmp_path_factory.mktemp("bins") / "hyp.bins"
+        disk = build_binned_store(source, grid, chunk, path=path)
+        assert np.array_equal(
+            populate_local(source, comm, grid, units, chunk, binned=disk),
+            ref)
+
+    def test_store_shape_mismatch_rejected(self):
+        rng = np.random.default_rng(6)
+        records = rng.random((100, 3)) * 100.0
+        grid = uniform_grid(3, 4)
+        units = random_units(rng, 3, 4, 2, 5)
+        source = ArraySource(records)
+        store = build_binned_store(source, grid, 50, 0, 60)
+        with pytest.raises(DataError):
+            populate_local(source, SerialComm(), grid, units, 50,
+                           binned=store)
+
+    def test_populate_global_binned(self):
+        rng = np.random.default_rng(7)
+        records = rng.random((200, 3)) * 100.0
+        grid = uniform_grid(3, 4)
+        units = random_units(rng, 3, 4, 2, 10)
+        source = ArraySource(records)
+        comm = SerialComm()
+        store = stage_binned(source, comm, grid, 64)
+        assert np.array_equal(
+            populate_global(source, comm, grid, units, 64, binned=store),
+            populate_global(source, comm, grid, units, 64))
+
+
+class TestFullRunsIdentical:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("policy", ["memory", "disk"])
+    def test_parallel_runs_match_off_policy(self, one_cluster_dataset,
+                                            small_params, backend, policy):
+        records = one_cluster_dataset.records
+        off = mafia(records, small_params.with_(bin_cache="off"),
+                    domains=DOMAINS_10D)
+        run = pmafia(records, 2, small_params.with_(bin_cache=policy),
+                     backend=backend, domains=DOMAINS_10D)
+        assert cluster_signature(run.result) == cluster_signature(off)
+        assert all(np.array_equal(a.dense_counts, b.dense_counts)
+                   for a, b in zip(run.result.trace, off.trace))
+
+    def test_serial_disk_policy_reuses_sibling_cache(self, tmp_path,
+                                                     one_cluster_dataset,
+                                                     small_params):
+        shared = tmp_path / "data.bin"
+        write_records(shared, one_cluster_dataset.records)
+        params = small_params.with_(bin_cache="disk")
+        off = mafia(str(shared), small_params.with_(bin_cache="off"),
+                    domains=DOMAINS_10D)
+        first = mafia(str(shared), params, domains=DOMAINS_10D)
+        # the staged rank-local record file now has a .bins sibling
+        staged = tmp_path / "data.rank0.bin"
+        cache = binned_cache_path(staged)
+        assert cache.exists()
+        mtime = cache.stat().st_mtime_ns
+        second = mafia(str(shared), params, domains=DOMAINS_10D)
+        assert cache.stat().st_mtime_ns == mtime   # reused, not rebuilt
+        assert (cluster_signature(first) == cluster_signature(second)
+                == cluster_signature(off))
+
+    def test_sim_virtual_times_independent_of_policy(self,
+                                                     one_cluster_dataset,
+                                                     small_params):
+        records = one_cluster_dataset.records
+        runs = {
+            policy: pmafia(records, 4,
+                           small_params.with_(bin_cache=policy),
+                           backend="sim", domains=DOMAINS_10D)
+            for policy in ("off", "memory")
+        }
+        assert runs["off"].rank_times == runs["memory"].rank_times
+        assert runs["off"].makespan == runs["memory"].makespan
+        assert (cluster_signature(runs["off"].result)
+                == cluster_signature(runs["memory"].result))
+
+    def test_resume_crosses_policy_and_stays_identical(self, tmp_path,
+                                                       one_cluster_dataset,
+                                                       small_params):
+        records = one_cluster_dataset.records
+        ckpt = tmp_path / "ckpt"
+        baseline = mafia(records, small_params.with_(bin_cache="off"),
+                         domains=DOMAINS_10D)
+        # run to completion once so checkpoints exist, then resume with a
+        # different cache policy: the store is restaged from the
+        # checkpointed grid and the result must not change
+        pmafia_resumable(records, 1,
+                         small_params.with_(bin_cache="memory"),
+                         checkpoint_dir=ckpt, resume=False,
+                         domains=DOMAINS_10D)
+        resumed = pmafia_resumable(records, 1,
+                                   small_params.with_(bin_cache="disk"),
+                                   checkpoint_dir=ckpt, resume=True,
+                                   domains=DOMAINS_10D)
+        assert (cluster_signature(resumed.result)
+                == cluster_signature(baseline))
+        assert all(np.array_equal(a.dense_counts, b.dense_counts)
+                   for a, b in zip(resumed.result.trace, baseline.trace))
+
+
+class TestNoCopyArraySource:
+    def test_float64_input_is_wrapped_not_copied(self):
+        records = np.random.default_rng(8).random((50, 3))
+        source = ArraySource(records)
+        assert np.shares_memory(source.records, records)
+        assert np.shares_memory(source.read_block(10, 30), records)
+
+    def test_foreign_dtype_still_converts(self):
+        records = np.arange(12, dtype=np.int32).reshape(4, 3)
+        source = ArraySource(records)
+        assert source.records.dtype == np.float64
+
+
+class TestProcessBackendZeroCopy:
+    @pytest.mark.slow
+    def test_large_allreduce_ships_no_pickled_arrays(self):
+        from repro.parallel.process import run_processes
+
+        def rankfn(comm):
+            histogram = np.full(200_000, comm.rank + 1, dtype=np.int64)
+            total = comm.allreduce(histogram, op="sum")   # 1.6 MB payload
+            assert int(total[0]) == sum(range(1, comm.size + 1))
+            comm.strategy = "tree"
+            total2 = comm.allreduce(histogram, op="sum")
+            assert np.array_equal(total, total2)
+            return comm.serialized_arrays
+
+        assert run_processes(rankfn, 3) == [0, 0, 0]

@@ -106,6 +106,28 @@ class TestRun:
         assert rc == 0
 
 
+class TestBinCacheFlag:
+    def test_default_is_memory(self):
+        args = build_parser().parse_args(["run", "x.bin"])
+        assert args.bin_cache == "memory"
+
+    @pytest.mark.parametrize("policy", ["memory", "disk", "off"])
+    def test_policies_accepted_and_equivalent(self, record_file, capsys,
+                                              policy):
+        rc = main(["run", str(record_file), "--fine-bins", "200",
+                   "--window", "2", "--chunk", "2000",
+                   "--bin-cache", policy])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "clusters: 1" in out
+        assert "(1, 3, 5, 7)" in out
+
+    def test_unknown_policy_rejected(self, record_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", str(record_file), "--bin-cache", "ram"])
+        assert "--bin-cache" in capsys.readouterr().err
+
+
 class TestParser:
     def test_version(self, capsys):
         with pytest.raises(SystemExit) as exc:
