@@ -30,26 +30,35 @@ def sink():
     return record
 
 
-def _existing_sections() -> dict[str, str]:
-    """Parse titles → fenced bodies out of a previous RESULTS.md so a
-    partial bench run updates its sections without clobbering the rest."""
+def _existing_sections() -> dict[str, tuple[bool, str]]:
+    """Parse ``## `` sections out of a previous RESULTS.md so a partial
+    bench run updates its own sections without clobbering the rest.
+    Returns title → (fenced, body); fenced bodies are stripped of their
+    fence markers, prose sections (e.g. the hand-written hot-path
+    kernel notes) are kept verbatim."""
     if not _RESULTS_PATH.exists():
         return {}
-    sections: dict[str, str] = {}
+    sections: dict[str, tuple[bool, str]] = {}
     title = None
     body: list[str] = []
-    in_fence = False
+
+    def flush():
+        if title is None:
+            return
+        text = "\n".join(body).strip("\n")
+        if text.startswith("```") and text.endswith("```"):
+            sections[title] = (True, text[3:-3].strip("\n"))
+        else:
+            sections[title] = (False, text)
+
     for line in _RESULTS_PATH.read_text().splitlines():
         if line.startswith("## "):
+            flush()
             title = line[3:].strip()
             body = []
-        elif line.strip() == "```":
-            if in_fence and title is not None:
-                sections[title] = "\n".join(body)
-                title = None
-            in_fence = not in_fence
-        elif in_fence:
+        elif title is not None:
             body.append(line)
+    flush()
     return sections
 
 
@@ -61,7 +70,7 @@ def pytest_sessionfinish(session, exitstatus):
     for title, text in _RESULTS:
         if title not in sections:
             order.append(title)
-        sections[title] = text
+        sections[title] = (True, text)
     stamp = time.strftime("%Y-%m-%d %H:%M:%S")
     lines = [
         "# Benchmark results",
@@ -72,5 +81,9 @@ def pytest_sessionfinish(session, exitstatus):
         "",
     ]
     for title in order:
-        lines += [f"## {title}", "", "```", sections[title], "```", ""]
+        fenced, text = sections[title]
+        if fenced:
+            lines += [f"## {title}", "", "```", text, "```", ""]
+        else:
+            lines += [f"## {title}", "", text, ""]
     _RESULTS_PATH.write_text("\n".join(lines))

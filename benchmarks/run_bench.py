@@ -4,7 +4,9 @@
 Runs the kernels the system's wall-clock time actually goes to —
 population (float, binned-bitmap and overflow-fallback engines), record
 location, bin-index staging, histogramming, the CDU join and repeat
-elimination — plus an end-to-end 5-level pMAFIA run under
+elimination — including a bulk clustered-lattice join that times the
+pairwise sweep against the sub-signature hash join on > 20k raw CDUs —
+plus an end-to-end 5-level pMAFIA run under
 ``bin_cache="off"`` vs ``"memory"``, and writes one JSON document
 (kernel → median seconds, machine info, e2e speedup).
 
@@ -44,7 +46,8 @@ for p in (str(_REPO_ROOT), str(_REPO_ROOT / "src")):
 import numpy as np  # noqa: E402
 
 from repro.analysis.verify import verify_result  # noqa: E402
-from repro.core.candidates import join_all  # noqa: E402
+from repro.core.candidates import (hash_join_all, hash_join_plan,  # noqa: E402
+                                   join_all)
 from repro.core.histogram import fine_histogram_local  # noqa: E402
 from repro.core.mafia import mafia  # noqa: E402
 from repro.core.population import populate_local  # noqa: E402
@@ -76,6 +79,26 @@ def random_units(n_units: int, k: int, n_dims: int, nbins: int,
     for _ in range(n_units):
         dims = sorted(rng.choice(n_dims, size=k, replace=False).tolist())
         units.append([(d, int(rng.integers(0, nbins))) for d in dims])
+    return UnitTable.from_pairs(units).unique()
+
+
+def clustered_units(n_clusters: int, cluster_dim: int, level: int,
+                    n_dims: int, nbins: int, seed: int) -> UnitTable:
+    """Level-``level`` units from embedded clusters: every ``level``-subset
+    of each cluster's dimensions, at the cluster's bins.  This is the
+    lattice shape MAFIA actually joins — units sharing most of their
+    tokens — so the pairwise sweep finds matches everywhere and the raw
+    CDU count is combinatorial in ``cluster_dim``."""
+    from itertools import combinations
+
+    rng = np.random.default_rng(seed)
+    units = []
+    for _ in range(n_clusters):
+        dims = sorted(rng.choice(n_dims, size=cluster_dim,
+                                 replace=False).tolist())
+        bins = {d: int(rng.integers(0, nbins)) for d in dims}
+        for subset in combinations(dims, level):
+            units.append([(d, bins[d]) for d in subset])
     return UnitTable.from_pairs(units).unique()
 
 
@@ -136,6 +159,18 @@ def build_suite(smoke: bool):
         np.ascontiguousarray(records[:overflow_records, :1])
         * np.ones((1, over_d)))
 
+    # bulk join load: the hash-vs-pairwise headliner.  At full scale the
+    # 8 x C(12,3) = 1760-unit lattice emits > 20k raw CDUs, the regime
+    # where the pairwise sweep's O(Ndu^2) pivot loop dominates and the
+    # sub-signature hash join's single lexsort wins by an order of
+    # magnitude.
+    if smoke:
+        bulk = clustered_units(3, 8, 3, 20, nbins, seed=12)
+    else:
+        bulk = clustered_units(8, 12, 3, 30, nbins, seed=12)
+    bulk_plan = hash_join_plan(bulk)
+    bulk_raw = hash_join_all(bulk).cdus
+
     dense = random_units(join_units, 3, min(n_dims, 12), 6, seed=9)
     rng10 = np.random.default_rng(10)
     dup = []
@@ -164,7 +199,14 @@ def build_suite(smoke: bool):
             runs),
         "cdu_join": (lambda: join_all(dense), runs),
         "repeat_mask": (lambda: dup_table.repeat_mask(), runs),
+        "cdu_join_pairwise_bulk": (lambda: join_all(bulk), runs),
+        "cdu_join_hash_bulk": (lambda: hash_join_all(bulk), runs),
+        "hash_join_plan_bulk": (lambda: hash_join_plan(bulk), runs),
+        "cdu_dedup_bulk": (lambda: bulk_raw.repeat_mask(), runs),
     }
+
+    join_load = {"n_units": int(bulk.n_units),
+                 "raw_cdus": int(bulk_plan.n_pairs)}
 
     if smoke:
         e2e = dict(n_records=20_000, n_dims=8, n_clusters=2, cluster_dim=4,
@@ -172,7 +214,7 @@ def build_suite(smoke: bool):
     else:
         e2e = dict(n_records=200_000, n_dims=15, n_clusters=10,
                    cluster_dim=5, chunk=50_000)
-    return kernels, e2e
+    return kernels, e2e, join_load
 
 
 def cluster_signature(result):
@@ -278,7 +320,7 @@ def main(argv=None) -> int:
 
     suite = "smoke" if args.smoke else "full"
     print(f"suite: {suite}")
-    kernels, e2e_cfg = build_suite(args.smoke)
+    kernels, e2e_cfg, join_load = build_suite(args.smoke)
 
     doc = {"schema": SCHEMA, "suite": suite, "machine": machine_info(),
            "kernels": {}}
@@ -286,6 +328,14 @@ def main(argv=None) -> int:
         median = median_time(fn, runs)
         doc["kernels"][name] = {"median_s": round(median, 5), "runs": runs}
         print(f"  {name:32s} {median:.4f}s  (median of {runs})")
+
+    pair_s = doc["kernels"]["cdu_join_pairwise_bulk"]["median_s"]
+    hash_s = doc["kernels"]["cdu_join_hash_bulk"]["median_s"]
+    doc["join"] = dict(join_load,
+                       speedup=round(pair_s / hash_s, 2) if hash_s else None)
+    print(f"  bulk join: {join_load['n_units']} units -> "
+          f"{join_load['raw_cdus']} raw CDUs, hash is "
+          f"{doc['join']['speedup']}x faster than pairwise")
 
     if not args.skip_e2e:
         print("running end-to-end bin_cache off vs memory ...")

@@ -81,3 +81,47 @@ def test_table1_and_fig4(benchmark, dataset, sink):
     # pMAFIA wins by a large factor at every processor count
     for p in PROCS:
         assert speedup[p] > 10.0, f"speedup at p={p} only {speedup[p]:.1f}"
+
+
+class TestJoinCostModelGuard:
+    """The sub-signature hash join must not drift the simulated cost
+    model: whatever implementation runs, ``pairs_examined`` reported to
+    the virtual clock is the paper's pairwise comparison count."""
+
+    PARAMS = {
+        strategy: bench_params(chunk_records=15_000, join_strategy=strategy)
+        for strategy in ("pairwise", "hash", "auto")}
+
+    def run(self, dataset, strategy, p):
+        return pmafia(dataset.records, p, self.PARAMS[strategy],
+                      backend="sim", domains=domains(N_DIMS))
+
+    def test_hash_reports_paper_pairwise_comparison_count(self, dataset):
+        """Total unit-pair operations across ranks — the quantity
+        ``charge_pairs`` feeds the virtual clock — are identical under
+        every join strategy at every processor count."""
+        for p in (1, 4):
+            totals = {
+                strategy: sum(c.unit_pair_ops
+                              for c in self.run(dataset, strategy, p).counters)
+                for strategy in ("pairwise", "hash", "auto")}
+            assert totals["hash"] == totals["pairwise"]
+            assert totals["auto"] == totals["pairwise"]
+
+    def test_single_rank_virtual_time_identical(self, dataset):
+        """With one rank there is no fence placement to differ, so the
+        hash path's virtual makespan must equal the pairwise path's
+        exactly."""
+        times = {strategy: self.run(dataset, strategy, 1).makespan
+                 for strategy in ("pairwise", "hash")}
+        assert times["hash"] == times["pairwise"]
+
+    def test_default_policy_keeps_sim_times_bit_identical(self, dataset):
+        """``auto`` resolves to pairwise on the sim backend: per-rank
+        virtual clocks — not just the makespan — match the pairwise
+        run bit-for-bit, so the PR 2 published virtual runtimes are
+        unchanged by this PR."""
+        for p in (1, 4, 8):
+            auto = self.run(dataset, "auto", p)
+            pairwise = self.run(dataset, "pairwise", p)
+            assert auto.rank_times == pairwise.rank_times

@@ -95,7 +95,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                              window_size=args.window,
                              chunk_records=args.chunk,
                              report=args.report,
-                             bin_cache=args.bin_cache)
+                             bin_cache=args.bin_cache,
+                             join_strategy=args.join_strategy,
+                             prefetch=args.prefetch)
         data: object = Path(args.data)
         if Path(args.data).suffix in (".npy", ".csv", ".txt"):
             data = _load_records(Path(args.data))
@@ -178,6 +180,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="staged bin-index store policy: keep per-record "
                           "bin indices in RAM, on disk beside the staged "
                           "records, or re-locate records every pass")
+    run.add_argument("--join-strategy", choices=("auto", "hash", "pairwise"),
+                     default="auto", dest="join_strategy",
+                     help="CDU join implementation: the sub-signature hash "
+                          "join, the paper's pairwise sweep, or auto "
+                          "(hash above a small-table threshold; always "
+                          "pairwise on the sim backend); clusters are "
+                          "identical either way")
+    run.add_argument("--prefetch", action="store_true",
+                     help="double-buffer chunk reads on a background "
+                          "thread during level passes")
     run.add_argument("--collectives", choices=("flat", "tree"),
                      default="flat",
                      help="collective wire pattern for parallel runs")

@@ -2,7 +2,9 @@
 adaptive grids, serial and SPMD-parallel."""
 
 from .adaptive_grid import build_dimension_grid, build_grid, merge_windows, window_maxima
-from .candidates import JoinResult, join_all, join_block
+from .candidates import (HashJoinPlan, JoinResult, hash_join_all,
+                         hash_join_block, hash_join_plan, join_all,
+                         join_block)
 from .checkpoint import (CHECKPOINT_VERSION, check_compatible,
                          checkpoint_path, clear_checkpoints,
                          latest_checkpoint, load_checkpoint,
@@ -18,16 +20,20 @@ from .export import (result_from_dict, result_from_json, result_to_dict,
 from .mafia import PMafiaRun, mafia, pmafia, pmafia_resumable
 from .merge import UnionFind, face_adjacent_components
 from .partition import (even_splits, prefix_work, row_work, split_range,
-                        triangular_splits)
+                        triangular_splits, weighted_splits)
 from .pmafia import assemble_clusters, pmafia_rank
 from .population import populate_global, populate_local
 from .result import ClusteringResult, LevelTrace
-from .units import MAX_BINS, MAX_DIMS, UnitTable
+from .timing import PhaseTimes, phase, phase_timer
+from .units import (MAX_BINS, MAX_DIMS, UnitTable, first_occurrence,
+                    pack_tokens)
 
 __all__ = [
     "CHECKPOINT_VERSION",
     "ClusteringResult",
+    "HashJoinPlan",
     "JoinResult",
+    "PhaseTimes",
     "LevelTrace",
     "MAX_BINS",
     "MAX_DIMS",
@@ -48,9 +54,13 @@ __all__ = [
     "face_adjacent_components",
     "fine_histogram_global",
     "fine_histogram_local",
+    "first_occurrence",
     "global_domains",
     "greedy_cover",
     "grow_box",
+    "hash_join_all",
+    "hash_join_block",
+    "hash_join_plan",
     "join_all",
     "join_block",
     "latest_checkpoint",
@@ -64,6 +74,9 @@ __all__ = [
     "result_to_dict",
     "result_to_json",
     "merge_windows",
+    "pack_tokens",
+    "phase",
+    "phase_timer",
     "pmafia",
     "pmafia_rank",
     "pmafia_resumable",
@@ -77,5 +90,6 @@ __all__ = [
     "split_range",
     "triangular_splits",
     "unit_thresholds",
+    "weighted_splits",
     "window_maxima",
 ]

@@ -44,16 +44,44 @@ from .adaptive_grid import build_grid
 from .checkpoint import (check_compatible, clear_checkpoints,
                          latest_checkpoint, load_checkpoint,
                          save_checkpoint)
-from .candidates import join_block
+from .candidates import hash_join_block, hash_join_plan, join_block
 from .dedup import drop_repeats, repeat_flags_block
 from .dnf import dnf_terms, maximal_mask, merged_mask
 from .histogram import fine_histogram_global, global_domains
 from .identify import dense_flags_block, dense_units, unit_thresholds
 from .merge import face_adjacent_components
-from .partition import even_splits, prefix_work, triangular_splits
+from .partition import (even_splits, prefix_work, triangular_splits,
+                        weighted_splits)
 from .population import populate_global
 from .result import ClusteringResult, LevelTrace
+from .timing import phase
 from .units import MAX_DIMS, UnitTable
+
+#: below this many dense units the ``auto`` join policy stays pairwise —
+#: the hash join's grouping overhead only pays off once the triangular
+#: sweep has real quadratic work to skip
+HASH_JOIN_MIN_UNITS = 256
+
+
+def resolved_join_strategy(params: MafiaParams, comm: Comm,
+                           n_dense: int) -> str:
+    """The concrete join implementation ``params.join_strategy`` selects
+    for a level with ``n_dense`` dense units.
+
+    ``auto`` resolves to pairwise on the simulated-time backend
+    (``comm.models_paper_costs``): the virtual SP2 ran the paper's
+    pairwise sweep, and keeping the default run on the same code path
+    keeps per-rank fences — hence message sizes and virtual times —
+    bit-identical to the paper's cost model.  On wall-clock backends
+    ``auto`` picks hash once ``n_dense`` exceeds
+    :data:`HASH_JOIN_MIN_UNITS`.  Both implementations produce
+    bit-identical CDU tables either way.
+    """
+    if params.join_strategy != "auto":
+        return params.join_strategy
+    if getattr(comm, "models_paper_costs", False):
+        return "pairwise"
+    return "hash" if n_dense > HASH_JOIN_MIN_UNITS else "pairwise"
 
 
 def _local_view(comm: Comm, data: Any) -> tuple[DataSource, int, int]:
@@ -87,7 +115,9 @@ def _level_one_cdus(grid: Grid) -> UnitTable:
 
 
 def _find_candidate_dense_units(comm: Comm, dense: UnitTable, tau: int,
-                                block_join=join_block
+                                block_join=join_block, *,
+                                strategy: str = "pairwise",
+                                tokens: np.ndarray | None = None
                                 ) -> tuple[UnitTable, np.ndarray]:
     """Algorithm 3: build level-(k+1) CDUs from the level-k dense units.
 
@@ -95,10 +125,31 @@ def _find_candidate_dense_units(comm: Comm, dense: UnitTable, tau: int,
     the global combined-mask over the dense units.  ``block_join`` is the
     pairwise join strategy — MAFIA's any-(k−2) join by default; CLIQUE
     passes its prefix join.
+
+    With ``strategy="hash"`` every rank builds the sub-signature
+    :class:`~repro.core.candidates.HashJoinPlan` (replicated cheap
+    vectorised work, the same trade repeat marking makes) and the task
+    split balances the plan's *realised* per-row pair counts
+    (:func:`~repro.core.partition.weighted_splits`) instead of the
+    triangular estimate.  The fences stay contiguous pivot-row ranges,
+    so the rank-order concatenation below is bit-identical to the
+    pairwise path's.  ``tokens`` may pass the dense table's
+    pre-packed token matrix (computed overlapping the previous level's
+    population reduce).
     """
     ndu = dense.n_units
+    if strategy == "hash":
+        plan = hash_join_plan(dense, tokens)
+
+        def block_join(d: UnitTable, lo: int, hi: int, _plan=plan):
+            return hash_join_block(d, lo, hi, plan=_plan)
+    else:
+        plan = None
     if comm.size > 1 and ndu > tau:
-        offsets = triangular_splits(ndu, comm.size)
+        if plan is not None:
+            offsets = weighted_splits(plan.row_pair_counts, comm.size)
+        else:
+            offsets = triangular_splits(ndu, comm.size)
         lo, hi = offsets[comm.rank], offsets[comm.rank + 1]
         jr = block_join(dense, lo, hi)
         comm.charge_pairs(jr.pairs_examined)
@@ -272,17 +323,19 @@ def pmafia_rank(comm: Comm, data: Any, params: MafiaParams | None = None,
         trace = list(state["trace"])
         registered = list(state["registered"])
     else:
-        if domains is None:
-            fault_site(comm, "domains", 0)
-            domains = global_domains(source, comm, params.chunk_records,
-                                     start, stop, retry)
-        else:
-            domains = np.asarray(domains, dtype=np.float64)
-        fault_site(comm, "histogram", 0)
-        fine = fine_histogram_global(source, comm, domains, params.fine_bins,
-                                     params.chunk_records, start, stop,
-                                     retry)
-        grid = build_grid(fine, domains, n_records, params)
+        with phase("grid"):
+            if domains is None:
+                fault_site(comm, "domains", 0)
+                domains = global_domains(source, comm, params.chunk_records,
+                                         start, stop, retry)
+            else:
+                domains = np.asarray(domains, dtype=np.float64)
+            fault_site(comm, "histogram", 0)
+            fine = fine_histogram_global(source, comm, domains,
+                                         params.fine_bins,
+                                         params.chunk_records, start, stop,
+                                         retry)
+            grid = build_grid(fine, domains, n_records, params)
 
     # once the grid is fixed, stage this rank's bin-index store — every
     # level pass then streams compact indices instead of re-locating the
@@ -290,25 +343,46 @@ def pmafia_rank(comm: Comm, data: Any, params: MafiaParams | None = None,
     binned = stage_binned(source, comm, grid, params.chunk_records,
                           start, stop, policy=params.bin_cache, retry=retry)
 
-    def level_pass(cdus: UnitTable, raw_count: int, level: int) -> LevelTrace:
+    # token packing for the *next* level's hash join can overlap the
+    # population reduce — it only reads the CDU table, which is fixed
+    # before the pass starts
+    may_hash = params.join_strategy == "hash" or (
+        params.join_strategy == "auto"
+        and not getattr(comm, "models_paper_costs", False))
+
+    def level_pass(cdus: UnitTable, raw_count: int, level: int
+                   ) -> tuple[LevelTrace, np.ndarray | None]:
         fault_site(comm, "populate", level)
-        counts = populate_global(source, comm, grid, cdus,
-                                 params.chunk_records, start, stop, retry,
-                                 binned=binned)
+        packed: dict[str, np.ndarray] = {}
+        overlap = None
+        if may_hash and cdus.n_units:
+            def overlap() -> None:
+                packed["tokens"] = cdus.tokens()
+        with phase("population"):
+            counts = populate_global(source, comm, grid, cdus,
+                                     params.chunk_records, start, stop,
+                                     retry, binned=binned,
+                                     prefetch=params.prefetch,
+                                     overlap=overlap)
         mask, ndu = _identify_dense(comm, cdus, counts, grid, params.tau,
                                     params.min_bin_points)
         dense, dense_counts = dense_units(cdus, counts, mask)
-        return LevelTrace(level=level, n_cdus_raw=raw_count,
-                          n_cdus=cdus.n_units, n_dense=ndu,
-                          dense=dense, dense_counts=dense_counts)
+        tokens = packed.get("tokens")
+        dense_tokens = tokens[mask] if tokens is not None else None
+        trace_entry = LevelTrace(level=level, n_cdus_raw=raw_count,
+                                 n_cdus=cdus.n_units, n_dense=ndu,
+                                 dense=dense, dense_counts=dense_counts)
+        return trace_entry, dense_tokens
 
+    dense_tokens = None  # resumed runs repack lazily inside the join
     if state is None:
         # a fresh checkpointed run must not leave stale higher-level
         # files behind for a later resume to pick up
         if checkpoint_dir is not None and comm.rank == 0:
             clear_checkpoints(checkpoint_dir)
         cdus = _level_one_cdus(grid)
-        trace = [level_pass(cdus, cdus.n_units, 1)]
+        first, dense_tokens = level_pass(cdus, cdus.n_units, 1)
+        trace = [first]
         registered = []
         save_level(1, trace, registered, grid, domains)
     current = trace[-1]
@@ -318,7 +392,11 @@ def pmafia_rank(comm: Comm, data: Any, params: MafiaParams | None = None,
             registered.append((dense, dense_counts))
             break
         fault_site(comm, "join", current.level)
-        raw, combined = _find_candidate_dense_units(comm, dense, params.tau)
+        with phase("join"):
+            strategy = resolved_join_strategy(params, comm, dense.n_units)
+            raw, combined = _find_candidate_dense_units(
+                comm, dense, params.tau, strategy=strategy,
+                tokens=dense_tokens)
         # non-combinable dense units are registered as potential clusters
         if (~combined).any():
             registered.append((dense.select(~combined),
@@ -329,8 +407,9 @@ def pmafia_rank(comm: Comm, data: Any, params: MafiaParams | None = None,
                                    dense_counts[combined]))
             break
         fault_site(comm, "dedup", current.level)
-        cdus = _eliminate_repeat_cdus(comm, raw, params.tau)
-        nxt = level_pass(cdus, raw.n_units, current.level + 1)
+        with phase("dedup"):
+            cdus = _eliminate_repeat_cdus(comm, raw, params.tau)
+        nxt, dense_tokens = level_pass(cdus, raw.n_units, current.level + 1)
         trace.append(nxt)
         if nxt.n_dense == 0 and combined.any():
             # the combinable units were the top of the lattice after all
@@ -343,11 +422,12 @@ def pmafia_rank(comm: Comm, data: Any, params: MafiaParams | None = None,
         registered = _maximal_registrations(tuple(trace))
     elif params.report == "merged":
         registered = _maximal_registrations(tuple(trace), merged_mask)
-    if comm.rank == 0:
-        clusters = assemble_clusters(grid, registered)
-    else:
-        clusters = None
-    clusters = comm.bcast(clusters, root=0)
+    with phase("assembly"):
+        if comm.rank == 0:
+            clusters = assemble_clusters(grid, registered)
+        else:
+            clusters = None
+        clusters = comm.bcast(clusters, root=0)
 
     return ClusteringResult(grid=grid, clusters=clusters,
                             trace=tuple(trace), params=params,

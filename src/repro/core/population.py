@@ -34,6 +34,9 @@ faithful to the measured system and independent of the engine.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
 import numpy as np
 
 from ..errors import DataError
@@ -227,7 +230,8 @@ class _BitmapCounter:
 def _populate_binned(binned: BinnedStore, comm: Comm, grid: Grid,
                      units: UnitTable, chunk_records: int,
                      counts: np.ndarray,
-                     retry: RetryPolicy | None) -> np.ndarray:
+                     retry: RetryPolicy | None,
+                     prefetch: bool = False) -> np.ndarray:
     if binned.n_dims != grid.ndim:
         raise DataError(
             f"binned store has {binned.n_dims} dimensions, grid has "
@@ -237,7 +241,8 @@ def _populate_binned(binned: BinnedStore, comm: Comm, grid: Grid,
     rows = min(chunk_records, binned.n_records)
     use_bitmaps = counter.bitmap_nbytes(rows) <= _BITMAP_BYTE_CAP
     matchers = None if use_bitmaps else build_matchers(units, grid)
-    for cols in binned.charged_chunks(comm, chunk_records, retry=retry):
+    for cols in binned.charged_chunks(comm, chunk_records, retry=retry,
+                                      prefetch=prefetch):
         comm.charge_cells(cols.shape[1] * per_record_cost)
         if use_bitmaps:
             counter.count_columns(cols, counts)
@@ -251,7 +256,8 @@ def populate_local(source: DataSource | None, comm: Comm, grid: Grid,
                    units: UnitTable, chunk_records: int,
                    start: int = 0, stop: int | None = None,
                    retry: RetryPolicy | None = None, *,
-                   binned: BinnedStore | None = None) -> np.ndarray:
+                   binned: BinnedStore | None = None,
+                   prefetch: bool = False) -> np.ndarray:
     """Counts of this rank's local records per CDU (one data pass).
 
     ``start``/``stop`` select the rank's block when the source holds the
@@ -260,6 +266,9 @@ def populate_local(source: DataSource | None, comm: Comm, grid: Grid,
     (which must cover exactly this rank's ``[start, stop)`` block)
     through the bitmap engine instead of re-reading and re-locating the
     float records; counts and simulated-time charges are identical.
+    With ``prefetch`` the next chunk is read ahead on a background
+    thread while the current chunk is counted (double buffering); counts
+    and charges are again identical.
     """
     counts = np.zeros(units.n_units, dtype=np.int64)
     if units.n_units == 0:
@@ -272,11 +281,11 @@ def populate_local(source: DataSource | None, comm: Comm, grid: Grid,
                     f"binned store holds {binned.n_records} records but the "
                     f"rank's block has {expected}")
         return _populate_binned(binned, comm, grid, units, chunk_records,
-                                counts, retry)
+                                counts, retry, prefetch)
     matchers = build_matchers(units, grid)
     per_record_cost = units.n_units * units.level
     for chunk in charged_chunks(source, comm, chunk_records, start, stop,
-                                retry=retry):
+                                retry=retry, prefetch=prefetch):
         comm.charge_cells(chunk.shape[0] * per_record_cost)
         bin_idx = grid.locate_records(chunk)
         _count_with_matchers(matchers, bin_idx, counts)
@@ -287,8 +296,28 @@ def populate_global(source: DataSource | None, comm: Comm, grid: Grid,
                     units: UnitTable, chunk_records: int,
                     start: int = 0, stop: int | None = None,
                     retry: RetryPolicy | None = None, *,
-                    binned: BinnedStore | None = None) -> np.ndarray:
-    """Global CDU counts: local pass + sum Reduce (§4.1)."""
+                    binned: BinnedStore | None = None,
+                    prefetch: bool = False,
+                    overlap: "Callable[[], None] | None" = None
+                    ) -> np.ndarray:
+    """Global CDU counts: local pass + sum Reduce (§4.1).
+
+    ``overlap``, when given, is run on a background thread concurrently
+    with the counts reduce and joined before this returns — the driver
+    uses it to pack the level's join key material while the collective
+    drains.  It must touch neither the communicator nor the source (pure
+    compute); any exception it raises propagates here.
+    """
     local = populate_local(source, comm, grid, units, chunk_records,
-                           start, stop, retry, binned=binned)
-    return comm.allreduce(local, op="sum")
+                           start, stop, retry, binned=binned,
+                           prefetch=prefetch)
+    if overlap is None:
+        return comm.allreduce(local, op="sum")
+    with ThreadPoolExecutor(max_workers=1,
+                            thread_name_prefix="repro-overlap") as pool:
+        background = pool.submit(overlap)
+        try:
+            total = comm.allreduce(local, op="sum")
+        finally:
+            background.result()  # join; surface overlap failures
+    return total

@@ -1,0 +1,67 @@
+"""Per-phase wall-clock attribution for a (p)MAFIA run.
+
+The driver brackets its hot phases — ``grid``, ``join``, ``dedup``,
+``population``, ``assembly`` — with :func:`phase`, and a caller that
+wants the breakdown wraps the run in :func:`phase_timer`.  Outside a
+timer the brackets are free no-ops, so the instrumented driver costs
+nothing in normal runs.
+
+The active collector lives in a :class:`contextvars.ContextVar`, so
+concurrent runs on different threads (the thread backend spawns one
+driver per rank) each see their own collector — or none — without
+locking.  Phases may nest; inner phases are *not* subtracted from outer
+ones, each bracket just accumulates its own elapsed wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator
+
+_collector: ContextVar["PhaseTimes | None"] = ContextVar(
+    "repro_phase_times", default=None)
+
+
+@dataclass
+class PhaseTimes:
+    """Accumulated seconds per phase name, in first-seen order."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+    calls: dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, elapsed: float) -> None:
+        """Accumulate ``elapsed`` seconds into phase ``name``."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+
+@contextmanager
+def phase_timer() -> Iterator[PhaseTimes]:
+    """Collect phase timings for everything run inside the block."""
+    times = PhaseTimes()
+    token = _collector.set(times)
+    try:
+        yield times
+    finally:
+        _collector.reset(token)
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Attribute the block's wall time to ``name`` (no-op untimed)."""
+    times = _collector.get()
+    if times is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        times.add(name, time.perf_counter() - start)

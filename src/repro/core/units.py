@@ -10,6 +10,14 @@ A :class:`UnitTable` holds ``n`` units of one level ``k`` as two
 ``(n, k)`` uint8 arrays — ``dims`` (sorted per row) and ``bins`` — plus
 helpers for canonical ordering, messaging (``tobytes``/``frombytes``)
 and per-subspace grouping.
+
+The byte layout doubles as *key material*: every (dim, bin) cell packs
+into one uint16 token (``dim << 8 | bin``, :meth:`UnitTable.tokens`),
+and a row of ``k`` tokens packs into ``ceil(k/4)`` uint64 words
+(:func:`pack_tokens`).  Equal rows ⇔ equal words, so whole-unit
+grouping (repeat elimination) and sub-signature grouping (the hash
+join in :mod:`repro.core.candidates`) both reduce to one vectorised
+sort over small integer keys instead of pairwise row comparisons.
 """
 
 from __future__ import annotations
@@ -111,6 +119,18 @@ class UnitTable:
         """(n, 2k) combined rows (dims then bins) for lexicographic ops."""
         return np.concatenate([self.dims, self.bins], axis=1)
 
+    def tokens(self) -> np.ndarray:
+        """``(n, k)`` uint16 token matrix: cell ``(i, j)`` is
+        ``dims[i, j] << 8 | bins[i, j]``.
+
+        Tokens order like (dim, bin) pairs, so each row is strictly
+        increasing (dims are), and two units share a (dim, bin) cell iff
+        they share a token — the key material of the sub-signature hash
+        join and of packed-key repeat grouping.
+        """
+        return ((self.dims.astype(np.uint16) << 8)
+                | self.bins.astype(np.uint16))
+
     def select(self, index: np.ndarray) -> "UnitTable":
         """Sub-table of the rows selected by an index or boolean mask."""
         return UnitTable(dims=self.dims[index], bins=self.bins[index])
@@ -150,13 +170,17 @@ class UnitTable:
 
     def repeat_mask(self) -> np.ndarray:
         """Boolean mask marking every unit that duplicates an
-        earlier-indexed unit (the paper's Nrepeat elements)."""
+        earlier-indexed unit (the paper's Nrepeat elements).
+
+        Grouping runs over the packed uint64 row keys — the same key
+        space the sub-signature hash join sorts — so marking costs one
+        integer sort instead of a byte-string ``np.unique`` over the
+        2k-wide rows.
+        """
         if self.n_units == 0:
             return np.zeros(0, dtype=bool)
-        rows = self._rows()
-        _, first, inverse = np.unique(rows, axis=0, return_index=True,
-                                      return_inverse=True)
-        return first[inverse] != np.arange(self.n_units)
+        return first_occurrence(pack_tokens(self.tokens())) \
+            != np.arange(self.n_units)
 
     def unique(self) -> "UnitTable":
         """Drop repeated units; result is in canonical (sorted) order."""
@@ -228,3 +252,65 @@ class UnitTable:
 
     def __hash__(self) -> int:  # frozen dataclass wants it; tables are big
         return hash((self.dims.shape, self.dims.tobytes(), self.bins.tobytes()))
+
+
+# -- packed-key grouping ------------------------------------------------------
+
+#: uint16 tokens per uint64 key word
+TOKENS_PER_WORD = 4
+
+
+def pack_tokens(tokens: np.ndarray) -> np.ndarray:
+    """Pack ``(n, t)`` uint16 token rows into ``(n, ceil(t/4))`` uint64
+    key words (tokens fill each word high-to-low, zero-padded).
+
+    Equal rows ⇔ equal key words, and because tokens fill high-to-low
+    the lexicographic order of the word rows equals the lexicographic
+    order of the token rows — one integer sort replaces a byte-string
+    sort.  ``t == 0`` packs to a single zero word per row, putting every
+    row in one group.
+    """
+    tokens = np.asarray(tokens, dtype=np.uint64)
+    n, t = tokens.shape
+    if t == 0:
+        return np.zeros((n, 1), dtype=np.uint64)
+    n_words = -(-t // TOKENS_PER_WORD)
+    words = np.zeros((n, n_words), dtype=np.uint64)
+    for j in range(t):
+        w, slot = divmod(j, TOKENS_PER_WORD)
+        shift = np.uint64(16 * (TOKENS_PER_WORD - 1 - slot))
+        words[:, w] |= tokens[:, j] << shift
+    return words
+
+
+def group_sort(words: np.ndarray) -> np.ndarray:
+    """Stable order grouping equal key-word rows together (ascending);
+    within a group the original indices stay ascending."""
+    if words.shape[1] == 1:
+        return np.argsort(words[:, 0], kind="stable")
+    return np.lexsort(tuple(words[:, c] for c in range(words.shape[1] - 1,
+                                                       -1, -1)))
+
+
+def group_starts(sorted_words: np.ndarray) -> np.ndarray:
+    """Boolean mask over rows of an already-sorted key matrix, True at
+    the first row of each run of equal keys."""
+    n = sorted_words.shape[0]
+    starts = np.ones(n, dtype=bool)
+    if n > 1:
+        starts[1:] = (sorted_words[1:] != sorted_words[:-1]).any(axis=1)
+    return starts
+
+
+def first_occurrence(words: np.ndarray) -> np.ndarray:
+    """For each key-word row, the smallest index holding an equal row."""
+    n = words.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = group_sort(words)
+    starts = group_starts(words[order])
+    run_id = np.cumsum(starts) - 1
+    run_first = order[starts]      # stable sort ⇒ first of run = min index
+    first = np.empty(n, dtype=np.int64)
+    first[order] = run_first[run_id]
+    return first

@@ -6,6 +6,7 @@ from .binned import (BinnedStore, binned_cache_path, build_binned_store,
                      grid_fingerprint, load_binned_cache, stage_binned)
 from .chunks import ArraySource, DataSource, as_source, charged_chunks
 from .partition import block_offsets, block_range
+from .prefetch import prefetched
 from .records import (DEFAULT_CRC_CHUNK_RECORDS, RecordFile, RecordFileInfo,
                       RecordFileWriter, read_header, write_records)
 from .resilient import DEFAULT_RETRY, RetryPolicy, read_with_retry
@@ -30,6 +31,7 @@ __all__ = [
     "grid_fingerprint",
     "load_binned_cache",
     "local_path",
+    "prefetched",
     "read_header",
     "read_with_retry",
     "stage_binned",

@@ -56,6 +56,7 @@ from ..errors import ChecksumError, DataError, RecordFileError
 from ..parallel.comm import Comm
 from ..types import Grid
 from .chunks import DataSource
+from .prefetch import prefetched
 from .records import RecordFile
 from .resilient import RetryPolicy, read_with_retry
 
@@ -200,21 +201,9 @@ class BinnedStore:
             self._verify_column(dim)
         return np.array(self._map()[:, start:stop])
 
-    def charged_chunks(self, comm: Comm, chunk_records: int,
-                       retry: RetryPolicy | None = None
-                       ) -> Iterator[np.ndarray]:
-        """Stream ``(n_dims, rows)`` column blocks while charging each
-        read to the rank's virtual I/O clock at *float64 width*
-        (:data:`RECORD_ITEMSIZE`), so simulated runtimes are identical
-        to the float-record pass the virtual machine models.  The
-        rank's fault state is consulted before every block read and
-        transient failures retry under ``retry``, exactly like
-        :func:`repro.io.chunks.charged_chunks`.
-        """
-        if chunk_records <= 0:
-            raise DataError(
-                f"chunk_records must be positive, got {chunk_records}")
-        fault_state = getattr(comm, "fault_state", None)
+    def _raw_chunks(self, fault_state, chunk_records: int,
+                    retry: RetryPolicy | None) -> Iterator[np.ndarray]:
+        """Uncharged column-block reads — safe on a prefetch thread."""
         for index, lo in enumerate(range(0, self.n_records, chunk_records)):
             hi = min(lo + chunk_records, self.n_records)
 
@@ -224,7 +213,29 @@ class BinnedStore:
                     fault_state.on_chunk_read(index)
                 return self.read_columns(lo, hi)
 
-            cols = read_with_retry(attempt, retry)
+            yield read_with_retry(attempt, retry)
+
+    def charged_chunks(self, comm: Comm, chunk_records: int,
+                       retry: RetryPolicy | None = None,
+                       prefetch: bool = False) -> Iterator[np.ndarray]:
+        """Stream ``(n_dims, rows)`` column blocks while charging each
+        read to the rank's virtual I/O clock at *float64 width*
+        (:data:`RECORD_ITEMSIZE`), so simulated runtimes are identical
+        to the float-record pass the virtual machine models.  The
+        rank's fault state is consulted before every block read and
+        transient failures retry under ``retry``, exactly like
+        :func:`repro.io.chunks.charged_chunks`.  With ``prefetch`` the
+        next block (including its lazy CRC verification) is read ahead
+        on a background thread; charging stays on the consumer thread.
+        """
+        if chunk_records <= 0:
+            raise DataError(
+                f"chunk_records must be positive, got {chunk_records}")
+        chunks = self._raw_chunks(getattr(comm, "fault_state", None),
+                                  chunk_records, retry)
+        if prefetch:
+            chunks = prefetched(chunks)
+        for cols in chunks:
             comm.charge_io(cols.shape[1] * self.n_dims * RECORD_ITEMSIZE,
                            chunks=1)
             yield cols
@@ -325,29 +336,36 @@ def build_binned_store(source: DataSource, grid: Grid, chunk_records: int,
     tmp = path.with_suffix(path.suffix + ".tmp")
     header = _HEADER.pack(_MAGIC, _VERSION, _DTYPE_CODES[dtype], n,
                           grid.ndim, ghash)
-    with open(tmp, "wb") as fh:
-        fh.write(header)
-        fh.truncate(_HEADER.size + n * grid.ndim * dtype.itemsize)
-    mm = np.memmap(tmp, mode="r+", dtype=dtype, offset=_HEADER.size,
-                   shape=(grid.ndim, n))
     try:
-        for offset, chunk in chunks:
-            block = grid.locate_records(chunk)
-            mm[:, offset:offset + block.shape[0]] = block.T
-        mm.flush()
-        crcs = []
-        for dim in range(grid.ndim):
-            crc = 0
-            for lo in range(0, n, _CRC_BLOCK):
-                crc = zlib.crc32(
-                    np.ascontiguousarray(mm[dim, lo:lo + _CRC_BLOCK]), crc)
-            crcs.append(crc)
-    finally:
-        del mm
-    with open(tmp, "ab") as fh:
-        for crc in crcs:
-            fh.write(_CRC_ITEM.pack(crc))
-    os.replace(tmp, path)
+        with open(tmp, "wb") as fh:
+            fh.write(header)
+            fh.truncate(_HEADER.size + n * grid.ndim * dtype.itemsize)
+        mm = np.memmap(tmp, mode="r+", dtype=dtype, offset=_HEADER.size,
+                       shape=(grid.ndim, n))
+        try:
+            for offset, chunk in chunks:
+                block = grid.locate_records(chunk)
+                mm[:, offset:offset + block.shape[0]] = block.T
+            mm.flush()
+            crcs = []
+            for dim in range(grid.ndim):
+                crc = 0
+                for lo in range(0, n, _CRC_BLOCK):
+                    crc = zlib.crc32(
+                        np.ascontiguousarray(mm[dim, lo:lo + _CRC_BLOCK]),
+                        crc)
+                crcs.append(crc)
+        finally:
+            del mm  # drop the mapping (and its descriptor) before publish
+        with open(tmp, "ab") as fh:
+            for crc in crcs:
+                fh.write(_CRC_ITEM.pack(crc))
+        os.replace(tmp, path)
+    except BaseException:
+        # a failed staging pass (e.g. injected read faults exhausting the
+        # retry budget) must not leave a half-written temp file behind
+        _unlink_quiet(str(tmp))
+        raise
     return BinnedStore.open(path)
 
 

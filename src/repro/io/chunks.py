@@ -17,6 +17,7 @@ import numpy as np
 
 from ..errors import DataError
 from ..parallel.comm import Comm
+from .prefetch import prefetched
 from .resilient import RetryPolicy, read_with_retry
 
 
@@ -95,10 +96,29 @@ def as_source(data) -> DataSource:
     raise DataError(f"cannot read records from {type(data).__name__}")
 
 
+def _raw_blocks(read_block, fault_state, chunk_records: int, start: int,
+                stop: int,
+                retry: RetryPolicy | None) -> Iterator[np.ndarray]:
+    """The uncharged read loop — safe to run on a prefetch thread (it
+    touches only the source and the rank's fault state, never the
+    communicator's clock)."""
+    for index, lo in enumerate(range(start, stop, chunk_records)):
+        hi = min(lo + chunk_records, stop)
+
+        def attempt(lo: int = lo, hi: int = hi,
+                    index: int = index) -> np.ndarray:
+            if fault_state is not None:
+                fault_state.on_chunk_read(index)
+            return read_block(lo, hi)
+
+        yield read_with_retry(attempt, retry)
+
+
 def charged_chunks(source: DataSource, comm: Comm, chunk_records: int,
                    start: int = 0, stop: int | None = None,
                    itemsize: int = 8,
-                   retry: RetryPolicy | None = None) -> Iterator[np.ndarray]:
+                   retry: RetryPolicy | None = None,
+                   prefetch: bool = False) -> Iterator[np.ndarray]:
     """Iterate chunks while charging each block read to the rank's
     virtual I/O clock (one chunk access of ``rows * d * itemsize`` bytes).
 
@@ -111,31 +131,28 @@ def charged_chunks(source: DataSource, comm: Comm, chunk_records: int,
     before each read so injected read errors exercise exactly this
     path.  Pure streaming sources without ``read_block`` cannot be
     re-read and fall back to plain iteration.
+
+    With ``prefetch`` the next block is read one step ahead on a
+    background thread (:func:`repro.io.prefetch.prefetched`); charging
+    always happens here on the consumer thread, so simulated times are
+    unaffected.
     """
     read_block = getattr(source, "read_block", None)
     if read_block is None:
-        for chunk in source.iter_chunks(chunk_records, start, stop):
-            comm.charge_io(chunk.shape[0] * chunk.shape[1] * itemsize,
-                           chunks=1)
-            yield chunk
-        return
-    if chunk_records <= 0:
-        raise DataError(f"chunk_records must be positive, got {chunk_records}")
-    stop = source.n_records if stop is None else stop
-    if not 0 <= start <= stop <= source.n_records:
-        raise DataError(
-            f"range [{start}, {stop}) out of bounds for "
-            f"{source.n_records} records")
-    fault_state = getattr(comm, "fault_state", None)
-    for index, lo in enumerate(range(start, stop, chunk_records)):
-        hi = min(lo + chunk_records, stop)
-
-        def attempt(lo: int = lo, hi: int = hi,
-                    index: int = index) -> np.ndarray:
-            if fault_state is not None:
-                fault_state.on_chunk_read(index)
-            return read_block(lo, hi)
-
-        chunk = read_with_retry(attempt, retry)
+        chunks = source.iter_chunks(chunk_records, start, stop)
+    else:
+        if chunk_records <= 0:
+            raise DataError(
+                f"chunk_records must be positive, got {chunk_records}")
+        stop = source.n_records if stop is None else stop
+        if not 0 <= start <= stop <= source.n_records:
+            raise DataError(
+                f"range [{start}, {stop}) out of bounds for "
+                f"{source.n_records} records")
+        chunks = _raw_blocks(read_block, getattr(comm, "fault_state", None),
+                             chunk_records, start, stop, retry)
+    if prefetch:
+        chunks = prefetched(chunks)
+    for chunk in chunks:
         comm.charge_io(chunk.shape[0] * chunk.shape[1] * itemsize, chunks=1)
         yield chunk

@@ -101,6 +101,7 @@ class RecordFile:
         self.info = read_header(self.path)
         #: CRC chunks already verified through this handle
         self._verified: set[int] = set()
+        self._mm: np.ndarray | None = None
 
     @property
     def n_records(self) -> int:
@@ -115,10 +116,19 @@ class RecordFile:
         return self.info.dtype
 
     def memmap(self) -> np.ndarray:
-        """Memory-map the records as an ``(n_records, n_dims)`` array."""
-        return np.memmap(self.path, mode="r", dtype=self.dtype,
-                         offset=self.info.data_offset,
-                         shape=(self.n_records, self.n_dims))
+        """Memory-map the records as an ``(n_records, n_dims)`` array.
+
+        The mapping is created once and cached on the handle: a chunked
+        pass that verifies and reads every block reuses one mapping
+        instead of opening the file anew per call, so a read that raises
+        mid-pass (fault injection, corruption) never strands freshly
+        opened descriptors.
+        """
+        if self._mm is None:
+            self._mm = np.memmap(self.path, mode="r", dtype=self.dtype,
+                                 offset=self.info.data_offset,
+                                 shape=(self.n_records, self.n_dims))
+        return self._mm
 
     def verify_chunk(self, index: int) -> None:
         """Check one CRC chunk against its stored checksum; raises
@@ -248,8 +258,14 @@ class RecordFileWriter:
                 crc_chunk_records * n_dims * self.dtype.itemsize)
         self._tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         self._fh = open(self._tmp, "wb")
-        # placeholder header, patched on close
-        self._fh.write(self._header(0))
+        try:
+            # placeholder header, patched on close
+            self._fh.write(self._header(0))
+        except BaseException:
+            # don't strand the descriptor or the temp file if the very
+            # first write fails (full disk, injected fault)
+            self.abort()
+            raise
 
     def _header(self, n_records: int) -> bytes:
         if self.version == _V1:

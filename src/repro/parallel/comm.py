@@ -64,6 +64,11 @@ class Comm:
     size: int
     #: collective wire pattern: "flat" (paper's model) or "tree"
     strategy: str = "flat"
+    #: True when the backend's charges model the paper's measured SP2
+    #: (the simulated-time backend): policy code keyed off this — e.g.
+    #: ``join_strategy="auto"`` — must preserve the paper's cost model
+    #: instead of optimising wall clock
+    models_paper_costs: bool = False
 
     # -- point to point ------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:

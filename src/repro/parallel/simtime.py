@@ -58,6 +58,8 @@ def payload_nbytes(obj: Any) -> int:
 class TimedComm(Comm):
     """A communicator that also runs a virtual clock for its rank."""
 
+    models_paper_costs = True
+
     def __init__(self, inner: Comm, machine: MachineSpec) -> None:
         self._inner = inner
         self.machine = machine

@@ -83,6 +83,20 @@ class MafiaParams:
         matches), ``"off"`` disables the cache and re-locates records
         every pass.  Results and simulated runtimes are identical under
         all three policies.
+    join_strategy:
+        How CDUs are generated from the dense units of the level below.
+        ``"pairwise"`` runs the paper's O(Ndu²) triangular sweep
+        (Algorithm 3 verbatim); ``"hash"`` runs the sub-signature hash
+        join (near-linear grouping, bit-identical output); ``"auto"``
+        (default) picks hash above a small-Ndu threshold and pairwise
+        below it — and always pairwise on the simulated-time backend,
+        so virtual SP2 runtimes keep the paper's cost model.  Clusters
+        are identical under all three values.
+    prefetch:
+        When True, level passes double-buffer their chunk reads: the
+        next chunk of the binned store (or float records) is staged on
+        a background thread while the current chunk's counting runs.
+        Results and simulated runtimes are unaffected.
     """
 
     alpha: float = 1.5
@@ -97,6 +111,8 @@ class MafiaParams:
     min_bin_points: int = 0
     report: str = "merged"
     bin_cache: str = "memory"
+    join_strategy: str = "auto"
+    prefetch: bool = False
 
     def __post_init__(self) -> None:
         if self.report not in ("merged", "paper", "maximal"):
@@ -107,6 +123,13 @@ class MafiaParams:
             raise ParameterError(
                 f"bin_cache must be 'memory', 'disk' or 'off', "
                 f"got {self.bin_cache!r}")
+        if self.join_strategy not in ("auto", "hash", "pairwise"):
+            raise ParameterError(
+                f"join_strategy must be 'auto', 'hash' or 'pairwise', "
+                f"got {self.join_strategy!r}")
+        if not isinstance(self.prefetch, bool):
+            raise ParameterError(
+                f"prefetch must be a bool, got {self.prefetch!r}")
         _check_positive("alpha", self.alpha)
         if not 0.0 < self.beta < 1.0:
             raise ParameterError(f"beta must be in (0, 1), got {self.beta!r}")

@@ -521,3 +521,108 @@ class TestCheckpointResume:
                              MafiaParams(fine_bins=100, window_size=2,
                                          chunk_records=2000),
                              checkpoint_dir=tmp_path, domains=DOMAINS_10D)
+
+
+@pytest.mark.fault
+class TestDescriptorHygiene:
+    """A read that raises mid-pass must not strand file descriptors or
+    half-written temp files — the audit behind the context-managed /
+    cached-mapping readers in ``io/records.py`` and ``io/binned.py``."""
+
+    @staticmethod
+    def _open_fds() -> int:
+        import os
+        return len(os.listdir("/proc/self/fd"))
+
+    def test_no_dangling_descriptors_after_injected_read_faults(
+            self, tmp_path, one_cluster_dataset, small_params):
+        import gc
+        import os
+
+        path = tmp_path / "data.bin"
+        write_records(path, one_cluster_dataset.records)
+        params = small_params.with_(bin_cache="disk")
+        plan = FaultPlan(read_faults=(ReadFault(rank=0, permanent=True),))
+        gc.collect()
+        before = self._open_fds()
+        for _ in range(3):
+            with pytest.raises((OSError, CommAborted)):
+                run_spmd(pmafia_rank, 1, backend="serial", faults=plan,
+                         args=(os.fspath(path), params, DOMAINS_10D),
+                         kwargs={"retry": _recording_policy([])})
+        gc.collect()
+        assert self._open_fds() == before
+        # the failed staging passes must not leave temp files around
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_failed_binned_staging_removes_temp_file(self, tmp_path,
+                                                     one_cluster_dataset,
+                                                     small_params):
+        """A staging pass that dies halfway (here: the source raising
+        after its first chunk) unlinks the partially written store."""
+        from repro.core.adaptive_grid import build_grid
+        from repro.core.histogram import fine_histogram_global, global_domains
+        from repro.io.binned import build_binned_store
+        from repro.io.chunks import ArraySource
+        from repro.parallel.serial import SerialComm
+
+        records = one_cluster_dataset.records
+        comm = SerialComm()
+        domains = np.asarray(DOMAINS_10D, dtype=np.float64)
+        source = ArraySource(records)
+        fine = fine_histogram_global(source, comm, domains,
+                                     small_params.fine_bins,
+                                     small_params.chunk_records)
+        grid = build_grid(fine, domains, len(records), small_params)
+
+        class FlakySource(ArraySource):
+            def __init__(self, records):
+                super().__init__(records)
+                self.reads = 0
+
+            def read_block(self, start, stop):
+                self.reads += 1
+                if self.reads > 1:
+                    raise ChecksumError("synthetic mid-staging corruption")
+                return super().read_block(start, stop)
+
+        target = tmp_path / "rank0.bins"
+        with pytest.raises(ChecksumError):
+            build_binned_store(FlakySource(records), grid, 1000, path=target)
+        assert not target.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_record_writer_closes_handle_when_first_write_fails(
+            self, tmp_path, monkeypatch):
+        import gc
+
+        from repro.io.records import RecordFileWriter
+
+        gc.collect()
+        before = self._open_fds()
+        real_open = open
+
+        class ExplodingFile:
+            def __init__(self, fh):
+                self._fh = fh
+
+            def write(self, data):
+                raise OSError("injected header-write failure")
+
+            def close(self):
+                self._fh.close()
+
+        def failing_open(file, mode="r", *args, **kwargs):
+            fh = real_open(file, mode, *args, **kwargs)
+            if str(file).endswith(".tmp"):
+                return ExplodingFile(fh)
+            return fh
+
+        import builtins
+        monkeypatch.setattr(builtins, "open", failing_open)
+        with pytest.raises(OSError, match="injected header-write"):
+            RecordFileWriter(tmp_path / "w.bin", n_dims=3)
+        monkeypatch.undo()
+        gc.collect()
+        assert self._open_fds() == before
+        assert not list(tmp_path.glob("*.tmp"))

@@ -1,0 +1,259 @@
+"""The sub-signature hash join is a bit-identical drop-in for the
+paper's pairwise CDU join.
+
+Property-based equivalence (hypothesis): on random lattices across
+levels 1-6 the hash path emits the *same raw CDU table in the same row
+order* as the pairwise sweep — for the full join and for arbitrary
+row fences — so repeat elimination sees identical first-occurrence
+order and every downstream pass is unchanged.  Full-run tests pin the
+same statement end-to-end: clusterings are byte-identical between
+``join_strategy='hash'`` and ``'pairwise'`` on the serial, thread and
+process backends, and invariant to the rank count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MafiaParams, mafia
+from repro.core.candidates import (HashJoinPlan, hash_join_all,
+                                   hash_join_block, hash_join_plan,
+                                   join_all, join_block)
+from repro.core.dedup import drop_repeats
+from repro.core.partition import triangular_splits, weighted_splits
+from repro.core.pmafia import (HASH_JOIN_MIN_UNITS, pmafia_rank,
+                               resolved_join_strategy)
+from repro.core.units import UnitTable
+from repro.errors import ParameterError
+from repro.io.prefetch import prefetched
+from repro.parallel import run_spmd
+from repro.parallel.comm import Comm
+from tests.conftest import DOMAINS_10D
+
+
+@st.composite
+def lattices(draw, max_units=40, min_level=1, max_level=6, max_dim=10,
+             max_bin=3):
+    """Random (possibly duplicate-free) unit tables.  Few distinct bins
+    per dimension force heavy sub-signature bucket collisions."""
+    level = draw(st.integers(min_level, max_level))
+    n = draw(st.integers(0, max_units))
+    units = []
+    for _ in range(n):
+        dims = draw(st.lists(st.integers(0, max_dim - 1), min_size=level,
+                             max_size=level, unique=True))
+        unit = [(d, draw(st.integers(0, max_bin - 1))) for d in sorted(dims)]
+        units.append(unit)
+    if not units:
+        return UnitTable.empty(level)
+    return UnitTable.from_pairs(units).unique()
+
+
+def assert_results_equal(a, b):
+    assert a.pairs_examined == b.pairs_examined
+    assert np.array_equal(a.combined, b.combined)
+    assert np.array_equal(a.cdus.dims, b.cdus.dims)
+    assert np.array_equal(a.cdus.bins, b.cdus.bins)
+
+
+class TestHashEqualsPairwise:
+    @given(lattices())
+    @settings(max_examples=120, deadline=None)
+    def test_full_join_bit_identical(self, t):
+        assert_results_equal(join_all(t), hash_join_all(t))
+
+    @given(lattices(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_block_join_bit_identical_for_any_fences(self, t, data):
+        n = t.n_units
+        plan = hash_join_plan(t)
+        fences = sorted(data.draw(st.lists(st.integers(0, n), min_size=0,
+                                           max_size=4)))
+        cuts = [0] + fences + [n]
+        for lo, hi in zip(cuts[:-1], cuts[1:]):
+            assert_results_equal(join_block(t, lo, hi),
+                                 hash_join_block(t, lo, hi, plan=plan))
+
+    @given(lattices())
+    @settings(max_examples=60, deadline=None)
+    def test_dedup_sees_identical_first_occurrence_order(self, t):
+        raw_p = join_all(t).cdus
+        raw_h = hash_join_all(t).cdus
+        assert drop_repeats(raw_p, raw_p.repeat_mask()) \
+            == drop_repeats(raw_h, raw_h.repeat_mask())
+
+    @given(lattices())
+    @settings(max_examples=60, deadline=None)
+    def test_plan_row_counts_are_per_pivot_pair_counts(self, t):
+        plan = hash_join_plan(t)
+        for i in range(t.n_units):
+            assert plan.row_pair_counts[i] \
+                == join_block(t, i, i + 1).cdus.n_units
+        assert plan.row_pair_counts.sum() == plan.n_pairs
+
+    @given(lattices())
+    @settings(max_examples=40, deadline=None)
+    def test_rank_partition_reassembles_serial_table(self, t):
+        """Concatenating per-rank hash fragments in rank order (the
+        driver's gather) reproduces the serial raw table for both the
+        triangular and the weighted fences."""
+        n = t.n_units
+        serial = hash_join_all(t).cdus
+        plan = hash_join_plan(t)
+        for p in (2, 3, 5):
+            for offsets in (triangular_splits(n, p),
+                            weighted_splits(plan.row_pair_counts, p)):
+                parts = [hash_join_block(t, offsets[r], offsets[r + 1],
+                                         plan=plan).cdus
+                         for r in range(p)]
+                assert UnitTable.concat_all(parts) == serial
+
+    def test_empty_and_tiny_tables(self):
+        for t in (UnitTable.empty(1), UnitTable.empty(3),
+                  UnitTable.from_pairs([[(0, 1)]]),
+                  UnitTable.from_pairs([[(0, 1), (2, 0)]])):
+            assert_results_equal(join_all(t), hash_join_all(t))
+
+
+class TestWeightedSplits:
+    @given(st.lists(st.integers(0, 50), max_size=60), st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_fences_are_monotone_and_cover(self, weights, p):
+        offsets = weighted_splits(weights, p)
+        assert offsets[0] == 0 and offsets[-1] == len(weights)
+        assert all(a <= b for a, b in zip(offsets, offsets[1:]))
+        assert len(offsets) == p + 1
+
+    def test_matches_triangular_on_triangular_weights(self):
+        n = 500
+        tri = triangular_splits(n, 4)
+        wgt = weighted_splits(np.arange(n, 0, -1), 4)
+        assert all(abs(a - b) <= 1 for a, b in zip(tri, wgt))
+
+    def test_balances_realised_work(self):
+        rng = np.random.default_rng(3)
+        w = rng.integers(0, 100, size=400)
+        offsets = weighted_splits(w, 4)
+        loads = [w[offsets[r]:offsets[r + 1]].sum() for r in range(4)]
+        assert max(loads) <= w.sum() / 4 + w.max()
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ParameterError):
+            weighted_splits([1, 2], 0)
+        with pytest.raises(ParameterError):
+            weighted_splits([-1, 2], 2)
+
+
+class _StubComm(Comm):
+    rank, size = 0, 1
+
+
+class _StubSimComm(_StubComm):
+    models_paper_costs = True
+
+
+class TestAutoPolicy:
+    def test_explicit_strategies_win(self):
+        for strategy in ("hash", "pairwise"):
+            params = MafiaParams(join_strategy=strategy)
+            assert resolved_join_strategy(params, _StubSimComm(), 10**6) \
+                == strategy
+
+    def test_auto_is_pairwise_on_sim_backend(self):
+        params = MafiaParams(join_strategy="auto")
+        assert resolved_join_strategy(params, _StubSimComm(), 10**6) \
+            == "pairwise"
+
+    def test_auto_threshold_on_wallclock_backends(self):
+        params = MafiaParams(join_strategy="auto")
+        comm = _StubComm()
+        assert resolved_join_strategy(params, comm,
+                                      HASH_JOIN_MIN_UNITS) == "pairwise"
+        assert resolved_join_strategy(params, comm,
+                                      HASH_JOIN_MIN_UNITS + 1) == "hash"
+
+    def test_params_validation(self):
+        with pytest.raises(ParameterError):
+            MafiaParams(join_strategy="quantum")
+        with pytest.raises(ParameterError):
+            MafiaParams(prefetch="yes")
+
+
+def fingerprint(result):
+    return (
+        result.cdus_per_level(),
+        result.dense_per_level(),
+        tuple(c.describe() for c in result.clusters),
+        tuple(c.point_count for c in result.clusters),
+    )
+
+
+@pytest.fixture(scope="module")
+def strategy_params(small_params):
+    # tau=1 forces the task-parallel join/dedup path even on this small
+    # lattice, so the weighted fences really are exercised
+    return small_params.with_(tau=1)
+
+
+@pytest.fixture(scope="module")
+def reference(one_cluster_dataset, strategy_params):
+    return fingerprint(
+        mafia(one_cluster_dataset.records,
+              strategy_params.with_(join_strategy="pairwise"),
+              domains=DOMAINS_10D))
+
+
+class TestFullRunsIdentical:
+    @pytest.mark.parametrize("backend,nprocs", [
+        ("serial", 1), ("thread", 2), ("thread", 5), ("process", 2)])
+    def test_hash_equals_pairwise_across_backends_and_ranks(
+            self, one_cluster_dataset, strategy_params, reference,
+            backend, nprocs):
+        for strategy in ("hash", "auto"):
+            params = strategy_params.with_(join_strategy=strategy)
+            ranks = run_spmd(pmafia_rank, nprocs, backend=backend,
+                             args=(one_cluster_dataset.records, params,
+                                   DOMAINS_10D))
+            for rank in ranks:
+                assert fingerprint(rank.value) == reference
+
+    def test_prefetch_does_not_change_results(self, one_cluster_dataset,
+                                              strategy_params, reference):
+        for nprocs in (1, 3):
+            params = strategy_params.with_(join_strategy="hash",
+                                           prefetch=True)
+            ranks = run_spmd(pmafia_rank, nprocs, backend="thread",
+                             args=(one_cluster_dataset.records, params,
+                                   DOMAINS_10D))
+            for rank in ranks:
+                assert fingerprint(rank.value) == reference
+
+
+class TestPrefetched:
+    def test_preserves_order_and_items(self):
+        assert list(prefetched(iter(range(100)))) == list(range(100))
+        assert list(prefetched(iter([]))) == []
+
+    def test_propagates_reader_exceptions_in_order(self):
+        def gen():
+            yield 1
+            yield 2
+            raise OSError("boom")
+
+        it = prefetched(gen())
+        assert next(it) == 1
+        assert next(it) == 2
+        with pytest.raises(OSError, match="boom"):
+            next(it)
+
+    def test_abandoning_joins_reader_thread(self):
+        import threading
+
+        before = threading.active_count()
+        it = prefetched(iter(range(1000)))
+        assert next(it) == 0
+        it.close()
+        assert threading.active_count() == before
