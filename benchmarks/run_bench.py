@@ -26,6 +26,14 @@ The e2e section verifies that both cache policies produce identical
 clusters and that the result passes ``repro.analysis.verify_result``
 (an independent float-path recount), so a reported speedup can never
 come from a silently wrong fast path.
+
+The observability section re-runs the e2e workload with tracing and
+metrics off vs on, reports the enabled-tracing overhead ratio, and —
+under ``--max-obs-overhead`` (CI passes 1.05) — fails when the
+instrumented run is more than that factor slower.  ``--obs-dir DIR``
+additionally exports the instrumented run's Chrome trace, metrics
+snapshot and run manifest to ``DIR`` after validating span integrity,
+which is what the CI smoke job uploads as workflow artifacts.
 """
 
 from __future__ import annotations
@@ -263,6 +271,66 @@ def run_e2e(cfg: dict) -> dict:
     }
 
 
+def run_obs_overhead(cfg: dict, runs: int,
+                     obs_dir: Path | None = None) -> dict:
+    """Median e2e wall time with observability off vs fully on.
+
+    The two configurations must produce identical clusters (the
+    conformance property — tracing only *reads* clocks).  When
+    ``obs_dir`` is given, the instrumented run's Chrome trace, metrics
+    snapshot and run manifest are written there after an integrity
+    check of the merged span timeline.
+    """
+    from repro.obs import as_run_obs, write_chrome_trace, \
+        write_metrics_snapshot
+    from repro.obs.manifest import MANIFEST_NAME, build_manifest, \
+        write_manifest
+
+    ds = clustered_dataset(cfg["n_records"], cfg["n_dims"],
+                           n_clusters=cfg["n_clusters"],
+                           cluster_dim=cfg["cluster_dim"], seed=3)
+    doms = domains(cfg["n_dims"])
+    base = bench_params(chunk_records=cfg["chunk"])
+    on = base.with_(trace=True, metrics=True)
+
+    plain = mafia(ds.records, base, domains=doms)   # warm caches
+    traced = None
+
+    def run_off():
+        nonlocal plain
+        plain = mafia(ds.records, base, domains=doms)
+
+    def run_on():
+        nonlocal traced
+        traced = mafia(ds.records, on, domains=doms)
+
+    t_off = median_time(run_off, runs)
+    t_on = median_time(run_on, runs)
+    identical = cluster_signature(plain) == cluster_signature(traced)
+
+    run_obs = as_run_obs(traced)
+    span_problems = run_obs.check()
+    out = {
+        "workload": cfg,
+        "runs": runs,
+        "obs_off_s": round(t_off, 4),
+        "obs_on_s": round(t_on, 4),
+        "overhead": round(t_on / t_off, 4) if t_off > 0 else None,
+        "clusters_identical": bool(identical),
+        "n_spans": len(run_obs.merged_spans()),
+        "span_problems": span_problems,
+    }
+    if obs_dir is not None:
+        obs_dir.mkdir(parents=True, exist_ok=True)
+        write_chrome_trace(obs_dir / "trace.json", run_obs.merged_spans())
+        write_metrics_snapshot(obs_dir / "metrics.json", run_obs)
+        write_manifest(obs_dir / MANIFEST_NAME,
+                       build_manifest(traced,
+                                      phases=run_obs.phase_seconds()))
+        out["obs_dir"] = str(obs_dir)
+    return out
+
+
 def machine_info() -> dict:
     import multiprocessing
     return {
@@ -316,6 +384,13 @@ def main(argv=None) -> int:
                          "reaches this factor")
     ap.add_argument("--skip-e2e", action="store_true",
                     help="kernels only (no end-to-end runs)")
+    ap.add_argument("--max-obs-overhead", type=float, default=0.0,
+                    help="fail when the traced e2e run is more than this "
+                         "factor slower than untraced (0 = report only; "
+                         "CI passes 1.05 for the 5%% gate)")
+    ap.add_argument("--obs-dir", type=Path, default=None,
+                    help="export the instrumented smoke run's trace.json, "
+                         "metrics.json and run_manifest.json here")
     args = ap.parse_args(argv)
 
     suite = "smoke" if args.smoke else "full"
@@ -347,6 +422,16 @@ def main(argv=None) -> int:
               f"clusters identical: {e['clusters_identical']}  "
               f"verified: {e['verify_ok']}")
 
+        print("running end-to-end observability off vs on ...")
+        doc["obs"] = run_obs_overhead(e2e_cfg, runs=3,
+                                      obs_dir=args.obs_dir)
+        o = doc["obs"]
+        print(f"  off: {o['obs_off_s']:.2f}s  on: {o['obs_on_s']:.2f}s  "
+              f"overhead: {o['overhead']}x  spans: {o['n_spans']}  "
+              f"clusters identical: {o['clusters_identical']}")
+        if args.obs_dir is not None:
+            print(f"  wrote trace/metrics/manifest to {args.obs_dir}")
+
     if args.output is not None:
         args.output.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"wrote {args.output}")
@@ -364,6 +449,16 @@ def main(argv=None) -> int:
         if args.min_speedup and (e["speedup"] or 0) < args.min_speedup:
             print(f"FAIL: e2e speedup {e['speedup']}x below required "
                   f"{args.min_speedup}x")
+            rc = 1
+        o = doc["obs"]
+        if not o["clusters_identical"] or o["span_problems"]:
+            print("FAIL: observability changed the clustering or produced "
+                  f"an inconsistent trace: {o['span_problems']}")
+            rc = 1
+        if args.max_obs_overhead and \
+                (o["overhead"] or 0) > args.max_obs_overhead:
+            print(f"FAIL: enabled-tracing overhead {o['overhead']}x "
+                  f"exceeds allowed {args.max_obs_overhead}x")
             rc = 1
     return rc
 

@@ -11,13 +11,17 @@ Public API highlights:
   for the paper's real data sets;
 * :mod:`repro.parallel` — the from-scratch message-passing substrate;
 * :mod:`repro.analysis` — clustering quality metrics and the paper's
-  closed-form complexity model.
+  closed-form complexity model;
+* :mod:`repro.obs` — per-rank tracing and metrics
+  (``MafiaParams(trace=True, metrics=True)``, Chrome-trace export).
 """
 
 from .core import ClusteringResult, PMafiaRun, mafia, pmafia, pmafia_resumable
 from .errors import (CheckpointError, ChecksumError, CommAborted, CommError,
                      CommTimeoutError, DataError, GridError, ParameterError,
                      RecordFileError, ReproError)
+from .obs import (RankObsData, RunObs, as_run_obs, write_chrome_trace,
+                  write_metrics_snapshot)
 from .params import CliqueParams, MafiaParams
 from .parallel import (CrashPoint, FaultPlan, MachineSpec, MessageFault,
                        ReadFault, run_spmd)
@@ -46,13 +50,18 @@ __all__ = [
     "MafiaParams",
     "PMafiaRun",
     "ParameterError",
+    "RankObsData",
     "ReadFault",
     "RecordFileError",
     "ReproError",
+    "RunObs",
     "Subspace",
     "__version__",
+    "as_run_obs",
     "mafia",
     "pmafia",
     "pmafia_resumable",
     "run_spmd",
+    "write_chrome_trace",
+    "write_metrics_snapshot",
 ]

@@ -32,6 +32,8 @@ from .errors import ReproError
 from .datagen.generator import generate
 from .datagen.spec import ClusterSpec
 from .io.records import RecordFile, read_header, write_records
+from .obs import as_run_obs, write_chrome_trace, write_metrics_snapshot
+from .obs.manifest import MANIFEST_NAME, build_manifest, write_manifest
 from .params import CliqueParams, MafiaParams
 
 
@@ -79,6 +81,28 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_observability(args: argparse.Namespace, run: object,
+                         result: object, nprocs: int) -> None:
+    """Export the run's trace / metrics / manifest as requested by
+    ``--trace-out`` / ``--metrics-out``."""
+    if args.trace_out is None and args.metrics_out is None:
+        return
+    run_obs = as_run_obs(run)
+    if run_obs is None:  # pragma: no cover - params force obs on
+        raise ReproError("run produced no observability data")
+    if args.trace_out is not None:
+        write_chrome_trace(args.trace_out, run_obs.merged_spans())
+        print(f"wrote trace to {args.trace_out}", file=sys.stderr)
+    if args.metrics_out is not None:
+        write_metrics_snapshot(args.metrics_out, run_obs)
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+    out = args.trace_out if args.trace_out is not None else args.metrics_out
+    manifest = build_manifest(result, phases=run_obs.phase_seconds(),
+                              nprocs=nprocs,
+                              virtual_seconds=getattr(run, "makespan", 0.0))
+    write_manifest(Path(out).parent / MANIFEST_NAME, manifest)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.algorithm == "clique":
         params = CliqueParams(bins=args.bins, threshold=args.threshold,
@@ -97,22 +121,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
                              report=args.report,
                              bin_cache=args.bin_cache,
                              join_strategy=args.join_strategy,
-                             prefetch=args.prefetch)
+                             prefetch=args.prefetch,
+                             trace=args.trace_out is not None,
+                             metrics=args.metrics_out is not None)
         data: object = Path(args.data)
         if Path(args.data).suffix in (".npy", ".csv", ".txt"):
             data = _load_records(Path(args.data))
+        run = None
         if args.checkpoint_dir is not None:
-            result = pmafia_resumable(data, args.procs, params,
-                                      checkpoint_dir=args.checkpoint_dir,
-                                      backend=args.backend,
-                                      collectives=args.collectives,
-                                      resume=args.resume).result
+            run = pmafia_resumable(data, args.procs, params,
+                                   checkpoint_dir=args.checkpoint_dir,
+                                   backend=args.backend,
+                                   collectives=args.collectives,
+                                   resume=args.resume)
+            result = run.result
         elif args.procs == 1:
             result = mafia(data, params)
         else:
-            result = pmafia(data, args.procs, params,
-                            backend=args.backend,
-                            collectives=args.collectives).result
+            run = pmafia(data, args.procs, params,
+                         backend=args.backend,
+                         collectives=args.collectives)
+            result = run.result
+        _write_observability(args, run if run is not None else result,
+                             result, args.procs)
 
     if args.verify:
         from .analysis.verify import verify_result
@@ -204,6 +235,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="CLIQUE: uniform bins per dimension")
     run.add_argument("--threshold", type=float, default=0.01,
                      help="CLIQUE: global density threshold fraction")
+    run.add_argument("--trace-out", type=Path, default=None,
+                     dest="trace_out", metavar="PATH",
+                     help="MAFIA only: enable tracing and write the "
+                          "merged per-rank timeline as Chrome "
+                          "trace_event JSON (open in chrome://tracing "
+                          "or https://ui.perfetto.dev)")
+    run.add_argument("--metrics-out", type=Path, default=None,
+                     dest="metrics_out", metavar="PATH",
+                     help="MAFIA only: enable metrics and write the "
+                          "per-rank + merged counter snapshot as JSON; "
+                          "a run_manifest.json lands next to the first "
+                          "output path")
     run.add_argument("--json", action="store_true",
                      help="emit the full result as JSON")
     run.add_argument("--verify", action="store_true",
@@ -222,6 +265,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.checkpoint_dir is not None and args.algorithm == "clique":
             parser.error("--checkpoint-dir is not supported with "
                          "--algorithm clique")
+        if (args.algorithm == "clique"
+                and (args.trace_out is not None
+                     or args.metrics_out is not None)):
+            parser.error("--trace-out/--metrics-out are not supported "
+                         "with --algorithm clique")
     try:
         return args.func(args)
     except ReproError as exc:

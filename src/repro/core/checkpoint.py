@@ -135,11 +135,16 @@ def check_compatible(state: dict[str, Any], params: Any,
     is a transparent encoding of the same pass (bit-identical counts),
     so a run may legitimately resume under a different cache policy —
     the store is restaged from the checkpointed grid either way.
+    ``trace`` and ``metrics`` are likewise excluded: observability is
+    read-only with respect to the algorithm, so a crashed untraced run
+    may be resumed under tracing (and vice versa) without divergence.
     """
     stored = state.get("params")
     if stored is not None:
         try:
-            stored = stored.with_(bin_cache=params.bin_cache)
+            stored = stored.with_(bin_cache=params.bin_cache,
+                                  trace=params.trace,
+                                  metrics=params.metrics)
         except (AttributeError, TypeError):
             pass
     if stored != params:

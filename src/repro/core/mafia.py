@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
@@ -11,6 +11,7 @@ import os
 
 from ..errors import DataError
 from ..io.resilient import RetryPolicy
+from ..obs import RunObs
 from ..params import MafiaParams
 from ..parallel.faults import FaultPlan
 from ..parallel.machine import MachineSpec, WorkCounters
@@ -35,13 +36,20 @@ def mafia(data: Any, params: MafiaParams | None = None,
 @dataclass(frozen=True)
 class PMafiaRun:
     """Outcome of a parallel run: the clustering (identical on every
-    rank, asserted) plus per-rank virtual times and work tallies."""
+    rank, asserted) plus per-rank virtual times and work tallies.
+
+    ``obs`` bundles every rank's observability export into a
+    :class:`repro.obs.RunObs` when the run was traced or metered
+    (``None`` otherwise); like ``ClusteringResult.obs`` it does not
+    participate in equality.
+    """
 
     result: ClusteringResult
     nprocs: int
     backend: str
     rank_times: tuple[float, ...]
     counters: tuple[WorkCounters | None, ...]
+    obs: RunObs | None = field(default=None, compare=False)
 
     @property
     def makespan(self) -> float:
@@ -79,9 +87,14 @@ def _collect_run(ranks: list[RankResult], nprocs: int,
                 or other.dense_per_level() != first.dense_per_level()
                 or len(other.clusters) != len(first.clusters)):
             raise DataError("ranks disagree on the clustering result")
+    obs = None
+    if any(r.obs is not None for r in results):
+        obs = RunObs(ranks=tuple(r.obs for r in results
+                                 if r.obs is not None))
     return PMafiaRun(result=first, nprocs=nprocs, backend=backend,
                      rank_times=tuple(r.time for r in ranks),
-                     counters=tuple(r.counters for r in ranks))
+                     counters=tuple(r.counters for r in ranks),
+                     obs=obs)
 
 
 def pmafia_resumable(data: Any, nprocs: int,

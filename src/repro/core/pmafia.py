@@ -25,6 +25,8 @@ broadcasts the result (print-clusters()).
 from __future__ import annotations
 
 import os
+from contextlib import nullcontext
+from dataclasses import replace
 from pathlib import Path
 from typing import Any
 
@@ -36,6 +38,8 @@ from ..io.chunks import DataSource, as_source
 from ..io.partition import block_range
 from ..io.resilient import RetryPolicy
 from ..io.staging import stage_local
+from ..obs import RankObs
+from ..obs.manifest import MANIFEST_NAME, build_manifest, write_manifest
 from ..params import MafiaParams
 from ..parallel.comm import Comm
 from ..parallel.faults import fault_site
@@ -61,6 +65,13 @@ from .units import MAX_DIMS, UnitTable
 #: the hash join's grouping overhead only pays off once the triangular
 #: sweep has real quadratic work to skip
 HASH_JOIN_MIN_UNITS = 256
+
+
+def _ospan(obs: RankObs | None, name: str, cat: str = "task", **attrs):
+    """A span on this rank's observer, or a free no-op when untraced."""
+    if obs is None:
+        return nullcontext({})
+    return obs.span(name, cat=cat, **attrs)
 
 
 def resolved_join_strategy(params: MafiaParams, comm: Comm,
@@ -153,6 +164,8 @@ def _find_candidate_dense_units(comm: Comm, dense: UnitTable, tau: int,
         lo, hi = offsets[comm.rank], offsets[comm.rank + 1]
         jr = block_join(dense, lo, hi)
         comm.charge_pairs(jr.pairs_examined)
+        if comm.obs is not None:
+            comm.obs.add_pairs("join", jr.pairs_examined)
         fragments = comm.gather(jr.cdus.tobytes(), root=0)
         if comm.rank == 0:
             full = UnitTable.concat_all(
@@ -166,6 +179,8 @@ def _find_candidate_dense_units(comm: Comm, dense: UnitTable, tau: int,
         return full, combined
     jr = block_join(dense, 0, ndu)
     comm.charge_pairs(jr.pairs_examined)
+    if comm.obs is not None:
+        comm.obs.add_pairs("join", jr.pairs_examined)
     return jr.cdus, jr.combined
 
 
@@ -176,7 +191,10 @@ def _eliminate_repeat_cdus(comm: Comm, raw: UnitTable,
     if comm.size > 1 and n > tau:
         offsets = triangular_splits(n, comm.size)
         lo, hi = offsets[comm.rank], offsets[comm.rank + 1]
-        comm.charge_pairs(prefix_work(n, hi) - prefix_work(n, lo))
+        pairs = prefix_work(n, hi) - prefix_work(n, lo)
+        comm.charge_pairs(pairs)
+        if comm.obs is not None:
+            comm.obs.add_pairs("dedup", pairs)
         flags = repeat_flags_block(raw, lo, hi)
         repeats = comm.allreduce(flags, op="lor")
         # build-cdu-with-unique-elements: each rank rebuilds its even
@@ -197,6 +215,8 @@ def _eliminate_repeat_cdus(comm: Comm, raw: UnitTable,
         payload = comm.bcast(payload, root=0)
         return UnitTable.frombytes(payload)
     comm.charge_pairs(n)
+    if comm.obs is not None:
+        comm.obs.add_pairs("dedup", n)
     return drop_repeats(raw, raw.repeat_mask())
 
 
@@ -282,8 +302,39 @@ def pmafia_rank(comm: Comm, data: Any, params: MafiaParams | None = None,
     run because every later pass is a deterministic function of the
     per-level state.  ``retry`` bounds transient chunk-read failures
     (see :mod:`repro.io.resilient`).
+
+    With ``params.trace`` / ``params.metrics`` set, a per-rank
+    :class:`~repro.obs.RankObs` observes the whole run (spans, counters,
+    collective sizes) without touching the cost model — the returned
+    result carries its export in ``.obs`` and, on a checkpointed rank 0,
+    a ``run_manifest.json`` is written next to the checkpoints.  With
+    both knobs off this wrapper adds a single ``None`` check.
     """
     params = params or MafiaParams()
+    obs = RankObs.create(params, comm)
+    if obs is None:
+        return _pmafia_rank(comm, data, params, domains,
+                            checkpoint_dir=checkpoint_dir, resume=resume,
+                            retry=retry, obs=None)
+    with obs.activate(comm):
+        with obs.span("run", cat="run", rank=comm.rank, size=comm.size):
+            result = _pmafia_rank(comm, data, params, domains,
+                                  checkpoint_dir=checkpoint_dir,
+                                  resume=resume, retry=retry, obs=obs)
+        if checkpoint_dir is not None and comm.rank == 0:
+            manifest = build_manifest(result, phases=obs.phase_seconds(),
+                                      nprocs=comm.size,
+                                      virtual_seconds=comm.time())
+            write_manifest(Path(checkpoint_dir) / MANIFEST_NAME, manifest)
+    return replace(result, obs=obs.export())
+
+
+def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
+                 domains: np.ndarray | None, *, checkpoint_dir: Any,
+                 resume: bool, retry: RetryPolicy | None,
+                 obs: RankObs | None) -> ClusteringResult:
+    """The actual per-rank driver; ``obs`` is this rank's observer (or
+    ``None``, making every hook a plain ``is None`` check)."""
     fault_site(comm, "start")
     source, start, stop = _local_view(comm, data)
     n_local = stop - start
@@ -294,28 +345,36 @@ def pmafia_rank(comm: Comm, data: Any, params: MafiaParams | None = None,
 
     state = None
     if checkpoint_dir is not None and resume:
-        if comm.rank == 0:
-            newest = latest_checkpoint(checkpoint_dir)
-            state = load_checkpoint(newest) if newest is not None else None
-        state = comm.bcast(state, root=0)
-        if state is not None:
-            check_compatible(state, params, n_records)
+        with _ospan(obs, "checkpoint_restore", cat="checkpoint") as sp:
+            if comm.rank == 0:
+                newest = latest_checkpoint(checkpoint_dir)
+                state = load_checkpoint(newest) if newest is not None else None
+            state = comm.bcast(state, root=0)
+            if state is not None:
+                check_compatible(state, params, n_records)
+                if sp is not None:
+                    sp["level"] = state["level"]
+                if obs is not None:
+                    obs.checkpoint_restored(state["level"])
 
     def save_level(level: int, trace: list[LevelTrace],
                    registered: Registered, grid: Grid,
                    domains: np.ndarray) -> None:
         if checkpoint_dir is None or comm.rank != 0:
             return
-        save_checkpoint(checkpoint_dir, level, {
-            "level": level,
-            "params": params,
-            "n_records": n_records,
-            "domains": np.asarray(domains, dtype=np.float64),
-            "grid": grid,
-            "grid_hash": grid_fingerprint(grid),
-            "trace": tuple(trace),
-            "registered": tuple(registered),
-        })
+        with _ospan(obs, "checkpoint_save", cat="checkpoint", level=level):
+            path = save_checkpoint(checkpoint_dir, level, {
+                "level": level,
+                "params": params,
+                "n_records": n_records,
+                "domains": np.asarray(domains, dtype=np.float64),
+                "grid": grid,
+                "grid_hash": grid_fingerprint(grid),
+                "trace": tuple(trace),
+                "registered": tuple(registered),
+            })
+        if obs is not None:
+            obs.checkpoint_saved(level, path.stat().st_size)
 
     if state is not None:
         domains = state["domains"]
@@ -340,8 +399,10 @@ def pmafia_rank(comm: Comm, data: Any, params: MafiaParams | None = None,
     # once the grid is fixed, stage this rank's bin-index store — every
     # level pass then streams compact indices instead of re-locating the
     # float records (charges nothing, like shared-to-local staging)
-    binned = stage_binned(source, comm, grid, params.chunk_records,
-                          start, stop, policy=params.bin_cache, retry=retry)
+    with _ospan(obs, "stage_binned", cat="io"):
+        binned = stage_binned(source, comm, grid, params.chunk_records,
+                              start, stop, policy=params.bin_cache,
+                              retry=retry)
 
     # token packing for the *next* level's hash join can overlap the
     # population reduce — it only reads the CDU table, which is fixed
@@ -353,25 +414,31 @@ def pmafia_rank(comm: Comm, data: Any, params: MafiaParams | None = None,
     def level_pass(cdus: UnitTable, raw_count: int, level: int
                    ) -> tuple[LevelTrace, np.ndarray | None]:
         fault_site(comm, "populate", level)
-        packed: dict[str, np.ndarray] = {}
-        overlap = None
-        if may_hash and cdus.n_units:
-            def overlap() -> None:
-                packed["tokens"] = cdus.tokens()
-        with phase("population"):
-            counts = populate_global(source, comm, grid, cdus,
-                                     params.chunk_records, start, stop,
-                                     retry, binned=binned,
-                                     prefetch=params.prefetch,
-                                     overlap=overlap)
-        mask, ndu = _identify_dense(comm, cdus, counts, grid, params.tau,
-                                    params.min_bin_points)
-        dense, dense_counts = dense_units(cdus, counts, mask)
-        tokens = packed.get("tokens")
-        dense_tokens = tokens[mask] if tokens is not None else None
-        trace_entry = LevelTrace(level=level, n_cdus_raw=raw_count,
-                                 n_cdus=cdus.n_units, n_dense=ndu,
-                                 dense=dense, dense_counts=dense_counts)
+        with _ospan(obs, "level", cat="level", level=level) as sp:
+            packed: dict[str, np.ndarray] = {}
+            overlap = None
+            if may_hash and cdus.n_units:
+                def overlap() -> None:
+                    packed["tokens"] = cdus.tokens()
+            with phase("population"):
+                counts = populate_global(source, comm, grid, cdus,
+                                         params.chunk_records, start, stop,
+                                         retry, binned=binned,
+                                         prefetch=params.prefetch,
+                                         overlap=overlap)
+            mask, ndu = _identify_dense(comm, cdus, counts, grid,
+                                        params.tau, params.min_bin_points)
+            if sp is not None:
+                sp["n_cdus"] = cdus.n_units
+                sp["n_dense"] = ndu
+            if obs is not None:
+                obs.level_stats(level, raw_count, cdus.n_units, ndu)
+            dense, dense_counts = dense_units(cdus, counts, mask)
+            tokens = packed.get("tokens")
+            dense_tokens = tokens[mask] if tokens is not None else None
+            trace_entry = LevelTrace(level=level, n_cdus_raw=raw_count,
+                                     n_cdus=cdus.n_units, n_dense=ndu,
+                                     dense=dense, dense_counts=dense_counts)
         return trace_entry, dense_tokens
 
     dense_tokens = None  # resumed runs repack lazily inside the join

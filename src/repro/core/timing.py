@@ -1,10 +1,21 @@
 """Per-phase wall-clock attribution for a (p)MAFIA run.
 
+.. deprecated-but-stable::
+    This module predates the structured observability subsystem
+    (:mod:`repro.obs`) and is now a thin shim over it: the same
+    :func:`phase` brackets in the driver feed *both* the legacy
+    :class:`PhaseTimes` collector and — when a run is traced — a
+    ``cat="phase"`` span on the rank's ambient tracer, with wall and
+    virtual timestamps.  ``phase_timer()`` keeps working exactly as
+    before and is not going away, but new code that wants per-phase
+    breakdowns should prefer ``MafiaParams(trace=True)`` and read
+    ``result.obs`` / ``run.obs`` (see ``docs/OBSERVABILITY.md``).
+
 The driver brackets its hot phases — ``grid``, ``join``, ``dedup``,
 ``population``, ``assembly`` — with :func:`phase`, and a caller that
 wants the breakdown wraps the run in :func:`phase_timer`.  Outside a
-timer the brackets are free no-ops, so the instrumented driver costs
-nothing in normal runs.
+timer (and outside a traced run) the brackets are free no-ops, so the
+instrumented driver costs nothing in normal runs.
 
 The active collector lives in a :class:`contextvars.ContextVar`, so
 concurrent runs on different threads (the thread backend spawns one
@@ -20,6 +31,8 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Iterator
+
+from ..obs import trace as _obs_trace
 
 _collector: ContextVar["PhaseTimes | None"] = ContextVar(
     "repro_phase_times", default=None)
@@ -55,13 +68,25 @@ def phase_timer() -> Iterator[PhaseTimes]:
 
 @contextmanager
 def phase(name: str) -> Iterator[None]:
-    """Attribute the block's wall time to ``name`` (no-op untimed)."""
+    """Attribute the block's wall time to ``name``.
+
+    Feeds the legacy :class:`PhaseTimes` collector when one is active
+    *and* records a ``cat="phase"`` span on the ambient tracer when the
+    run is traced (:mod:`repro.obs`); with neither active the bracket
+    is a free no-op.
+    """
     times = _collector.get()
-    if times is None:
+    tracer = _obs_trace.current_tracer()
+    if times is None and tracer is None:
         yield
         return
     start = time.perf_counter()
     try:
-        yield
+        if tracer is None:
+            yield
+        else:
+            with tracer.span(name, cat="phase"):
+                yield
     finally:
-        times.add(name, time.perf_counter() - start)
+        if times is not None:
+            times.add(name, time.perf_counter() - start)

@@ -202,7 +202,8 @@ class BinnedStore:
         return np.array(self._map()[:, start:stop])
 
     def _raw_chunks(self, fault_state, chunk_records: int,
-                    retry: RetryPolicy | None) -> Iterator[np.ndarray]:
+                    retry: RetryPolicy | None,
+                    on_retry=None) -> Iterator[np.ndarray]:
         """Uncharged column-block reads — safe on a prefetch thread."""
         for index, lo in enumerate(range(0, self.n_records, chunk_records)):
             hi = min(lo + chunk_records, self.n_records)
@@ -213,7 +214,7 @@ class BinnedStore:
                     fault_state.on_chunk_read(index)
                 return self.read_columns(lo, hi)
 
-            yield read_with_retry(attempt, retry)
+            yield read_with_retry(attempt, retry, on_retry)
 
     def charged_chunks(self, comm: Comm, chunk_records: int,
                        retry: RetryPolicy | None = None,
@@ -231,13 +232,18 @@ class BinnedStore:
         if chunk_records <= 0:
             raise DataError(
                 f"chunk_records must be positive, got {chunk_records}")
+        obs = getattr(comm, "obs", None)
         chunks = self._raw_chunks(getattr(comm, "fault_state", None),
-                                  chunk_records, retry)
+                                  chunk_records, retry,
+                                  obs.io_retry if obs is not None else None)
         if prefetch:
-            chunks = prefetched(chunks)
+            chunks = prefetched(
+                chunks, obs.prefetch_result if obs is not None else None)
         for cols in chunks:
-            comm.charge_io(cols.shape[1] * self.n_dims * RECORD_ITEMSIZE,
-                           chunks=1)
+            nbytes = cols.shape[1] * self.n_dims * RECORD_ITEMSIZE
+            comm.charge_io(nbytes, chunks=1)
+            if obs is not None:
+                obs.io_chunk(cols.shape[1], nbytes, kind="binned")
             yield cols
 
 

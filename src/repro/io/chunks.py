@@ -97,11 +97,11 @@ def as_source(data) -> DataSource:
 
 
 def _raw_blocks(read_block, fault_state, chunk_records: int, start: int,
-                stop: int,
-                retry: RetryPolicy | None) -> Iterator[np.ndarray]:
+                stop: int, retry: RetryPolicy | None,
+                on_retry=None) -> Iterator[np.ndarray]:
     """The uncharged read loop — safe to run on a prefetch thread (it
-    touches only the source and the rank's fault state, never the
-    communicator's clock)."""
+    touches only the source, the rank's fault state and the retry
+    counter, never the communicator's clock)."""
     for index, lo in enumerate(range(start, stop, chunk_records)):
         hi = min(lo + chunk_records, stop)
 
@@ -111,7 +111,7 @@ def _raw_blocks(read_block, fault_state, chunk_records: int, start: int,
                 fault_state.on_chunk_read(index)
             return read_block(lo, hi)
 
-        yield read_with_retry(attempt, retry)
+        yield read_with_retry(attempt, retry, on_retry)
 
 
 def charged_chunks(source: DataSource, comm: Comm, chunk_records: int,
@@ -136,7 +136,13 @@ def charged_chunks(source: DataSource, comm: Comm, chunk_records: int,
     background thread (:func:`repro.io.prefetch.prefetched`); charging
     always happens here on the consumer thread, so simulated times are
     unaffected.
+
+    When the rank has an observer attached (``comm.obs``), every chunk
+    is also counted into its metrics registry (chunks / records /
+    bytes, retries, prefetch hits) — pure counting on top of the same
+    values already charged, so virtual clocks are untouched.
     """
+    obs = getattr(comm, "obs", None)
     read_block = getattr(source, "read_block", None)
     if read_block is None:
         chunks = source.iter_chunks(chunk_records, start, stop)
@@ -150,9 +156,14 @@ def charged_chunks(source: DataSource, comm: Comm, chunk_records: int,
                 f"range [{start}, {stop}) out of bounds for "
                 f"{source.n_records} records")
         chunks = _raw_blocks(read_block, getattr(comm, "fault_state", None),
-                             chunk_records, start, stop, retry)
+                             chunk_records, start, stop, retry,
+                             obs.io_retry if obs is not None else None)
     if prefetch:
-        chunks = prefetched(chunks)
+        chunks = prefetched(
+            chunks, obs.prefetch_result if obs is not None else None)
     for chunk in chunks:
-        comm.charge_io(chunk.shape[0] * chunk.shape[1] * itemsize, chunks=1)
+        nbytes = chunk.shape[0] * chunk.shape[1] * itemsize
+        comm.charge_io(nbytes, chunks=1)
+        if obs is not None:
+            obs.io_chunk(chunk.shape[0], nbytes, kind="records")
         yield chunk

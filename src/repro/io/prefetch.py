@@ -18,7 +18,7 @@ the consumer at the hand-over point.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Iterator, TypeVar
+from typing import Callable, Iterable, Iterator, TypeVar
 
 T = TypeVar("T")
 
@@ -32,7 +32,9 @@ def _pull(it: Iterator[T]):
         return _STOP
 
 
-def prefetched(iterable: Iterable[T]) -> Iterator[T]:
+def prefetched(iterable: Iterable[T],
+               on_wait: Callable[[bool], None] | None = None
+               ) -> Iterator[T]:
     """Yield from ``iterable``, computing each next item one step ahead
     on a background thread.
 
@@ -41,6 +43,11 @@ def prefetched(iterable: Iterable[T]) -> Iterator[T]:
     propagate to the consumer in order.  Abandoning the generator joins
     the reader thread (at most one in-flight read completes and is
     dropped).
+
+    ``on_wait(hit)`` is called on the consumer thread once per item
+    with whether the read-ahead had already finished when the consumer
+    asked (``True`` = overlap fully hid the read) — the observability
+    layer's prefetch hit/miss counters.
     """
     it = iter(iterable)
     pool = ThreadPoolExecutor(max_workers=1,
@@ -48,9 +55,12 @@ def prefetched(iterable: Iterable[T]) -> Iterator[T]:
     try:
         fut = pool.submit(_pull, it)
         while True:
+            ready = fut.done()
             item = fut.result()
             if item is _STOP:
                 return
+            if on_wait is not None:
+                on_wait(ready)
             fut = pool.submit(_pull, it)
             yield item
     finally:

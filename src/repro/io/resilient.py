@@ -65,13 +65,20 @@ DEFAULT_RETRY = RetryPolicy()
 
 
 def read_with_retry(read: Callable[[], T],
-                    policy: RetryPolicy | None = None) -> T:
+                    policy: RetryPolicy | None = None,
+                    on_retry: Callable[[], None] | None = None) -> T:
     """Call ``read()`` until it succeeds or the retry budget runs out.
 
     Transient ``OSError`` s are retried with backoff; structural
     failures (any :class:`~repro.errors.ReproError`, even OSError-based
     ones) and non-OSError exceptions propagate immediately.  The final
     failed attempt re-raises the last ``OSError``.
+
+    ``on_retry`` is invoked once per absorbed transient failure, before
+    the backoff sleep — the observability layer counts retries through
+    it (``io.read_retries``) without this module knowing about
+    communicators or registries.  The exhausted final failure is not
+    reported: it propagates as an error, not a retry.
     """
     policy = DEFAULT_RETRY if policy is None else policy
     delays = list(policy.delays())
@@ -83,5 +90,7 @@ def read_with_retry(read: Callable[[], T],
                 raise
             if attempt == policy.max_attempts - 1:
                 raise
+            if on_retry is not None:
+                on_retry()
             policy.sleep(delays[attempt])
     raise AssertionError("unreachable")  # pragma: no cover

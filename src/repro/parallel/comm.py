@@ -11,6 +11,7 @@ processor*, i.e. an all-reduce).
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -36,6 +37,28 @@ def resolve_op(op: str) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
         raise CommError(
             f"unknown reduce op {op!r}; expected one of {sorted(REDUCE_OPS)}"
         ) from None
+
+
+def _observed(fn):
+    """Report a public collective to the rank's observer, when one is
+    attached (``comm.obs``, set by the driver for instrumented runs).
+
+    Disabled cost: one attribute load and ``None`` check per call.
+    Collectives compose — ``allreduce`` runs ``allgather`` runs
+    ``gather`` + ``bcast`` — so the observer keeps a nesting depth and
+    records only the outermost call; the payload reported is this
+    rank's local contribution (first positional argument).  Observing
+    never sends, never charges the cost model and only *reads* the
+    virtual clock, so results and simulated times are unchanged.
+    """
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        obs = self.obs
+        if obs is None:
+            return fn(self, *args, **kwargs)
+        with obs.collective(fn.__name__, args[0] if args else None):
+            return fn(self, *args, **kwargs)
+    return wrapper
 
 
 class Comm:
@@ -69,6 +92,10 @@ class Comm:
     #: ``join_strategy="auto"`` — must preserve the paper's cost model
     #: instead of optimising wall clock
     models_paper_costs: bool = False
+    #: the rank's observer (:class:`repro.obs.RankObs`) while a traced
+    #: or metered run is active; ``None`` keeps collectives on the
+    #: zero-cost path
+    obs: Any = None
 
     # -- point to point ------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -80,10 +107,12 @@ class Comm:
         raise NotImplementedError
 
     # -- collectives ---------------------------------------------------
+    @_observed
     def barrier(self) -> None:
         """Block until every rank has entered the barrier."""
         self.allgather(None)
 
+    @_observed
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root`` to every rank; returns it."""
         self._check_rank(root)
@@ -116,6 +145,7 @@ class Comm:
             mask >>= 1
         return obj
 
+    @_observed
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         """Gather one object per rank on ``root`` (rank order);
         returns ``None`` on non-root ranks."""
@@ -156,11 +186,13 @@ class Comm:
             out[(child_vrank + root) % p] = value
         return out
 
+    @_observed
     def allgather(self, obj: Any) -> list[Any]:
         """Gather one object per rank onto every rank (rank order)."""
         gathered = self.gather(obj, root=0)
         return self.bcast(gathered, root=0)
 
+    @_observed
     def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
         """Scatter one object per rank from ``root``."""
         self._check_rank(root)
@@ -203,6 +235,7 @@ class Comm:
             mask >>= 1
         return payload[vrank]
 
+    @_observed
     def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
         """Element-wise combine an equal-shaped array from every rank and
         return the combined vector on *all* ranks (the paper's Reduce).
@@ -227,6 +260,7 @@ class Comm:
                 result = fn(result, contrib)
         return result
 
+    @_observed
     def reduce(self, array: np.ndarray, op: str = "sum",
                root: int = 0) -> np.ndarray | None:
         """Like :meth:`allreduce` but the result lands only on ``root``."""

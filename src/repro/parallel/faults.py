@@ -141,6 +141,14 @@ class RankFaults:
         self._sent = 0
         self._read_served: dict[int, int] = {}
         self._rng = np.random.default_rng([plan.seed, rank])
+        #: the rank's :class:`repro.obs.RankObs` during instrumented
+        #: runs — injected faults then land in the same trace/metrics
+        #: as real work (attached by ``RankObs.activate``)
+        self.observer: Any = None
+
+    def _record(self, kind: str, **attrs: Any) -> None:
+        if self.observer is not None:
+            self.observer.fault_event(kind, **attrs)
 
     # -- driver progress + crash triggers ------------------------------
     def enter(self, site: str, level: int | None = None) -> None:
@@ -150,6 +158,7 @@ class RankFaults:
         self.level = level
         for point in self.plan.crashes:
             if point.matches(self.rank, site, level):
+                self._record("crash", site=site, level=level)
                 raise InjectedFailure(
                     f"injected crash on rank {self.rank} at site "
                     f"{site!r}, level {level}")
@@ -164,11 +173,13 @@ class RankFaults:
             detail = (f"rank {self.rank}, site {self.site!r}, "
                       f"level {self.level}, chunk {chunk}")
             if rf.permanent:
+                self._record("read_error", chunk=chunk, permanent=True)
                 raise OSError(errno.EIO, f"injected permanent read "
                                          f"error ({detail})")
             served = self._read_served.get(i, 0)
             if served < rf.errors:
                 self._read_served[i] = served + 1
+                self._record("read_error", chunk=chunk, permanent=False)
                 raise OSError(errno.EIO,
                               f"injected transient read error "
                               f"{served + 1}/{rf.errors} ({detail})")
@@ -184,13 +195,21 @@ class RankFaults:
                     and (mf.dest is None or mf.dest == dest)
                     and (mf.tag is None or mf.tag == tag)):
                 if mf.action == "drop":
+                    self._record("message_drop", dest=dest, tag=tag,
+                                 nth=index)
                     return False, 0.0
+                self._record("message_delay", dest=dest, tag=tag,
+                             nth=index, delay=mf.delay)
                 return True, mf.delay
         if self.plan.drop_rate or self.plan.delay_rate:
             draw = float(self._rng.random())
             if draw < self.plan.drop_rate:
+                self._record("message_drop", dest=dest, tag=tag,
+                             nth=index)
                 return False, 0.0
             if draw < self.plan.drop_rate + self.plan.delay_rate:
+                self._record("message_delay", dest=dest, tag=tag,
+                             nth=index, delay=self.plan.chaos_delay)
                 return True, self.plan.chaos_delay
         return True, 0.0
 

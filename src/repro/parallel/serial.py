@@ -13,7 +13,7 @@ from typing import Any
 import numpy as np
 
 from ..errors import CommError
-from .comm import Comm, resolve_op
+from .comm import Comm, _observed, resolve_op
 
 
 class SerialComm(Comm):
@@ -39,30 +39,37 @@ class SerialComm(Comm):
             raise CommError(f"SerialComm deadlock: no message queued for tag {tag}")
         return box.popleft()
 
+    @_observed
     def barrier(self) -> None:
         pass
 
+    @_observed
     def bcast(self, obj: Any, root: int = 0) -> Any:
         self._check_rank(root)
         return obj
 
+    @_observed
     def gather(self, obj: Any, root: int = 0) -> list[Any]:
         self._check_rank(root)
         return [obj]
 
+    @_observed
     def allgather(self, obj: Any) -> list[Any]:
         return [obj]
 
+    @_observed
     def scatter(self, objs, root: int = 0) -> Any:
         self._check_rank(root)
         if objs is None or len(objs) != 1:
             raise CommError("scatter needs exactly 1 object on SerialComm")
         return objs[0]
 
+    @_observed
     def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
         resolve_op(op)  # validate the op even though it is unused
         return np.asarray(array).copy()
 
+    @_observed
     def reduce(self, array: np.ndarray, op: str = "sum", root: int = 0):
         self._check_rank(root)
         resolve_op(op)

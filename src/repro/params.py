@@ -97,6 +97,18 @@ class MafiaParams:
         next chunk of the binned store (or float records) is staged on
         a background thread while the current chunk's counting runs.
         Results and simulated runtimes are unaffected.
+    trace:
+        When True, every rank records per-span timing (wall and
+        virtual clocks) of phases, collectives, level passes and
+        checkpoint activity into :mod:`repro.obs` — exported on
+        ``ClusteringResult.obs`` / ``PMafiaRun.obs`` and writable as
+        Chrome ``trace_event`` JSON.  Results and simulated runtimes
+        are bit-identical with tracing on or off.
+    metrics:
+        When True, every rank keeps the :mod:`repro.obs` counter/gauge/
+        histogram registry (records read, bytes per collective, pairs
+        examined, per-level lattice sizes, retries, checkpoint bytes,
+        prefetch hits).  Same bit-identity guarantee as ``trace``.
     """
 
     alpha: float = 1.5
@@ -113,6 +125,8 @@ class MafiaParams:
     bin_cache: str = "memory"
     join_strategy: str = "auto"
     prefetch: bool = False
+    trace: bool = False
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.report not in ("merged", "paper", "maximal"):
@@ -127,9 +141,11 @@ class MafiaParams:
             raise ParameterError(
                 f"join_strategy must be 'auto', 'hash' or 'pairwise', "
                 f"got {self.join_strategy!r}")
-        if not isinstance(self.prefetch, bool):
-            raise ParameterError(
-                f"prefetch must be a bool, got {self.prefetch!r}")
+        for name in ("prefetch", "trace", "metrics"):
+            value = getattr(self, name)
+            if not isinstance(value, bool):
+                raise ParameterError(
+                    f"{name} must be a bool, got {value!r}")
         _check_positive("alpha", self.alpha)
         if not 0.0 < self.beta < 1.0:
             raise ParameterError(f"beta must be in (0, 1), got {self.beta!r}")

@@ -24,6 +24,9 @@ from repro.errors import (CheckpointError, ChecksumError, CommAborted,
                           ParameterError, RecordFileError)
 from repro.io import RetryPolicy, read_with_retry, write_records
 from repro.io.records import RecordFile, read_header
+from repro.obs import obs_session
+from repro.obs.metrics import merge_snapshots, metric_key
+from repro.obs.trace import check_spans_by_rank
 from repro.parallel import run_spmd
 from repro.parallel.faults import InjectedFailure
 from tests.conftest import DOMAINS_10D
@@ -626,3 +629,90 @@ class TestDescriptorHygiene:
         gc.collect()
         assert self._open_fds() == before
         assert not list(tmp_path.glob("*.tmp"))
+
+
+@pytest.mark.fault
+class TestObservabilityUnderFaults:
+    """The merged trace of a killed-and-resumed run must show the whole
+    story: the injected fault, the checkpoint restore, and each level
+    completed exactly once per rank — with the final clustering still
+    bit-identical to the uninterrupted baseline."""
+
+    def test_killed_and_resumed_run_trace(self, tmp_path, baseline,
+                                          one_cluster_dataset,
+                                          small_params):
+        params = small_params.with_(trace=True, metrics=True)
+        plan = FaultPlan(crashes=(
+            CrashPoint(rank=1, site="populate", level=3),))
+        with obs_session() as session:
+            with pytest.raises((InjectedFailure, CommError)):
+                pmafia_resumable(one_cluster_dataset.records, 3, params,
+                                 checkpoint_dir=tmp_path,
+                                 domains=DOMAINS_10D, backend="thread",
+                                 faults=plan, recv_timeout=30.0)
+            run = pmafia_resumable(one_cluster_dataset.records, 3, params,
+                                   checkpoint_dir=tmp_path,
+                                   domains=DOMAINS_10D, backend="thread")
+        _assert_identical(run.result, baseline)
+
+        # both attempts' observers were captured (3 ranks each)
+        assert len(session.observers) == 6
+        spans = session.merged_spans()
+        assert check_spans_by_rank(spans) == []
+
+        # the injected fault appears on the dead rank's own timeline
+        crashes = [s for s in spans if s.name == "fault.crash"]
+        assert [s.rank for s in crashes] == [1]
+        assert crashes[0].attrs == {"site": "populate", "level": 3}
+
+        # the resumed attempt restored the level-2 checkpoint on every
+        # rank (the broadcast hands all ranks the same state)
+        restores = [s for s in spans
+                    if s.name == "checkpoint_restore" and s.ok
+                    and "level" in s.attrs]
+        assert sorted(s.rank for s in restores) == [0, 1, 2]
+        assert {s.attrs["level"] for s in restores} == {2}
+        markers = [s for s in spans if s.name == "checkpoint_restored"]
+        assert sorted(s.rank for s in markers) == [0, 1, 2]
+
+        # across crash + resume, no rank completed the same level twice
+        for rank in range(3):
+            done = [s.attrs["level"] for s in spans
+                    if s.rank == rank and s.cat == "level" and s.ok]
+            assert len(done) == len(set(done))
+            assert done == sorted(done)
+
+        # the crashed attempt's failed run span survives, error-tagged
+        failed_runs = [s for s in spans
+                       if s.cat == "run" and s.rank == 1 and not s.ok]
+        assert len(failed_runs) == 1
+        assert failed_runs[0].attrs["error"] == "InjectedFailure"
+
+        # metrics agree: exactly one injected crash over both attempts
+        merged = merge_snapshots(o.metrics.snapshot()
+                                 for o in session.observers
+                                 if o.metrics is not None)
+        key = metric_key("faults.injected", {"kind": "crash"})
+        assert merged[key]["value"] == 1
+
+    def test_auto_restart_trace_in_one_call(self, tmp_path, baseline,
+                                            one_cluster_dataset,
+                                            small_params):
+        """max_restarts=1 keeps both attempts in one process, so one
+        session sees the fault and the recovery back to back."""
+        params = small_params.with_(trace=True)
+        plan = FaultPlan(crashes=(
+            CrashPoint(rank=2, site="join", level=2),))
+        with obs_session() as session:
+            run = pmafia_resumable(one_cluster_dataset.records, 3, params,
+                                   checkpoint_dir=tmp_path,
+                                   domains=DOMAINS_10D, faults=plan,
+                                   max_restarts=1, recv_timeout=30.0)
+        _assert_identical(run.result, baseline)
+        spans = session.merged_spans()
+        assert any(s.name == "fault.crash" and s.rank == 2 for s in spans)
+        assert any(s.name == "checkpoint_restore" and s.ok for s in spans)
+        for rank in range(3):
+            done = [s.attrs["level"] for s in spans
+                    if s.rank == rank and s.cat == "level" and s.ok]
+            assert len(done) == len(set(done))
