@@ -93,12 +93,12 @@ def main() -> None:
             rank_obs.rank,
             f"{secs.get('population', 0.0):.3f}",
             f"{secs.get('join', 0.0) + secs.get('dedup', 0.0):.3f}",
-            m["io.chunks_read{kind=binned}"]["value"],
+            m["io.chunks_read{kind=indexed}"]["value"],
             m["comm.collectives{op=allreduce}"]["value"],
         ])
     print()
     print(format_table(
-        ["rank", "populate s", "lattice s", "binned chunks", "allreduces"],
+        ["rank", "populate s", "lattice s", "indexed chunks", "allreduces"],
         rows, title="per-rank breakdown from run.obs (p=4, traced)"))
     comm_bytes = traced.obs.merged_metrics()["total"]
     nbytes = sum(v["value"] for k, v in comm_bytes.items()

@@ -122,6 +122,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                              bin_cache=args.bin_cache,
                              join_strategy=args.join_strategy,
                              prefetch=args.prefetch,
+                             bitmap_index=args.bitmap_index,
+                             bitmap_budget=args.bitmap_budget,
+                             compute_threads=args.compute_threads,
                              trace=args.trace_out is not None,
                              metrics=args.metrics_out is not None)
         data: object = Path(args.data)
@@ -221,6 +224,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--prefetch", action="store_true",
                      help="double-buffer chunk reads on a background "
                           "thread during level passes")
+    run.add_argument("--bitmap-index",
+                     choices=("auto", "resident", "mmap", "off"),
+                     default="auto", dest="bitmap_index",
+                     help="persistent per-(dim,bin) membership bitmap "
+                          "index: auto keeps it in RAM under "
+                          "--bitmap-budget and spills to an mmap tile "
+                          "file over it; resident/mmap force one mode; "
+                          "off streams the binned store every pass; "
+                          "results are identical either way")
+    run.add_argument("--bitmap-budget", type=int, default=1 << 28,
+                     dest="bitmap_budget", metavar="BYTES",
+                     help="byte budget shared by the resident bitmap "
+                          "index and its prefix-AND memo "
+                          "(default 256 MiB)")
+    run.add_argument("--compute-threads", type=int, default=1,
+                     dest="compute_threads", metavar="N",
+                     help="intra-rank threads tiling the indexed "
+                          "engine's AND/popcount loop (counts are "
+                          "identical for any value)")
     run.add_argument("--collectives", choices=("flat", "tree"),
                      default="flat",
                      help="collective wire pattern for parallel runs")

@@ -134,15 +134,22 @@ def check_compatible(state: dict[str, Any], params: Any,
     ``bin_cache`` is excluded from the comparison: the bin-index store
     is a transparent encoding of the same pass (bit-identical counts),
     so a run may legitimately resume under a different cache policy —
-    the store is restaged from the checkpointed grid either way.
-    ``trace`` and ``metrics`` are likewise excluded: observability is
-    read-only with respect to the algorithm, so a crashed untraced run
-    may be resumed under tracing (and vice versa) without divergence.
+    the store is restaged from the checkpointed grid either way.  The
+    bitmap-index knobs (``bitmap_index``, ``bitmap_budget``,
+    ``compute_threads``) are excluded for the same reason: the index
+    engine is bit-identical to the streaming engines and rebuilt from
+    the checkpointed grid on resume.  ``trace`` and ``metrics`` are
+    likewise excluded: observability is read-only with respect to the
+    algorithm, so a crashed untraced run may be resumed under tracing
+    (and vice versa) without divergence.
     """
     stored = state.get("params")
     if stored is not None:
         try:
             stored = stored.with_(bin_cache=params.bin_cache,
+                                  bitmap_index=params.bitmap_index,
+                                  bitmap_budget=params.bitmap_budget,
+                                  compute_threads=params.compute_threads,
                                   trace=params.trace,
                                   metrics=params.metrics)
         except (AttributeError, TypeError):

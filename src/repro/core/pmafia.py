@@ -34,6 +34,7 @@ import numpy as np
 
 from ..errors import DataError
 from ..io.binned import grid_fingerprint, stage_binned
+from ..io.bitmap_index import stage_bitmap_index
 from ..io.chunks import DataSource, as_source
 from ..io.partition import block_range
 from ..io.resilient import RetryPolicy
@@ -56,7 +57,7 @@ from .identify import dense_flags_block, dense_units, unit_thresholds
 from .merge import face_adjacent_components
 from .partition import (even_splits, prefix_work, triangular_splits,
                         weighted_splits)
-from .population import populate_global
+from .population import IndexedPopulator, OverlapRunner, populate_global
 from .result import ClusteringResult, LevelTrace
 from .timing import phase
 from .units import MAX_DIMS, UnitTable
@@ -404,6 +405,24 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
                               start, stop, policy=params.bin_cache,
                               retry=retry)
 
+    # ... and on top of it the persistent per-(dim, bin) bitmap index:
+    # level passes become AND + popcount over cached bitmaps with no
+    # data reads at all (also free on the virtual clock — the indexed
+    # engine replays the streaming engines' exact charge sequence)
+    with _ospan(obs, "stage_bitmap_index", cat="io"):
+        index = stage_bitmap_index(source, comm, grid,
+                                   params.chunk_records, start, stop,
+                                   policy=params.bitmap_index,
+                                   budget=params.bitmap_budget,
+                                   binned=binned, retry=retry)
+    # one populator for the whole run: its prefix-AND memo spans level
+    # passes (level-(k+1) CDUs extend level-k dense units), and one
+    # long-lived overlap worker instead of a pool per level
+    indexed = None if index is None else IndexedPopulator(
+        index, budget=params.bitmap_budget,
+        compute_threads=params.compute_threads)
+    runner = OverlapRunner()
+
     # token packing for the *next* level's hash join can overlap the
     # population reduce — it only reads the CDU table, which is fixed
     # before the pass starts
@@ -424,8 +443,9 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
                 counts = populate_global(source, comm, grid, cdus,
                                          params.chunk_records, start, stop,
                                          retry, binned=binned,
+                                         indexed=indexed,
                                          prefetch=params.prefetch,
-                                         overlap=overlap)
+                                         overlap=overlap, runner=runner)
             mask, ndu = _identify_dense(comm, cdus, counts, grid,
                                         params.tau, params.min_bin_points)
             if sp is not None:
@@ -441,49 +461,58 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
                                      dense=dense, dense_counts=dense_counts)
         return trace_entry, dense_tokens
 
-    dense_tokens = None  # resumed runs repack lazily inside the join
-    if state is None:
-        # a fresh checkpointed run must not leave stale higher-level
-        # files behind for a later resume to pick up
-        if checkpoint_dir is not None and comm.rank == 0:
-            clear_checkpoints(checkpoint_dir)
-        cdus = _level_one_cdus(grid)
-        first, dense_tokens = level_pass(cdus, cdus.n_units, 1)
-        trace = [first]
-        registered = []
-        save_level(1, trace, registered, grid, domains)
-    current = trace[-1]
-    while current.n_dense > 0:
-        dense, dense_counts = current.dense, current.dense_counts
-        if current.level >= params.max_dimensionality:
-            registered.append((dense, dense_counts))
-            break
-        fault_site(comm, "join", current.level)
-        with phase("join"):
-            strategy = resolved_join_strategy(params, comm, dense.n_units)
-            raw, combined = _find_candidate_dense_units(
-                comm, dense, params.tau, strategy=strategy,
-                tokens=dense_tokens)
-        # non-combinable dense units are registered as potential clusters
-        if (~combined).any():
-            registered.append((dense.select(~combined),
-                               dense_counts[~combined]))
-        if raw.n_units == 0:
-            if combined.any():
+    try:
+        dense_tokens = None  # resumed runs repack lazily inside the join
+        if state is None:
+            # a fresh checkpointed run must not leave stale higher-level
+            # files behind for a later resume to pick up
+            if checkpoint_dir is not None and comm.rank == 0:
+                clear_checkpoints(checkpoint_dir)
+            cdus = _level_one_cdus(grid)
+            first, dense_tokens = level_pass(cdus, cdus.n_units, 1)
+            trace = [first]
+            registered = []
+            save_level(1, trace, registered, grid, domains)
+        current = trace[-1]
+        while current.n_dense > 0:
+            dense, dense_counts = current.dense, current.dense_counts
+            if current.level >= params.max_dimensionality:
+                registered.append((dense, dense_counts))
+                break
+            fault_site(comm, "join", current.level)
+            with phase("join"):
+                strategy = resolved_join_strategy(params, comm,
+                                                  dense.n_units)
+                raw, combined = _find_candidate_dense_units(
+                    comm, dense, params.tau, strategy=strategy,
+                    tokens=dense_tokens)
+            # non-combinable dense units are registered as potential
+            # clusters
+            if (~combined).any():
+                registered.append((dense.select(~combined),
+                                   dense_counts[~combined]))
+            if raw.n_units == 0:
+                if combined.any():
+                    registered.append((dense.select(combined),
+                                       dense_counts[combined]))
+                break
+            fault_site(comm, "dedup", current.level)
+            with phase("dedup"):
+                cdus = _eliminate_repeat_cdus(comm, raw, params.tau)
+            nxt, dense_tokens = level_pass(cdus, raw.n_units,
+                                           current.level + 1)
+            trace.append(nxt)
+            if nxt.n_dense == 0 and combined.any():
+                # the combinable units were the top of the lattice
+                # after all
                 registered.append((dense.select(combined),
                                    dense_counts[combined]))
-            break
-        fault_site(comm, "dedup", current.level)
-        with phase("dedup"):
-            cdus = _eliminate_repeat_cdus(comm, raw, params.tau)
-        nxt, dense_tokens = level_pass(cdus, raw.n_units, current.level + 1)
-        trace.append(nxt)
-        if nxt.n_dense == 0 and combined.any():
-            # the combinable units were the top of the lattice after all
-            registered.append((dense.select(combined),
-                               dense_counts[combined]))
-        current = nxt
-        save_level(current.level, trace, registered, grid, domains)
+            current = nxt
+            save_level(current.level, trace, registered, grid, domains)
+    finally:
+        runner.close()
+        if indexed is not None:
+            indexed.close()
 
     if params.report == "maximal":
         registered = _maximal_registrations(tuple(trace))

@@ -6,17 +6,17 @@ this is the data-parallel heart of pMAFIA: every rank streams its N/p
 local records in chunks of B and increments the histogram count of each
 CDU a record falls in; a sum-Reduce yields global counts.
 
-Two engines share this module, selected by whether the caller staged a
-:class:`~repro.io.binned.BinnedStore` (the ``bin_cache`` policy):
+Three engines share this module, selected by what the caller staged:
 
-* **Float path** (``binned=None``): records are mapped to per-dimension
-  bin indices (one ``searchsorted`` per column), then CDUs are grouped
-  by subspace and records matched by mixed-radix subspace keys —
-  O(B·k) per subspace instead of O(B·Ncdu·k) naive masking.  Matchers
-  are visited in lexicographic subspace order so Horner key folds are
-  shared between subspaces with a common dim prefix: the level-k fold
-  for ``(d0..dk)`` reuses the cached level-(k-1) fold for ``(d0..dk-1)``
-  instead of restarting from column 0.
+* **Float path** (``binned=None``, ``indexed=None``): records are
+  mapped to per-dimension bin indices (one ``searchsorted`` per
+  column), then CDUs are grouped by subspace and records matched by
+  mixed-radix subspace keys — O(B·k) per subspace instead of
+  O(B·Ncdu·k) naive masking.  Matchers are visited in lexicographic
+  subspace order so Horner key folds are shared between subspaces with
+  a common dim prefix: the level-k fold for ``(d0..dk)`` reuses the
+  cached level-(k-1) fold for ``(d0..dk-1)`` instead of restarting
+  from column 0.
 
 * **Bitmap path** (``binned`` given): the staged uint8/uint16 columns
   are turned into packed per-(dim, bin) membership bitmaps once per
@@ -26,21 +26,41 @@ Two engines share this module, selected by whether the caller staged a
   popcount per CDU — no per-record keys at all — and skips
   ``locate_records`` because the store did it once at staging time.
 
-Both engines produce bit-identical counts.  The simulated-time backend
+* **Indexed path** (``indexed`` given): the per-chunk ``packbits`` of
+  the bitmap path is itself redundant across levels — the same
+  (dim, bin) memberships are re-packed at every level.  An
+  :class:`IndexedPopulator` wraps the persistent
+  :class:`~repro.io.bitmap_index.BitmapIndex` staged once after grid
+  construction and serves every pass as pure AND + popcount over the
+  cached full-length bitmaps, with **zero data reads**.  CDUs are
+  visited in lexicographic subspace order so the level-k accumulator
+  for ``(d0..dk)`` reuses the AND for ``(d0..dk-1)`` (a stack within
+  the pass, an LRU prefix memo across passes — level-(k+1) CDUs extend
+  level-k dense units, so the previous pass's leaves are this pass's
+  prefixes).  The AND/popcount loop optionally tiles across an
+  intra-rank thread pool (numpy releases the GIL); counts are exact
+  integers, so threading never changes results.
+
+All engines produce bit-identical counts.  The simulated-time backend
 is charged the naive per-CDU cost (what the paper's per-record scan on
-the SP2 paid) and float-width I/O either way, keeping virtual runtimes
-faithful to the measured system and independent of the engine.
+the SP2 paid) and float-width I/O either way — the indexed engine
+*replays* the exact per-chunk charge sequence of the streaming engines
+without performing the reads — keeping virtual runtimes faithful to
+the measured system and independent of the engine.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable
 
 import numpy as np
 
 from ..errors import DataError
-from ..io.binned import BinnedStore
+from ..io.binned import RECORD_ITEMSIZE, BinnedStore, grid_fingerprint
+from ..io.bitmap_index import DEFAULT_BITMAP_BUDGET, BitmapIndex
 from ..io.chunks import DataSource, charged_chunks
 from ..io.resilient import RetryPolicy
 from ..parallel.comm import Comm
@@ -62,11 +82,37 @@ _BITMAP_BYTE_CAP = 1 << 27
 _POPCOUNT8 = np.unpackbits(
     np.arange(256, dtype=np.uint8)[:, None], axis=1).sum(axis=1)
 
-
-def _popcount_rows(acc: np.ndarray) -> np.ndarray:
-    if hasattr(np, "bitwise_count"):
+# numpy >= 2.0 has a native popcount ufunc; resolve the dispatch once
+# at import instead of per AND/popcount batch
+if hasattr(np, "bitwise_count"):
+    def _popcount_rows(acc: np.ndarray) -> np.ndarray:
+        """Per-row popcounts of a ``(rows, nbytes)`` packed matrix."""
+        nbytes = acc.shape[-1]
+        if nbytes and nbytes % 8 == 0 and acc.flags.c_contiguous:
+            # 8x fewer elements for the sum's uint->int64 promotion
+            return np.bitwise_count(acc.view(np.uint64)) \
+                .sum(axis=1, dtype=np.int64)
         return np.bitwise_count(acc).sum(axis=1, dtype=np.int64)
-    return _POPCOUNT8[acc].sum(axis=1, dtype=np.int64)
+
+    def _popcount_row(acc: np.ndarray) -> int:
+        """Popcount of one packed bitmap row."""
+        head = acc.nbytes & ~7
+        if head and acc.flags.c_contiguous:
+            total = int(np.bitwise_count(
+                acc[:head].view(np.uint64)).sum(dtype=np.int64))
+            if acc.nbytes != head:
+                total += int(np.bitwise_count(
+                    acc[head:]).sum(dtype=np.int64))
+            return total
+        return int(np.bitwise_count(acc).sum(dtype=np.int64))
+else:
+    def _popcount_rows(acc: np.ndarray) -> np.ndarray:
+        """Per-row popcounts of a ``(rows, nbytes)`` packed matrix."""
+        return _POPCOUNT8[acc].sum(axis=1, dtype=np.int64)
+
+    def _popcount_row(acc: np.ndarray) -> int:
+        """Popcount of one packed bitmap row."""
+        return int(_POPCOUNT8[acc].sum(dtype=np.int64))
 
 
 class _SubspaceMatcher:
@@ -195,6 +241,12 @@ class _BitmapCounter:
     the AND of its k bitmaps.  ``np.packbits`` pads the last byte with
     zero bits, which AND/popcount ignore, so partial chunks need no
     special casing.
+
+    The bitmap matrix and the (batch, k, nbytes) gather / (batch,
+    nbytes) accumulator scratch persist across chunks and batches —
+    every chunk of a level pass has the same width except the last, so
+    the counter allocates once per pass instead of once per
+    ``count_columns`` call (and once more per unit batch).
     """
 
     def __init__(self, units: UnitTable, grid: Grid) -> None:
@@ -209,22 +261,307 @@ class _BitmapCounter:
         self.used_dims = np.searchsorted(offsets, self.used,
                                          side="right") - 1
         self.used_bins = self.used - offsets[self.used_dims]
+        self._bitmaps: np.ndarray | None = None
+        self._gather: np.ndarray | None = None
+        self._acc: np.ndarray | None = None
 
     def bitmap_nbytes(self, rows: int) -> int:
         return len(self.used) * (-(-rows // 8))
 
+    def _scratch(self, row_bytes: int) -> np.ndarray:
+        """The persistent per-pass scratch, (re)sized for this chunk
+        width (only the final partial chunk ever differs)."""
+        if self._bitmaps is None or self._bitmaps.shape[1] != row_bytes:
+            self._bitmaps = np.empty((len(self.used), row_bytes),
+                                     dtype=np.uint8)
+            batch = max(1, min(_UNIT_BATCH, self.unit_rows.shape[0]))
+            self._gather = np.empty(
+                (batch, self.unit_rows.shape[1], row_bytes), dtype=np.uint8)
+            self._acc = np.empty((batch, row_bytes), dtype=np.uint8)
+        return self._bitmaps
+
     def count_columns(self, cols: np.ndarray, counts: np.ndarray) -> None:
         """Add one ``(n_dims, rows)`` column block's matches to ``counts``."""
-        bitmaps = np.empty((len(self.used), -(-cols.shape[1] // 8)),
-                           dtype=np.uint8)
+        bitmaps = self._scratch(-(-cols.shape[1] // 8))
         for i in range(len(self.used)):
             bitmaps[i] = np.packbits(
                 cols[self.used_dims[i]] == self.used_bins[i])
         n_units = self.unit_rows.shape[0]
         for lo in range(0, n_units, _UNIT_BATCH):
-            gathered = bitmaps[self.unit_rows[lo:lo + _UNIT_BATCH]]
-            acc = np.bitwise_and.reduce(gathered, axis=1)
-            counts[lo:lo + _UNIT_BATCH] += _popcount_rows(acc)
+            n = min(_UNIT_BATCH, n_units - lo)
+            gathered = self._gather[:n]
+            np.take(bitmaps, self.unit_rows[lo:lo + n], axis=0,
+                    out=gathered)
+            acc = self._acc[:n]
+            np.bitwise_and.reduce(gathered, axis=1, out=acc)
+            counts[lo:lo + n] += _popcount_rows(acc)
+
+
+class _PrefixMemo:
+    """Byte-bounded LRU of prefix AND accumulators, keyed by the tuple
+    of flat (dim, bin) pair ids along a lexicographic subspace prefix.
+
+    Shared by all compute threads of an :class:`IndexedPopulator` and
+    kept across level passes — a level-(k+1) CDU's k-prefix is a
+    level-k dense unit whose accumulator the previous pass cached.
+    Entries are immutable (readers AND them into fresh arrays), so a
+    cheap lock around the bookkeeping is the only synchronisation.
+    """
+
+    def __init__(self, byte_budget: int) -> None:
+        self.byte_budget = max(0, int(byte_budget))
+        self._entries: OrderedDict[tuple[int, ...], np.ndarray] = \
+            OrderedDict()
+        self._nbytes = 0
+        self._lock = threading.Lock()
+
+    @property
+    def nbytes(self) -> int:
+        return self._nbytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple[int, ...]) -> np.ndarray | None:
+        with self._lock:
+            acc = self._entries.get(key)
+            if acc is not None:
+                self._entries.move_to_end(key)
+            return acc
+
+    def put(self, key: tuple[int, ...], acc: np.ndarray) -> None:
+        if acc.nbytes > self.byte_budget:
+            return
+        acc.setflags(write=False)
+        with self._lock:
+            prev = self._entries.pop(key, None)
+            if prev is not None:
+                self._nbytes -= prev.nbytes
+            self._entries[key] = acc
+            self._nbytes += acc.nbytes
+            while self._nbytes > self.byte_budget:
+                _, old = self._entries.popitem(last=False)
+                self._nbytes -= old.nbytes
+
+
+class _PassStats:
+    """Mutable per-segment tally, merged on the main thread."""
+
+    __slots__ = ("hits", "misses", "and_ops")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.and_ops = 0
+
+
+class IndexedPopulator:
+    """Population served from a persistent bitmap index: every pass is
+    AND + popcount over cached bitmaps, no data reads at all.
+
+    One instance lives for the whole run (the memo spans level passes);
+    the driver closes it when the lattice loop ends.  ``counts`` are
+    exact integer popcounts of deterministic AND chains, so they are
+    bit-identical to the streaming engines' for any thread count and
+    any memo state.
+    """
+
+    def __init__(self, index: BitmapIndex, *,
+                 budget: int = DEFAULT_BITMAP_BUDGET,
+                 compute_threads: int = 1) -> None:
+        self.index = index
+        # the resident index and the memo share one byte budget; a
+        # spilled (mmap) index leaves the whole budget to the memo
+        memo_budget = budget - (index.nbytes if index.resident else 0)
+        self.memo = _PrefixMemo(memo_budget)
+        self.compute_threads = max(1, int(compute_threads))
+        self._pool: ThreadPoolExecutor | None = None
+        self._grid_ok: bool = False
+
+    # -- lifecycle --------------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "IndexedPopulator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the pass ---------------------------------------------------------
+    def _check_grid(self, grid: Grid) -> None:
+        if self._grid_ok:
+            return
+        if grid.ndim != self.index.n_dims or \
+                grid_fingerprint(grid) != self.index.grid_hash:
+            raise DataError(
+                "bitmap index was built for a different grid; restage it")
+        self._grid_ok = True
+
+    def populate_local(self, comm: Comm, grid: Grid, units: UnitTable,
+                       chunk_records: int, counts: np.ndarray) -> np.ndarray:
+        """This rank's counts per CDU, straight off the index.
+
+        The virtual clock is charged the streaming engines' exact
+        per-chunk sequence (float-width I/O, then the naive per-CDU
+        cell cost) over the same chunk boundaries — same additions in
+        the same order, so simulated times are bit-identical to a pass
+        that actually read the data.
+        """
+        if chunk_records <= 0:
+            raise DataError(
+                f"chunk_records must be positive, got {chunk_records}")
+        self._check_grid(grid)
+        index = self.index
+        per_record_cost = units.n_units * units.level
+        obs = getattr(comm, "obs", None)
+        for lo in range(0, index.n_records, chunk_records):
+            rows = min(chunk_records, index.n_records - lo)
+            nbytes = rows * index.n_dims * RECORD_ITEMSIZE
+            comm.charge_io(nbytes, chunks=1)
+            if obs is not None:
+                obs.io_chunk(rows, nbytes, kind="indexed")
+            comm.charge_cells(rows * per_record_cost)
+        stats = self._count(units, counts)
+        if obs is not None:
+            obs.indexed_pass(units.n_units, stats.hits, stats.misses,
+                             stats.and_ops, self.memo.nbytes)
+        return counts
+
+    def _count(self, units: UnitTable, counts: np.ndarray) -> _PassStats:
+        pairs = self.index.pair_ids(units.dims, units.bins)
+        k = pairs.shape[1]
+        # lexicographic subspace order maximises shared prefixes; the
+        # np.array_split segments stay contiguous runs of that order,
+        # so each thread keeps its own intra-segment prefix stack
+        order = np.lexsort(tuple(pairs[:, j] for j in range(k - 1, -1, -1)))
+        total = _PassStats()
+        if self.compute_threads == 1 or units.n_units < 2:
+            self._count_segment(pairs, order, counts, total)
+            return total
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.compute_threads,
+                thread_name_prefix="repro-index")
+        segments = [seg for seg in
+                    np.array_split(order, self.compute_threads) if len(seg)]
+        stats = [_PassStats() for _ in segments]
+        futures: list[Future] = [
+            self._pool.submit(self._count_segment, pairs, seg, counts, st)
+            for seg, st in zip(segments, stats)]
+        for future in futures:
+            future.result()
+        for st in stats:
+            total.hits += st.hits
+            total.misses += st.misses
+            total.and_ops += st.and_ops
+        return total
+
+    def _count_segment(self, pairs: np.ndarray, seg: np.ndarray,
+                       counts: np.ndarray, stats: _PassStats) -> None:
+        """Count one contiguous run of the lexicographic unit order.
+
+        ``stack_accs[j]`` is the AND of the bitmaps along the current
+        path's first ``j + 1`` pairs — or ``None`` when a memo seed
+        jumped straight to a deeper prefix and the intermediate
+        accumulators were never materialised (holes are recomputed
+        only if a later truncation exposes them).
+        """
+        index = self.index
+        memo = self.memo
+        k = pairs.shape[1]
+        stack_pairs: list[int] = []
+        stack_accs: list[np.ndarray | None] = []
+        # leaf accumulators are popcounted in batches: one vectorised
+        # count over (batch, row_bytes) replaces a per-unit
+        # ufunc-dispatch round trip
+        batch = max(1, min(_UNIT_BATCH, len(seg)))
+        scratch = np.empty((batch, index.row_bytes), dtype=np.uint8)
+        pend_rows = np.empty(batch, dtype=np.int64)
+        n_pend = 0
+        for row_i in seg:
+            row = pairs[row_i].tolist()     # plain ints: one C call
+            keep = 0
+            limit = len(stack_pairs)
+            while keep < limit and stack_pairs[keep] == row[keep]:
+                keep += 1
+            del stack_pairs[keep:], stack_accs[keep:]
+            # deepest kept depth whose accumulator is materialised
+            best = keep
+            while best > 0 and stack_accs[best - 1] is None:
+                best -= 1
+            # probe the memo for a prefix deeper than anything on the
+            # stack (depth-1 "prefixes" are raw index rows, never cached)
+            for plen in range(k - 1, max(best, 1), -1):
+                cached = memo.get(tuple(row[:plen]))
+                if cached is None:
+                    stats.misses += 1
+                    continue
+                stats.hits += 1
+                while len(stack_pairs) < plen:
+                    stack_pairs.append(row[len(stack_pairs)])
+                    stack_accs.append(None)
+                stack_accs[plen - 1] = cached
+                best = plen
+                break
+            acc = stack_accs[best - 1] if best else None
+            for j in range(best, k):
+                pair = row[j]
+                bitmap = index.bitmap(pair)
+                if acc is None:
+                    acc = bitmap       # depth 1: a read-only index view
+                else:
+                    acc = acc & bitmap
+                    stats.and_ops += 1
+                if j < len(stack_pairs):
+                    stack_pairs[j] = pair
+                    stack_accs[j] = acc
+                else:
+                    stack_pairs.append(pair)
+                    stack_accs.append(acc)
+            if n_pend == batch:
+                counts[pend_rows] = _popcount_rows(scratch)
+                n_pend = 0
+            scratch[n_pend] = acc
+            pend_rows[n_pend] = row_i
+            n_pend += 1
+            if k >= 2:
+                # the leaf is the next level's prefix (level-(k+1) CDUs
+                # extend level-k dense units)
+                memo.put(tuple(row), acc)
+        if n_pend:
+            counts[pend_rows[:n_pend]] = _popcount_rows(scratch[:n_pend])
+
+
+class OverlapRunner:
+    """One long-lived background worker for compute/collective overlap.
+
+    The driver keeps a single runner for the whole run instead of
+    building a fresh ``ThreadPoolExecutor`` every level; the worker
+    thread is started lazily on first :meth:`submit` and joined by
+    :meth:`close` (or the context manager exit)."""
+
+    def __init__(self) -> None:
+        self._pool: ThreadPoolExecutor | None = None
+
+    def submit(self, fn: Callable[[], None]) -> Future:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-overlap")
+        return self._pool.submit(fn)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "OverlapRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def _populate_binned(binned: BinnedStore, comm: Comm, grid: Grid,
@@ -257,6 +594,7 @@ def populate_local(source: DataSource | None, comm: Comm, grid: Grid,
                    start: int = 0, stop: int | None = None,
                    retry: RetryPolicy | None = None, *,
                    binned: BinnedStore | None = None,
+                   indexed: IndexedPopulator | None = None,
                    prefetch: bool = False) -> np.ndarray:
     """Counts of this rank's local records per CDU (one data pass).
 
@@ -266,13 +604,24 @@ def populate_local(source: DataSource | None, comm: Comm, grid: Grid,
     (which must cover exactly this rank's ``[start, stop)`` block)
     through the bitmap engine instead of re-reading and re-locating the
     float records; counts and simulated-time charges are identical.
-    With ``prefetch`` the next chunk is read ahead on a background
-    thread while the current chunk is counted (double buffering); counts
-    and charges are again identical.
+    With ``indexed`` given (takes precedence) the pass is served from
+    the persistent bitmap index with no data reads at all, replaying
+    the identical charge sequence.  With ``prefetch`` the streaming
+    engines read the next chunk ahead on a background thread (double
+    buffering); counts and charges are again identical.
     """
     counts = np.zeros(units.n_units, dtype=np.int64)
     if units.n_units == 0:
         return counts
+    if indexed is not None:
+        if source is not None:
+            expected = (source.n_records if stop is None else stop) - start
+            if indexed.index.n_records != expected:
+                raise DataError(
+                    f"bitmap index holds {indexed.index.n_records} records "
+                    f"but the rank's block has {expected}")
+        return indexed.populate_local(comm, grid, units, chunk_records,
+                                      counts)
     if binned is not None:
         if source is not None:
             expected = (source.n_records if stop is None else stop) - start
@@ -297,27 +646,42 @@ def populate_global(source: DataSource | None, comm: Comm, grid: Grid,
                     start: int = 0, stop: int | None = None,
                     retry: RetryPolicy | None = None, *,
                     binned: BinnedStore | None = None,
+                    indexed: IndexedPopulator | None = None,
                     prefetch: bool = False,
-                    overlap: "Callable[[], None] | None" = None
-                    ) -> np.ndarray:
+                    overlap: "Callable[[], None] | None" = None,
+                    runner: OverlapRunner | None = None) -> np.ndarray:
     """Global CDU counts: local pass + sum Reduce (§4.1).
 
     ``overlap``, when given, is run on a background thread concurrently
     with the counts reduce and joined before this returns — the driver
     uses it to pack the level's join key material while the collective
     drains.  It must touch neither the communicator nor the source (pure
-    compute); any exception it raises propagates here.
+    compute); any exception it raises propagates here — unless the
+    collective itself fails, in which case the collective's exception
+    is primary and the overlap worker is drained silently (a dying
+    collective routinely takes the overlap down with it; its secondary
+    error must not mask the root cause).  ``runner`` supplies the
+    long-lived overlap worker; without one a temporary worker is built
+    and torn down inside this call.
     """
     local = populate_local(source, comm, grid, units, chunk_records,
                            start, stop, retry, binned=binned,
-                           prefetch=prefetch)
+                           indexed=indexed, prefetch=prefetch)
     if overlap is None:
         return comm.allreduce(local, op="sum")
-    with ThreadPoolExecutor(max_workers=1,
-                            thread_name_prefix="repro-overlap") as pool:
-        background = pool.submit(overlap)
+    owned = OverlapRunner() if runner is None else None
+    try:
+        background = (owned or runner).submit(overlap)
         try:
             total = comm.allreduce(local, op="sum")
-        finally:
-            background.result()  # join; surface overlap failures
-    return total
+        except BaseException:
+            try:
+                background.result()
+            except BaseException:
+                pass
+            raise
+        background.result()  # join; surface overlap failures
+        return total
+    finally:
+        if owned is not None:
+            owned.close()

@@ -1,0 +1,470 @@
+"""Persistent per-(dim, bin) membership bitmap index.
+
+The binned store (PR 2) removed the *float decode* from level passes but
+every pass still re-reads the staged columns and re-runs
+``np.packbits(col == b)`` for the same (dim, bin) pairs at every level
+and every chunk.  A :class:`BitmapIndex` is the next fixpoint of that
+redundancy: immediately after the adaptive grid is fixed, one staging
+pass packs **one membership bitmap per (dim, bin) pair of the grid** —
+bit ``r`` of bitmap ``(d, b)`` is set iff record ``r`` falls in bin
+``b`` of dimension ``d``.  Every later population pass is then pure
+AND + popcount over cached bitmaps: zero re-reads of the staged
+columns, zero repeated ``packbits`` (see
+:class:`repro.core.population.IndexedPopulator` for the memoized
+prefix AND-tree that consumes this index).
+
+Residency is governed by a byte budget (``MafiaParams.bitmap_budget``):
+an index of ``sum(nbins) * ceil(n/8)`` bytes lives in RAM when it fits
+(``auto``/``resident``) and otherwise *spills* to an mmap-tiled on-disk
+format — each pair's bitmap is one contiguous tile, mapped read-only
+and CRC-verified lazily on first touch, with the same grid-fingerprint
+cache-invalidation rule as the PMBS binned store.
+
+On-disk format (version 1)::
+
+    header  <4sHHqqq32s>  magic b"PMBI" | u16 version | u16 reserved |
+                          i64 n_records | i64 n_pairs | i64 n_dims |
+                          32-byte grid fingerprint
+    nbins   n_dims x i64  bins per dimension (their sum is n_pairs)
+    data    pair-major tiles: pair 0's ceil(n/8) packed bytes, then
+            pair 1's, ... (pair id = offsets[dim] + bin)
+    footer  one CRC32 per pair tile
+
+Cost-model note: like binned staging, building the index charges
+*nothing* to the virtual clock, and the indexed population engine
+replays the exact per-chunk I/O + cell charges the streaming engines
+pay — the index changes wall clock only, never simulated SP2 times
+(see :mod:`repro.parallel.simtime`).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+import weakref
+import zlib
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ChecksumError, DataError, RecordFileError
+from ..parallel.comm import Comm
+from ..types import Grid
+from .binned import BinnedStore, _source_chunks, _unlink_quiet, grid_fingerprint
+from .chunks import DataSource
+from .records import RecordFile
+from .resilient import RetryPolicy, read_with_retry
+
+_MAGIC = b"PMBI"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHHqqq32s")
+_NBINS_ITEM = struct.Struct("<q")
+_CRC_ITEM = struct.Struct("<I")
+
+_CRC_BLOCK = 1 << 20
+
+#: default residency budget for the index plus the prefix-AND memo
+DEFAULT_BITMAP_BUDGET = 1 << 28
+
+
+def _grid_nbins(grid: Grid) -> tuple[int, ...]:
+    return tuple(int(dg.nbins) for dg in grid)
+
+
+def _pair_offsets(nbins: tuple[int, ...]) -> np.ndarray:
+    offsets = np.zeros(len(nbins) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(nbins, dtype=np.int64), out=offsets[1:])
+    return offsets
+
+
+def index_nbytes(grid: Grid, n_records: int) -> int:
+    """Bytes a :class:`BitmapIndex` over this grid and record count
+    occupies (one ``ceil(n/8)``-byte tile per (dim, bin) pair) — what
+    the ``auto`` policy weighs against ``bitmap_budget``."""
+    return sum(_grid_nbins(grid)) * (-(-n_records // 8))
+
+
+def bitmap_cache_path(record_path: str | os.PathLike) -> Path:
+    """The on-disk bitmap-index cache sitting alongside a record file."""
+    return Path(record_path).with_suffix(".bmx")
+
+
+class BitmapIndex:
+    """One rank's per-(dim, bin) membership bitmaps.
+
+    Bitmaps live either in a resident ``(n_pairs, row_bytes)`` uint8
+    matrix or as mmap tiles of the on-disk format.  Rows are read-only:
+    consumers AND them into fresh accumulators, so cached prefix ANDs
+    may alias rows safely.
+    """
+
+    def __init__(self, *, data: np.ndarray | None = None,
+                 path: Path | None = None,
+                 nbins: tuple[int, ...] = (),
+                 n_records: int = 0,
+                 grid_hash: bytes = b"") -> None:
+        if (data is None) == (path is None):
+            raise DataError("BitmapIndex needs exactly one of data/path")
+        self.path = path
+        self._mmap: np.ndarray | None = None
+        self._verified: set[int] = set()
+        self._crcs: tuple[int, ...] = ()
+        if data is not None:
+            data = np.ascontiguousarray(data, dtype=np.uint8)
+            data.setflags(write=False)
+            self._data: np.ndarray | None = data
+            self.nbins = tuple(int(b) for b in nbins)
+            self.n_records = int(n_records)
+            self.grid_hash = bytes(grid_hash)
+            if data.shape != (sum(self.nbins), -(-self.n_records // 8)):
+                raise DataError(
+                    f"bitmap data shape {data.shape} does not match "
+                    f"{sum(self.nbins)} pairs x {-(-self.n_records // 8)} "
+                    f"bytes")
+        else:
+            self._data = None
+            (self.n_records, self.nbins, self.grid_hash,
+             self._data_offset, self._crcs) = _read_index_header(path)
+        self.n_dims = len(self.nbins)
+        self.n_pairs = sum(self.nbins)
+        self.row_bytes = -(-self.n_records // 8)
+        self.offsets = _pair_offsets(self.nbins)
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def open(cls, path: str | os.PathLike,
+             expected_grid_hash: bytes | None = None) -> "BitmapIndex":
+        """Open an on-disk index; with ``expected_grid_hash`` given, a
+        fingerprint mismatch (stale cache) raises
+        :class:`~repro.errors.RecordFileError`."""
+        index = cls(path=Path(path))
+        if (expected_grid_hash is not None
+                and index.grid_hash != bytes(expected_grid_hash)):
+            raise RecordFileError(
+                f"{path}: bitmap index was built for a different grid "
+                f"(stale cache; rebuild it)")
+        return index
+
+    # -- properties -------------------------------------------------------
+    @property
+    def resident(self) -> bool:
+        """True when every bitmap lives in RAM (no mmap tiles)."""
+        return self._data is not None
+
+    @property
+    def nbytes(self) -> int:
+        """Total bitmap payload bytes (resident or mapped alike)."""
+        return self.n_pairs * self.row_bytes
+
+    # -- reads ------------------------------------------------------------
+    def _map(self) -> np.ndarray:
+        if self._mmap is None:
+            self._mmap = np.memmap(self.path, mode="r", dtype=np.uint8,
+                                   offset=self._data_offset,
+                                   shape=(self.n_pairs, self.row_bytes))
+        return self._mmap
+
+    def _verify_tile(self, pair: int) -> None:
+        if not self._crcs or pair in self._verified:
+            return
+        tile = self._map()[pair]
+        crc = 0
+        for lo in range(0, self.row_bytes, _CRC_BLOCK):
+            crc = zlib.crc32(np.ascontiguousarray(tile[lo:lo + _CRC_BLOCK]),
+                             crc)
+        if crc != self._crcs[pair]:
+            raise ChecksumError(
+                f"{self.path}: CRC mismatch in bitmap tile {pair}: "
+                f"stored {self._crcs[pair]:#010x}, computed {crc:#010x}")
+        self._verified.add(pair)
+
+    def pair_id(self, dim: int, bin_: int) -> int:
+        """Flat pair id of ``(dim, bin)`` (``offsets[dim] + bin``)."""
+        if not 0 <= dim < self.n_dims or not 0 <= bin_ < self.nbins[dim]:
+            raise DataError(
+                f"(dim, bin) = ({dim}, {bin_}) outside the indexed grid")
+        return int(self.offsets[dim]) + int(bin_)
+
+    def pair_ids(self, dims: np.ndarray, bins: np.ndarray) -> np.ndarray:
+        """Flat pair ids for matching ``(n, k)`` dim/bin matrices."""
+        dims = np.asarray(dims, dtype=np.int64)
+        bins = np.asarray(bins, dtype=np.int64)
+        if dims.size and (int(dims.max()) >= self.n_dims
+                          or int(dims.min()) < 0):
+            raise DataError("unit table references dimensions beyond the "
+                            "indexed grid")
+        per_dim = np.asarray(self.nbins, dtype=np.int64)
+        if dims.size and (bins < 0).any() or \
+                dims.size and (bins >= per_dim[dims]).any():
+            raise DataError("unit table references bins beyond the "
+                            "indexed grid")
+        return self.offsets[dims] + bins
+
+    def bitmap(self, pair: int) -> np.ndarray:
+        """The ``(row_bytes,)`` packed membership bitmap of one pair
+        (a read-only view; disk tiles are CRC-verified on first touch)."""
+        if not 0 <= pair < self.n_pairs:
+            raise DataError(
+                f"pair {pair} out of range for {self.n_pairs} bitmaps")
+        if self._data is not None:
+            return self._data[pair]
+        self._verify_tile(pair)
+        return self._map()[pair]
+
+
+def _read_index_header(path: Path):
+    try:
+        size = path.stat().st_size
+        with open(path, "rb") as fh:
+            raw = fh.read(_HEADER.size)
+            if len(raw) < _HEADER.size:
+                raise RecordFileError(f"{path}: truncated bitmap-index header")
+            magic, version, _reserved, n_records, n_pairs, n_dims, ghash = (
+                _HEADER.unpack(raw))
+            if magic != _MAGIC:
+                raise RecordFileError(f"{path}: bad magic {magic!r}")
+            if version != _VERSION:
+                raise RecordFileError(
+                    f"{path}: unsupported bitmap-index version {version}")
+            if n_records < 0 or n_dims <= 0 or n_pairs <= 0:
+                raise RecordFileError(
+                    f"{path}: bad shape ({n_records}, {n_pairs}, {n_dims})")
+            table = fh.read(n_dims * _NBINS_ITEM.size)
+            if len(table) != n_dims * _NBINS_ITEM.size:
+                raise RecordFileError(f"{path}: truncated nbins table")
+            nbins = tuple(int(v) for v in np.frombuffer(table, dtype="<i8"))
+            if any(b <= 0 for b in nbins) or sum(nbins) != n_pairs:
+                raise RecordFileError(
+                    f"{path}: nbins table {nbins} does not sum to "
+                    f"{n_pairs} pairs")
+            row_bytes = -(-n_records // 8)
+            data_nbytes = n_pairs * row_bytes
+            expected = (_HEADER.size + n_dims * _NBINS_ITEM.size
+                        + data_nbytes + n_pairs * _CRC_ITEM.size)
+            if size != expected:
+                raise RecordFileError(
+                    f"{path}: file is {size} bytes, header implies {expected}")
+            fh.seek(expected - n_pairs * _CRC_ITEM.size)
+            footer = fh.read(n_pairs * _CRC_ITEM.size)
+            if len(footer) != n_pairs * _CRC_ITEM.size:
+                raise RecordFileError(f"{path}: truncated CRC table")
+            crcs = tuple(int(v) for v in np.frombuffer(footer, dtype="<u4"))
+    except RecordFileError:
+        raise
+    except OSError as exc:
+        raise RecordFileError(
+            f"cannot open bitmap index {path}: {exc}") from exc
+    data_offset = _HEADER.size + n_dims * _NBINS_ITEM.size
+    return n_records, nbins, ghash, data_offset, crcs
+
+
+def _aligned_chunk(chunk_records: int) -> int:
+    """Largest multiple of 8 not above ``chunk_records`` (min 8), so
+    every non-final build chunk starts on a byte boundary of the
+    bitmaps (``np.packbits`` pads only the final byte of the range)."""
+    if chunk_records <= 0:
+        raise DataError(
+            f"chunk_records must be positive, got {chunk_records}")
+    return max(8, chunk_records - (chunk_records % 8))
+
+
+def _binned_blocks(binned: BinnedStore, chunk_records: int,
+                   retry: RetryPolicy | None,
+                   fault_state) -> Iterator[tuple[int, np.ndarray]]:
+    """``(offset, (n_dims, rows))`` blocks from the staged bin store —
+    the resilient-read pattern of its charged pass, minus the charging
+    (index staging is free on the virtual clock)."""
+    for index, lo in enumerate(range(0, binned.n_records, chunk_records)):
+        hi = min(lo + chunk_records, binned.n_records)
+
+        def attempt(lo: int = lo, hi: int = hi,
+                    index: int = index) -> np.ndarray:
+            if fault_state is not None:
+                fault_state.on_chunk_read(index)
+            return binned.read_columns(lo, hi)
+
+        yield lo, read_with_retry(attempt, retry)
+
+
+def build_bitmap_index(source: DataSource | None, grid: Grid,
+                       chunk_records: int, start: int = 0,
+                       stop: int | None = None, *,
+                       binned: BinnedStore | None = None,
+                       path: str | os.PathLike | None = None,
+                       retry: RetryPolicy | None = None,
+                       fault_state=None) -> BitmapIndex:
+    """One staging pass: pack every (dim, bin) membership bitmap for the
+    rank's ``[start, stop)`` block, resident (``path`` None) or into the
+    on-disk tile format (atomic temp + rename publish).
+
+    The pass prefers the staged bin-index store (``binned``) — compact
+    columns, no re-locating — and falls back to streaming the float
+    ``source`` through ``grid.locate_records`` when no store was staged
+    (``bin_cache="off"``).
+    """
+    nbins = _grid_nbins(grid)
+    if max(nbins, default=1) > 256:
+        raise DataError(
+            f"grid has {max(nbins)} bins in one dimension; unit tables "
+            f"hold byte bins, so the bitmap index supports at most 256")
+    if binned is not None:
+        n = binned.n_records
+        if binned.n_dims != grid.ndim:
+            raise DataError(
+                f"binned store has {binned.n_dims} dimensions, grid has "
+                f"{grid.ndim}")
+    else:
+        if source is None:
+            raise DataError("build_bitmap_index needs a source or a "
+                            "binned store")
+        stop = source.n_records if stop is None else stop
+        if not 0 <= start <= stop <= source.n_records:
+            raise DataError(
+                f"range [{start}, {stop}) out of bounds for "
+                f"{source.n_records} records")
+        n = stop - start
+    chunk = _aligned_chunk(chunk_records)
+    n_pairs = sum(nbins)
+    row_bytes = -(-n // 8)
+    offsets = _pair_offsets(nbins)
+    ghash = grid_fingerprint(grid)
+
+    def blocks() -> Iterator[tuple[int, np.ndarray]]:
+        """(record offset, (n_dims, rows)) column blocks."""
+        if binned is not None:
+            yield from _binned_blocks(binned, chunk, retry, fault_state)
+            return
+        for offset, raw in _source_chunks(source, chunk, start, stop,
+                                          retry, fault_state):
+            yield offset, grid.locate_records(raw).T
+
+    def fill(data: np.ndarray) -> None:
+        for offset, cols in blocks():
+            byte_lo = offset // 8
+            for dim in range(grid.ndim):
+                col = cols[dim]
+                base = int(offsets[dim])
+                # all of the dimension's bitmaps in one one-hot
+                # comparison + one packbits (row-padded exactly like
+                # the per-bin packbits it replaces)
+                hits = col[None, :] == np.arange(
+                    nbins[dim], dtype=np.int64)[:, None]
+                packed = np.packbits(hits, axis=1)
+                data[base:base + nbins[dim],
+                     byte_lo:byte_lo + packed.shape[1]] = packed
+
+    if path is None or n == 0:
+        data = np.empty((n_pairs, row_bytes), dtype=np.uint8)
+        fill(data)
+        return BitmapIndex(data=data, nbins=nbins, n_records=n,
+                           grid_hash=ghash)
+
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    header = _HEADER.pack(_MAGIC, _VERSION, 0, n, n_pairs, grid.ndim, ghash)
+    nbins_table = b"".join(_NBINS_ITEM.pack(b) for b in nbins)
+    data_offset = _HEADER.size + len(nbins_table)
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(header)
+            fh.write(nbins_table)
+            fh.truncate(data_offset + n_pairs * row_bytes)
+        mm = np.memmap(tmp, mode="r+", dtype=np.uint8, offset=data_offset,
+                       shape=(n_pairs, row_bytes))
+        try:
+            fill(mm)
+            mm.flush()
+            crcs = []
+            for pair in range(n_pairs):
+                crc = 0
+                for lo in range(0, row_bytes, _CRC_BLOCK):
+                    crc = zlib.crc32(
+                        np.ascontiguousarray(mm[pair, lo:lo + _CRC_BLOCK]),
+                        crc)
+                crcs.append(crc)
+        finally:
+            del mm  # drop the mapping (and its descriptor) before publish
+        with open(tmp, "ab") as fh:
+            for crc in crcs:
+                fh.write(_CRC_ITEM.pack(crc))
+        os.replace(tmp, path)
+    except BaseException:
+        # a failed staging pass (e.g. injected read faults exhausting
+        # the retry budget) must not leave a half-written temp behind
+        _unlink_quiet(str(tmp))
+        raise
+    return BitmapIndex.open(path)
+
+
+def load_bitmap_cache(path: str | os.PathLike, grid: Grid,
+                      n_records: int) -> BitmapIndex | None:
+    """Reopen an on-disk bitmap-index cache, or ``None`` when it is
+    missing, malformed, or stale — anything not built from exactly this
+    grid over exactly this record range is rebuilt, never trusted."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        index = BitmapIndex.open(path,
+                                 expected_grid_hash=grid_fingerprint(grid))
+    except RecordFileError:
+        return None
+    if index.n_records != n_records or index.nbins != _grid_nbins(grid):
+        return None
+    return index
+
+
+def stage_bitmap_index(source: DataSource | None, comm: Comm, grid: Grid,
+                       chunk_records: int, start: int = 0,
+                       stop: int | None = None, *, policy: str = "auto",
+                       budget: int = DEFAULT_BITMAP_BUDGET,
+                       binned: BinnedStore | None = None,
+                       retry: RetryPolicy | None = None
+                       ) -> BitmapIndex | None:
+    """Stage this rank's bitmap index under a ``bitmap_index`` policy.
+
+    ``"auto"`` keeps the index resident when it fits ``budget`` bytes
+    and spills to the mmap tile format otherwise; ``"resident"`` forces
+    RAM regardless of the budget; ``"mmap"`` always writes the on-disk
+    format — next to the rank's staged record file when the source is
+    one (reusing a still-valid cache from an earlier run), otherwise
+    into an anonymous temp file removed with the index; ``"off"``
+    returns ``None`` (the streaming engines run instead).  Staging
+    charges nothing to the virtual clock, like shared-to-local staging.
+    """
+    if policy == "off":
+        return None
+    if policy not in ("auto", "resident", "mmap"):
+        raise DataError(f"unknown bitmap_index policy {policy!r}")
+    if binned is not None:
+        n = binned.n_records
+    else:
+        stop = (source.n_records if stop is None else stop)
+        n = stop - start
+    fault_state = getattr(comm, "fault_state", None)
+    obs = getattr(comm, "obs", None)
+    want_resident = policy == "resident" or (
+        policy == "auto" and index_nbytes(grid, n) <= budget)
+    if want_resident:
+        index = build_bitmap_index(source, grid, chunk_records, start, stop,
+                                   binned=binned, retry=retry,
+                                   fault_state=fault_state)
+    elif isinstance(source, RecordFile):
+        path = bitmap_cache_path(source.path)
+        index = load_bitmap_cache(path, grid, n)
+        if index is None:
+            index = build_bitmap_index(source, grid, chunk_records, start,
+                                       stop, binned=binned, path=path,
+                                       retry=retry, fault_state=fault_state)
+    else:
+        fd, tmpname = tempfile.mkstemp(prefix="pmafia-rank-", suffix=".bmx")
+        os.close(fd)
+        index = build_bitmap_index(source, grid, chunk_records, start, stop,
+                                   binned=binned, path=tmpname, retry=retry,
+                                   fault_state=fault_state)
+        weakref.finalize(index, _unlink_quiet, tmpname)
+    if obs is not None:
+        obs.bitmap_index_built(index.n_pairs, index.nbytes, index.resident)
+    return index

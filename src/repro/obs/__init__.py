@@ -173,6 +173,33 @@ class RankObs:
             name = "io.prefetch_hits" if hit else "io.prefetch_misses"
             self.metrics.counter(name).inc()
 
+    # -- bitmap-index hooks ----------------------------------------------
+    def bitmap_index_built(self, n_pairs: int, nbytes: int,
+                           resident: bool) -> None:
+        """The rank's persistent bitmap index finished staging —
+        records whether the byte budget kept it resident or spilled it
+        to the mmap tile file."""
+        self.instant("bitmap_index_built", cat="io", n_pairs=n_pairs,
+                     nbytes=nbytes, resident=resident)
+        if self.metrics is not None:
+            self.metrics.gauge("index.pairs").set(n_pairs)
+            self.metrics.gauge("index.nbytes").set(nbytes)
+            self.metrics.gauge("index.resident").set(int(resident))
+            if not resident:
+                self.metrics.counter("index.spills").inc()
+
+    def indexed_pass(self, units: int, hits: int, misses: int,
+                     and_ops: int, memo_bytes: int) -> None:
+        """One level pass served from the bitmap index: CDUs counted,
+        prefix-AND memo hits/misses, bitmap ANDs actually executed and
+        the memo's resident size after the pass."""
+        if self.metrics is not None:
+            self.metrics.counter("index.units_counted").inc(units)
+            self.metrics.counter("index.memo_hits").inc(hits)
+            self.metrics.counter("index.memo_misses").inc(misses)
+            self.metrics.counter("index.and_ops").inc(and_ops)
+            self.metrics.gauge("index.memo_bytes").set(memo_bytes)
+
     # -- lattice hooks ---------------------------------------------------
     def add_pairs(self, stage: str, pairs: float) -> None:
         """Unit-pair comparisons, mirroring ``comm.charge_pairs`` calls

@@ -97,6 +97,27 @@ class MafiaParams:
         next chunk of the binned store (or float records) is staged on
         a background thread while the current chunk's counting runs.
         Results and simulated runtimes are unaffected.
+    bitmap_index:
+        Whether each rank keeps a persistent per-(dim, bin) membership
+        bitmap index for the lifetime of the run.  Built once right
+        after the adaptive grid is fixed, the index turns every level
+        pass into pure AND + popcount over cached bitmaps — zero
+        re-reads of the staged columns and zero repeated ``packbits``.
+        ``"auto"`` (default) keeps the index resident in RAM when it
+        fits ``bitmap_budget`` bytes and spills it to an mmap-tiled
+        on-disk format (CRC-checked, grid-fingerprint-invalidated)
+        otherwise; ``"resident"`` / ``"mmap"`` force one mode;
+        ``"off"`` disables the index and level passes stream the
+        binned store (or float records) as before.  Clusters, CDU
+        counts and simulated runtimes are bit-identical under every
+        value — the index changes wall clock only.
+    bitmap_budget:
+        Byte budget (per rank) shared by the resident bitmap index and
+        the memoized prefix-AND cache on top of it.  Default 256 MiB.
+    compute_threads:
+        Intra-rank threads tiling the indexed engine's AND/popcount
+        loop (numpy releases the GIL).  1 (default) stays serial;
+        counts are bit-identical for any value.
     trace:
         When True, every rank records per-span timing (wall and
         virtual clocks) of phases, collectives, level passes and
@@ -125,6 +146,9 @@ class MafiaParams:
     bin_cache: str = "memory"
     join_strategy: str = "auto"
     prefetch: bool = False
+    bitmap_index: str = "auto"
+    bitmap_budget: int = 1 << 28
+    compute_threads: int = 1
     trace: bool = False
     metrics: bool = False
 
@@ -141,6 +165,15 @@ class MafiaParams:
             raise ParameterError(
                 f"join_strategy must be 'auto', 'hash' or 'pairwise', "
                 f"got {self.join_strategy!r}")
+        if self.bitmap_index not in ("auto", "resident", "mmap", "off"):
+            raise ParameterError(
+                f"bitmap_index must be 'auto', 'resident', 'mmap' or "
+                f"'off', got {self.bitmap_index!r}")
+        for name in ("bitmap_budget", "compute_threads"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ParameterError(
+                    f"{name} must be a positive int, got {value!r}")
         for name in ("prefetch", "trace", "metrics"):
             value = getattr(self, name)
             if not isinstance(value, bool):

@@ -1,0 +1,568 @@
+"""The persistent bitmap index and the memoized prefix-AND engine.
+
+The load-bearing property: a population pass served from a
+:class:`~repro.io.bitmap_index.BitmapIndex` — resident or spilled,
+memo warm or cold, one compute thread or many, and on every backend —
+produces *bit-identical* CDU counts, clusters and simulated virtual
+times to the streaming engines.  The index is a pure cache; any
+observable difference is a bug.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import population
+from repro.core.mafia import mafia, pmafia, pmafia_resumable
+from repro.core.population import (IndexedPopulator, OverlapRunner,
+                                   populate_global, populate_local)
+from repro.core.units import UnitTable
+from repro.datagen import ClusterSpec, generate
+from repro.errors import ChecksumError, DataError, RecordFileError
+from repro.io import ArraySource, write_records
+from repro.io.binned import build_binned_store
+from repro.io.bitmap_index import (BitmapIndex, bitmap_cache_path,
+                                   build_bitmap_index, index_nbytes,
+                                   load_bitmap_cache, stage_bitmap_index)
+from repro.io.binned import grid_fingerprint
+from repro.parallel import SerialComm
+from repro.params import MafiaParams
+from tests.conftest import DOMAINS_10D
+from tests.test_binned_store import (cluster_signature, random_units,
+                                     uniform_grid)
+
+PARAMS = MafiaParams(fine_bins=100, window_size=2, chunk_records=1000)
+
+
+def expected_bitmap(records, grid, dim, bin_):
+    return np.packbits(grid.locate_records(records)[:, dim] == bin_)
+
+
+def make_populator(source, grid, chunk=64, *, policy="resident",
+                   budget=1 << 24, threads=1, comm=None):
+    index = stage_bitmap_index(source, comm or SerialComm(), grid, chunk,
+                               policy=policy, budget=budget)
+    return IndexedPopulator(index, budget=budget, compute_threads=threads)
+
+
+class TestIndexFormat:
+    def test_resident_round_trip(self):
+        rng = np.random.default_rng(0)
+        records = rng.random((500, 4)) * 100.0
+        grid = uniform_grid(4, 7)
+        index = build_bitmap_index(ArraySource(records), grid, 128)
+        assert index.resident
+        assert index.n_records == 500
+        assert index.n_pairs == 4 * 7
+        assert index.row_bytes == -(-500 // 8)
+        for dim in range(4):
+            for b in range(7):
+                assert np.array_equal(index.bitmap(index.pair_id(dim, b)),
+                                      expected_bitmap(records, grid, dim, b))
+
+    def test_disk_round_trip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        records = rng.random((777, 3)) * 100.0
+        grid = uniform_grid(3, 9)
+        path = tmp_path / "data.bmx"
+        built = build_bitmap_index(ArraySource(records), grid, 100,
+                                   path=path)
+        assert not built.resident
+        reopened = BitmapIndex.open(
+            path, expected_grid_hash=grid_fingerprint(grid))
+        for index in (built, reopened):
+            for dim in range(3):
+                for b in range(9):
+                    assert np.array_equal(
+                        index.bitmap(index.pair_id(dim, b)),
+                        expected_bitmap(records, grid, dim, b))
+
+    def test_built_from_binned_store_matches_source_build(self, tmp_path):
+        rng = np.random.default_rng(2)
+        records = rng.random((300, 3)) * 100.0
+        grid = uniform_grid(3, 5)
+        source = ArraySource(records)
+        binned = build_binned_store(source, grid, 64)
+        via_store = build_bitmap_index(None, grid, 64, binned=binned)
+        via_source = build_bitmap_index(source, grid, 64)
+        for p in range(via_source.n_pairs):
+            assert np.array_equal(via_store.bitmap(p), via_source.bitmap(p))
+
+    def test_crc_detects_corruption(self, tmp_path):
+        rng = np.random.default_rng(3)
+        records = rng.random((400, 3)) * 100.0
+        grid = uniform_grid(3, 5)
+        path = tmp_path / "corrupt.bmx"
+        build_bitmap_index(ArraySource(records), grid, 100, path=path)
+        index = BitmapIndex.open(path)
+        raw = bytearray(path.read_bytes())
+        raw[index._data_offset + 3] ^= 0xFF    # flip a bit in pair 0's tile
+        path.write_bytes(bytes(raw))
+        corrupted = BitmapIndex.open(path)
+        with pytest.raises(ChecksumError):
+            corrupted.bitmap(0)
+        # other tiles still verify
+        assert corrupted.bitmap(1) is not None
+
+    def test_truncated_file_rejected(self, tmp_path):
+        rng = np.random.default_rng(4)
+        records = rng.random((100, 2)) * 100.0
+        grid = uniform_grid(2, 5)
+        path = tmp_path / "trunc.bmx"
+        build_bitmap_index(ArraySource(records), grid, 50, path=path)
+        path.write_bytes(path.read_bytes()[:-7])
+        with pytest.raises(RecordFileError):
+            BitmapIndex.open(path)
+
+    def test_grid_hash_mismatch_is_stale(self, tmp_path):
+        rng = np.random.default_rng(5)
+        records = rng.random((100, 2)) * 100.0
+        grid = uniform_grid(2, 5)
+        other = uniform_grid(2, 6)
+        path = tmp_path / "stale.bmx"
+        build_bitmap_index(ArraySource(records), grid, 50, path=path)
+        with pytest.raises(RecordFileError, match="stale"):
+            BitmapIndex.open(path,
+                             expected_grid_hash=grid_fingerprint(other))
+        # the cache loader invalidates instead of raising
+        assert load_bitmap_cache(path, other, 100) is None
+        assert load_bitmap_cache(path, grid, 99) is None
+        assert load_bitmap_cache(path, grid, 100) is not None
+
+    def test_empty_record_range(self):
+        grid = uniform_grid(3, 4)
+        records = np.zeros((10, 3))
+        index = build_bitmap_index(ArraySource(records), grid, 8,
+                                   start=5, stop=5)
+        assert index.n_records == 0 and index.row_bytes == 0
+        assert index.bitmap(0).shape == (0,)
+
+    def test_validation_errors(self):
+        rng = np.random.default_rng(6)
+        records = rng.random((64, 2)) * 100.0
+        grid = uniform_grid(2, 4)
+        index = build_bitmap_index(ArraySource(records), grid, 32)
+        with pytest.raises(DataError):
+            index.bitmap(index.n_pairs)
+        with pytest.raises(DataError):
+            index.pair_id(2, 0)
+        with pytest.raises(DataError):
+            index.pair_id(0, 4)
+        units = UnitTable.from_pairs([[(0, 1), (1, 3)]])
+        assert index.pair_ids(units.dims, units.bins).tolist() == [[1, 7]]
+        bad = UnitTable.from_pairs([[(0, 1), (1, 5)]])  # bin 5 of 4
+        with pytest.raises(DataError):
+            index.pair_ids(bad.dims, bad.bins)
+        with pytest.raises(DataError):
+            build_bitmap_index(None, grid, 32)
+        with pytest.raises(DataError):
+            build_bitmap_index(ArraySource(records), grid, 0)
+        with pytest.raises(DataError):
+            build_bitmap_index(ArraySource(records), uniform_grid(2, 300),
+                               32)
+        with pytest.raises(DataError):
+            stage_bitmap_index(ArraySource(records), SerialComm(), grid,
+                               32, policy="ram")
+
+    def test_resident_bitmaps_are_read_only(self):
+        rng = np.random.default_rng(7)
+        records = rng.random((64, 2)) * 100.0
+        grid = uniform_grid(2, 4)
+        index = build_bitmap_index(ArraySource(records), grid, 32)
+        with pytest.raises(ValueError):
+            index.bitmap(0)[0] = 0xFF
+
+
+class TestSpillPolicy:
+    def test_auto_respects_budget(self, tmp_path):
+        rng = np.random.default_rng(8)
+        records = rng.random((2000, 3)) * 100.0
+        grid = uniform_grid(3, 6)
+        source = ArraySource(records)
+        comm = SerialComm()
+        nbytes = index_nbytes(grid, 2000)
+        resident = stage_bitmap_index(source, comm, grid, 256,
+                                      policy="auto", budget=nbytes)
+        assert resident.resident
+        spilled = stage_bitmap_index(source, comm, grid, 256,
+                                     policy="auto", budget=nbytes - 1)
+        assert not spilled.resident
+        assert spilled.path is not None and spilled.path.exists()
+        for p in range(resident.n_pairs):
+            assert np.array_equal(resident.bitmap(p), spilled.bitmap(p))
+
+    def test_forced_modes_ignore_budget(self):
+        rng = np.random.default_rng(9)
+        records = rng.random((100, 2)) * 100.0
+        grid = uniform_grid(2, 4)
+        source = ArraySource(records)
+        comm = SerialComm()
+        assert stage_bitmap_index(source, comm, grid, 64,
+                                  policy="resident", budget=1).resident
+        assert not stage_bitmap_index(source, comm, grid, 64,
+                                      policy="mmap",
+                                      budget=1 << 30).resident
+        assert stage_bitmap_index(source, comm, grid, 64,
+                                  policy="off") is None
+
+    def test_record_file_sibling_cache_reused(self, tmp_path):
+        rng = np.random.default_rng(10)
+        records = rng.random((300, 3)) * 100.0
+        grid = uniform_grid(3, 5)
+        shared = tmp_path / "data.bin"
+        write_records(shared, records)
+        from repro.io.records import RecordFile
+        source = RecordFile(shared)
+        comm = SerialComm()
+        first = stage_bitmap_index(source, comm, grid, 64, policy="mmap")
+        cache = bitmap_cache_path(shared)
+        assert first.path == cache and cache.exists()
+        mtime = cache.stat().st_mtime_ns
+        again = stage_bitmap_index(source, comm, grid, 64, policy="mmap")
+        assert cache.stat().st_mtime_ns == mtime   # reused, not rebuilt
+        for p in range(first.n_pairs):
+            assert np.array_equal(first.bitmap(p), again.bitmap(p))
+        # a stale cache (different grid) is rebuilt in place
+        other = uniform_grid(3, 6)
+        rebuilt = stage_bitmap_index(source, comm, other, 64, policy="mmap")
+        assert rebuilt.nbins == (6, 6, 6)
+        assert cache.stat().st_mtime_ns != mtime
+
+    def test_full_run_spill_budget_respected(self, one_cluster_dataset,
+                                             small_params):
+        records = one_cluster_dataset.records
+        baseline = mafia(records, small_params.with_(bitmap_index="off"),
+                         domains=DOMAINS_10D)
+        # one byte of budget: the index must spill and the memo stays
+        # empty, yet the result is unchanged
+        spilled = mafia(records, small_params.with_(bitmap_index="auto",
+                                                    bitmap_budget=1),
+                        domains=DOMAINS_10D)
+        assert cluster_signature(spilled) == cluster_signature(baseline)
+
+
+class TestIndexedCountsIdentical:
+    """Property-based bit-identity of the indexed engine against the
+    bitmap and keyed engines, right at the ``_BITMAP_BYTE_CAP``
+    fallback boundary (the cap decides which streaming engine the
+    binned path runs, so pinning it to the workload's exact bitmap
+    size exercises both sides)."""
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_indexed_vs_streaming_at_cap_boundary(self, data):
+        d = data.draw(st.integers(2, 5))
+        nbins = data.draw(st.integers(2, 6))
+        n = data.draw(st.integers(1, 300))
+        level = data.draw(st.integers(1, min(3, d)))
+        chunk = data.draw(st.integers(1, 128))
+        seed = data.draw(st.integers(0, 2**31 - 1))
+        rng = np.random.default_rng(seed)
+        records = rng.random((n, d)) * 100.0
+        grid = uniform_grid(d, nbins)
+        units = random_units(rng, d, nbins, level,
+                             data.draw(st.integers(1, 20)))
+        source = ArraySource(records)
+        comm = SerialComm()
+
+        # pin the cap exactly at / just under this workload's per-chunk
+        # bitmap size: "at" keeps the binned path on bitmaps, "under"
+        # drops it to keyed matchers — the indexed engine must match both
+        counter = population._BitmapCounter(units, grid)
+        nbytes = counter.bitmap_nbytes(min(chunk, n))
+        cap = data.draw(st.sampled_from([nbytes, max(0, nbytes - 1)]))
+        saved = population._BITMAP_BYTE_CAP
+        population._BITMAP_BYTE_CAP = cap
+        try:
+            ref = populate_local(source, comm, grid, units, chunk)
+            binned = build_binned_store(source, grid, chunk)
+            assert np.array_equal(
+                populate_local(source, comm, grid, units, chunk,
+                               binned=binned), ref)
+            with make_populator(source, grid, chunk) as pop:
+                assert np.array_equal(
+                    populate_local(source, comm, grid, units, chunk,
+                                   indexed=pop), ref)
+                # warm memo: a second pass must be identical, not additive
+                assert np.array_equal(
+                    populate_local(source, comm, grid, units, chunk,
+                                   indexed=pop), ref)
+        finally:
+            population._BITMAP_BYTE_CAP = saved
+
+    def test_mixed_radix_overflow_path_matches(self):
+        """d=9 x 200 bins: the keyed path's radix product exceeds 2^62
+        and falls back to per-unit column matching; the indexed engine
+        must agree with it bit for bit."""
+        rng = np.random.default_rng(11)
+        d, nbins, n = 9, 200, 400
+        records = rng.random((n, d)) * 100.0
+        grid = uniform_grid(d, nbins)
+        # force matched records so counts are non-trivial
+        bins = grid.locate_records(records[:50])
+        units = UnitTable.from_pairs(
+            [[(dim, int(bins[i, dim])) for dim in range(d)]
+             for i in range(10)]).unique()
+        matcher = population.build_matchers(units, grid)[0]
+        assert matcher.overflow
+        source = ArraySource(records)
+        comm = SerialComm()
+        ref = populate_local(source, comm, grid, units, 64)
+        assert int(ref.sum()) > 0
+        with make_populator(source, grid, 64) as pop:
+            assert np.array_equal(
+                populate_local(source, comm, grid, units, 64, indexed=pop),
+                ref)
+
+    def test_empty_chunk_edge(self):
+        """A chunk size larger than the record count (single partial
+        chunk) and a single-record store both count correctly."""
+        rng = np.random.default_rng(12)
+        grid = uniform_grid(3, 4)
+        comm = SerialComm()
+        for n in (1, 5, 8, 9):
+            records = rng.random((n, 3)) * 100.0
+            source = ArraySource(records)
+            units = random_units(rng, 3, 4, 2, 8)
+            ref = populate_local(source, comm, grid, units, 1000)
+            with make_populator(source, grid, 1000) as pop:
+                assert np.array_equal(
+                    populate_local(source, comm, grid, units, 1000,
+                                   indexed=pop), ref)
+
+    def test_compute_threads_bit_identical(self):
+        rng = np.random.default_rng(13)
+        records = rng.random((3000, 5)) * 100.0
+        grid = uniform_grid(5, 6)
+        units = random_units(rng, 5, 6, 3, 200)
+        source = ArraySource(records)
+        comm = SerialComm()
+        with make_populator(source, grid, 512) as serial:
+            ref = populate_local(source, comm, grid, units, 512,
+                                 indexed=serial)
+        for threads in (2, 5):
+            with make_populator(source, grid, 512, threads=threads) as pop:
+                assert np.array_equal(
+                    populate_local(source, comm, grid, units, 512,
+                                   indexed=pop), ref)
+
+    def test_memo_budget_bounds_resident_bytes(self):
+        rng = np.random.default_rng(14)
+        records = rng.random((4000, 5)) * 100.0
+        grid = uniform_grid(5, 6)
+        units = random_units(rng, 5, 6, 3, 300)
+        source = ArraySource(records)
+        comm = SerialComm()
+        row_bytes = -(-4000 // 8)
+        budget = index_nbytes(grid, 4000) + 3 * row_bytes
+        with make_populator(source, grid, 512, budget=budget) as pop:
+            populate_local(source, comm, grid, units, 512, indexed=pop)
+            assert pop.memo.nbytes <= pop.memo.byte_budget
+            assert pop.memo.byte_budget == 3 * row_bytes
+            assert len(pop.memo) <= 3
+
+    def test_stale_grid_rejected(self):
+        rng = np.random.default_rng(15)
+        records = rng.random((100, 3)) * 100.0
+        grid = uniform_grid(3, 4)
+        units = random_units(rng, 3, 4, 2, 5)
+        source = ArraySource(records)
+        with make_populator(source, grid, 64) as pop:
+            with pytest.raises(DataError):
+                populate_local(source, SerialComm(), uniform_grid(3, 5),
+                               units, 64, indexed=pop)
+
+    def test_block_mismatch_rejected(self):
+        rng = np.random.default_rng(16)
+        records = rng.random((100, 3)) * 100.0
+        grid = uniform_grid(3, 4)
+        units = random_units(rng, 3, 4, 2, 5)
+        source = ArraySource(records)
+        index = build_bitmap_index(source, grid, 64, 0, 60)
+        with IndexedPopulator(index) as pop:
+            with pytest.raises(DataError):
+                populate_local(source, SerialComm(), grid, units, 64,
+                               indexed=pop)
+
+
+class TestOverlapRunner:
+    def test_collective_failure_is_primary(self):
+        """When the allreduce dies, its exception must surface even if
+        the overlap thread also failed (the old ``finally: result()``
+        replaced the root cause with the overlap's error)."""
+
+        class DyingComm(SerialComm):
+            def allreduce(self, value, op="sum"):
+                raise OSError("collective lost a rank")
+
+        rng = np.random.default_rng(17)
+        records = rng.random((50, 2)) * 100.0
+        grid = uniform_grid(2, 4)
+        units = random_units(rng, 2, 4, 1, 4)
+
+        def overlap():
+            raise ValueError("secondary: overlap saw torn state")
+
+        with pytest.raises(OSError, match="collective lost a rank"):
+            populate_global(ArraySource(records), DyingComm(), grid,
+                            units, 32, overlap=overlap)
+
+    def test_overlap_failure_surfaces_when_collective_succeeds(self):
+        rng = np.random.default_rng(18)
+        records = rng.random((50, 2)) * 100.0
+        grid = uniform_grid(2, 4)
+        units = random_units(rng, 2, 4, 1, 4)
+
+        def overlap():
+            raise ValueError("overlap broke")
+
+        with pytest.raises(ValueError, match="overlap broke"):
+            populate_global(ArraySource(records), SerialComm(), grid,
+                            units, 32, overlap=overlap)
+
+    def test_runner_reuses_one_worker_thread(self):
+        seen = set()
+        with OverlapRunner() as runner:
+            for _ in range(4):
+                runner.submit(lambda: seen.add(
+                    threading.current_thread().ident)).result()
+        assert len(seen) == 1
+
+    def test_populate_global_accepts_shared_runner(self):
+        rng = np.random.default_rng(19)
+        records = rng.random((80, 3)) * 100.0
+        grid = uniform_grid(3, 4)
+        units = random_units(rng, 3, 4, 2, 6)
+        comm = SerialComm()
+        source = ArraySource(records)
+        ref = populate_global(source, comm, grid, units, 32)
+        done = []
+        with OverlapRunner() as runner:
+            for _ in range(3):
+                total = populate_global(source, comm, grid, units, 32,
+                                        overlap=lambda: done.append(1),
+                                        runner=runner)
+                assert np.array_equal(total, ref)
+        assert len(done) == 3
+
+
+@st.composite
+def workloads(draw):
+    n_dims = draw(st.integers(3, 6))
+    n_clusters = draw(st.integers(0, 2))
+    specs = []
+    for _ in range(n_clusters):
+        k = draw(st.integers(1, min(3, n_dims)))
+        dims = draw(st.lists(st.integers(0, n_dims - 1), min_size=k,
+                             max_size=k, unique=True))
+        extents = []
+        for _ in dims:
+            lo = draw(st.integers(5, 70))
+            width = draw(st.integers(8, 20))
+            extents.append((float(lo), float(lo + width)))
+        specs.append(ClusterSpec.box(sorted(dims), extents))
+    n_records = draw(st.integers(1500, 4000))
+    noise = draw(st.floats(0.0, 0.3))
+    seed = draw(st.integers(0, 10_000))
+    return generate(n_records, n_dims, specs, noise_fraction=noise,
+                    seed=seed)
+
+
+def _signature(result):
+    """Everything that must be bit-identical between indexed and
+    streaming runs: lattice counts, dense unit tables, clusters."""
+    sig = [result.cdus_per_level(), result.dense_per_level()]
+    for t in result.trace:
+        sig.append(t.dense.dims.tobytes())
+        sig.append(t.dense.bins.tobytes())
+        sig.append(t.dense_counts.tobytes())
+    for c in result.clusters:
+        sig.append((c.subspace.dims, c.units_bins.tolist(),
+                    c.point_count, c.dnf))
+    return sig
+
+
+class TestConformanceProperty:
+    """Hypothesis sweep mirroring ``tests/test_observability.py``: the
+    bitmap index must be invisible in results and virtual times on
+    every backend."""
+
+    @given(workloads())
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    def test_indexed_runs_bit_identical(self, dataset):
+        domains = np.array([[0.0, 100.0]] * dataset.n_dims)
+        baseline = mafia(dataset.records, PARAMS.with_(bitmap_index="off"),
+                         domains=domains)
+        for kw in (dict(bitmap_index="resident"),
+                   dict(bitmap_index="mmap"),
+                   dict(bitmap_index="auto", compute_threads=3),
+                   dict(bitmap_index="auto", bin_cache="off")):
+            run = mafia(dataset.records, PARAMS.with_(**kw),
+                        domains=domains)
+            assert _signature(run) == _signature(baseline), kw
+        threaded = pmafia(dataset.records, 2, PARAMS, domains=domains)
+        assert _signature(threaded.result) == _signature(baseline)
+
+    @given(workloads())
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    def test_sim_virtual_times_bit_identical(self, dataset):
+        domains = np.array([[0.0, 100.0]] * dataset.n_dims)
+        off = pmafia(dataset.records, 2, PARAMS.with_(bitmap_index="off"),
+                     backend="sim", domains=domains)
+        on = pmafia(dataset.records, 2,
+                    PARAMS.with_(bitmap_index="resident"),
+                    backend="sim", domains=domains)
+        assert on.rank_times == off.rank_times
+        assert on.makespan == off.makespan
+        assert _signature(on.result) == _signature(off.result)
+
+    def test_process_backend_bit_identical(self, one_cluster_dataset):
+        baseline = pmafia(one_cluster_dataset.records, 2,
+                          PARAMS.with_(bitmap_index="off"),
+                          backend="process", domains=DOMAINS_10D)
+        indexed = pmafia(one_cluster_dataset.records, 2, PARAMS,
+                         backend="process", domains=DOMAINS_10D)
+        assert _signature(indexed.result) == _signature(baseline.result)
+
+    def test_resume_crosses_index_policy(self, tmp_path,
+                                         one_cluster_dataset,
+                                         small_params):
+        """A checkpointed run may resume under a different
+        ``bitmap_index`` policy — the index is an engine knob, not an
+        algorithm parameter."""
+        records = one_cluster_dataset.records
+        ckpt = tmp_path / "ckpt"
+        baseline = mafia(records, small_params.with_(bitmap_index="off"),
+                         domains=DOMAINS_10D)
+        pmafia_resumable(records, 1,
+                         small_params.with_(bitmap_index="off"),
+                         checkpoint_dir=ckpt, resume=False,
+                         domains=DOMAINS_10D)
+        resumed = pmafia_resumable(
+            records, 1,
+            small_params.with_(bitmap_index="resident",
+                               bitmap_budget=1 << 20, compute_threads=2),
+            checkpoint_dir=ckpt, resume=True, domains=DOMAINS_10D)
+        assert (cluster_signature(resumed.result)
+                == cluster_signature(baseline))
+
+    def test_index_metrics_exported(self, one_cluster_dataset,
+                                    small_params):
+        result = mafia(one_cluster_dataset.records,
+                       small_params.with_(metrics=True),
+                       domains=DOMAINS_10D)
+        m = result.obs.metrics
+        assert m["index.pairs"]["value"] > 0
+        assert m["index.resident"]["value"] == 1
+        assert m["index.units_counted"]["value"] == \
+            sum(t.n_cdus for t in result.trace)
+        assert m["index.and_ops"]["value"] > 0

@@ -331,14 +331,17 @@ class TestMetricsAgainstGroundTruth:
                    if k.startswith("io.records_read"))
         assert read > 0 and read % n == 0
         levels = len(result.trace)
-        # one staging pass over the records + one binned pass per level
-        key = metric_key("io.records_read", {"kind": "binned"})
+        # one pass per level, served from the bitmap index (which
+        # replays the streaming engines' per-chunk accounting exactly)
+        key = metric_key("io.records_read", {"kind": "indexed"})
         assert m[key]["value"] == levels * n
 
     def test_prefetch_hit_miss_counters(self, one_cluster_dataset,
                                         small_params):
+        # prefetch only exists on the streaming engines, so pin the
+        # level passes to the binned store for this test
         params = small_params.with_(metrics=True, prefetch=True,
-                                    chunk_records=500)
+                                    chunk_records=500, bitmap_index="off")
         result = mafia(one_cluster_dataset.records, params,
                        domains=DOMAINS_10D)
         m = result.obs.metrics
