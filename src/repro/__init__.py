@@ -16,7 +16,8 @@ Public API highlights:
   (``MafiaParams(trace=True, metrics=True)``, Chrome-trace export).
 """
 
-from .core import ClusteringResult, PMafiaRun, mafia, pmafia, pmafia_resumable
+from .core import (ClusteringResult, PMafiaRun, mafia, pmafia,
+                   pmafia_resumable, pmafia_supervised)
 from .errors import (CheckpointError, ChecksumError, CommAborted, CommError,
                      CommTimeoutError, DataError, GridError, ParameterError,
                      RecordFileError, ReproError)
@@ -24,7 +25,7 @@ from .obs import (RankObsData, RunObs, as_run_obs, write_chrome_trace,
                   write_metrics_snapshot)
 from .params import CliqueParams, MafiaParams
 from .parallel import (CrashPoint, FaultPlan, MachineSpec, MessageFault,
-                       ReadFault, run_spmd)
+                       ReadFault, RecoveryReport, SupervisePolicy, run_spmd)
 from .types import Cluster, DimensionGrid, DNFTerm, Grid, Subspace
 
 __version__ = "1.0.0"
@@ -53,14 +54,17 @@ __all__ = [
     "RankObsData",
     "ReadFault",
     "RecordFileError",
+    "RecoveryReport",
     "ReproError",
     "RunObs",
     "Subspace",
+    "SupervisePolicy",
     "__version__",
     "as_run_obs",
     "mafia",
     "pmafia",
     "pmafia_resumable",
+    "pmafia_supervised",
     "run_spmd",
     "write_chrome_trace",
     "write_metrics_snapshot",

@@ -27,7 +27,7 @@ import numpy as np
 
 from . import __version__
 from .core.export import result_to_json
-from .core.mafia import mafia, pmafia, pmafia_resumable
+from .core.mafia import mafia, pmafia, pmafia_resumable, pmafia_supervised
 from .errors import ReproError
 from .datagen.generator import generate
 from .datagen.spec import ClusterSpec
@@ -125,13 +125,55 @@ def _cmd_run(args: argparse.Namespace) -> int:
                              bitmap_index=args.bitmap_index,
                              bitmap_budget=args.bitmap_budget,
                              compute_threads=args.compute_threads,
+                             rebalance=args.rebalance,
                              trace=args.trace_out is not None,
                              metrics=args.metrics_out is not None)
         data: object = Path(args.data)
         if Path(args.data).suffix in (".npy", ".csv", ".txt"):
             data = _load_records(Path(args.data))
+        scenario = None
+        if args.chaos_scenario is not None:
+            from .gameday import load_scenario
+            scenario = load_scenario(args.chaos_scenario)
+            print(f"chaos scenario {scenario.name!r}: "
+                  f"{scenario.description}", file=sys.stderr)
         run = None
-        if args.checkpoint_dir is not None:
+        if scenario is not None:
+            from dataclasses import replace as _dc_replace
+            if scenario.params:
+                params = _dc_replace(params, **scenario.params)
+            if scenario.recovery == "supervised":
+                run = pmafia_supervised(data, args.procs, params,
+                                        checkpoint_dir=args.checkpoint_dir,
+                                        collectives=args.collectives,
+                                        resume=args.resume,
+                                        recv_timeout=scenario.recv_timeout,
+                                        retry=scenario.retry,
+                                        faults=scenario.faults,
+                                        policy=scenario.supervise)
+            else:
+                run = pmafia_resumable(
+                    data, args.procs, params,
+                    checkpoint_dir=args.checkpoint_dir,
+                    backend=args.backend, collectives=args.collectives,
+                    resume=args.resume,
+                    recv_timeout=scenario.recv_timeout,
+                    retry=scenario.retry, faults=scenario.faults,
+                    max_restarts=(scenario.max_restarts
+                                  if scenario.recovery == "restart" else 0))
+            result = run.result
+            report = getattr(run, "recovery", None)
+            if report is not None and report.replacements:
+                print(f"recovered from {report.replacements} rank "
+                      f"loss(es); worst RTO {report.worst_rto:.2f}s",
+                      file=sys.stderr)
+        elif args.supervised:
+            run = pmafia_supervised(data, args.procs, params,
+                                    checkpoint_dir=args.checkpoint_dir,
+                                    collectives=args.collectives,
+                                    resume=args.resume)
+            result = run.result
+        elif args.checkpoint_dir is not None:
             run = pmafia_resumable(data, args.procs, params,
                                    checkpoint_dir=args.checkpoint_dir,
                                    backend=args.backend,
@@ -253,6 +295,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--resume", action="store_true",
                      help="restart from the newest checkpoint in "
                           "--checkpoint-dir instead of starting fresh")
+    run.add_argument("--supervised", action="store_true",
+                     help="MAFIA only: run under the rank-recovery "
+                          "supervisor (process backend) so a lost or "
+                          "hung rank is replaced mid-run instead of "
+                          "failing the job; requires --checkpoint-dir")
+    run.add_argument("--rebalance", action="store_true",
+                     help="MAFIA only: re-fence the CDU partition "
+                          "between levels when per-level population "
+                          "times reveal a straggler rank (results are "
+                          "identical either way)")
+    run.add_argument("--chaos-scenario", type=Path, default=None,
+                     dest="chaos_scenario", metavar="PATH",
+                     help="MAFIA only: inject the named chaos scenario "
+                          "(benchmarks/scenarios/*.json) into this run "
+                          "and recover per its recovery mode; requires "
+                          "--checkpoint-dir and --backend process")
     run.add_argument("--bins", type=int, default=10,
                      help="CLIQUE: uniform bins per dimension")
     run.add_argument("--threshold", type=float, default=0.01,
@@ -284,6 +342,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "run":
         if args.resume and args.checkpoint_dir is None:
             parser.error("--resume requires --checkpoint-dir")
+        if args.supervised or args.chaos_scenario is not None:
+            if args.checkpoint_dir is None:
+                parser.error("--supervised/--chaos-scenario require "
+                             "--checkpoint-dir (replacements boot from "
+                             "its checkpoints and shard manifests)")
+            if args.backend != "process":
+                parser.error("--supervised/--chaos-scenario require "
+                             "--backend process — only OS processes can "
+                             "be killed and respawned independently")
+            if args.algorithm == "clique":
+                parser.error("--supervised/--chaos-scenario are not "
+                             "supported with --algorithm clique")
+        if args.rebalance and args.algorithm == "clique":
+            parser.error("--rebalance is not supported with "
+                         "--algorithm clique")
         if args.checkpoint_dir is not None and args.algorithm == "clique":
             parser.error("--checkpoint-dir is not supported with "
                          "--algorithm clique")

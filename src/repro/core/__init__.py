@@ -5,10 +5,13 @@ from .adaptive_grid import build_dimension_grid, build_grid, merge_windows, wind
 from .candidates import (HashJoinPlan, JoinResult, hash_join_all,
                          hash_join_block, hash_join_plan, join_all,
                          join_block)
-from .checkpoint import (CHECKPOINT_VERSION, check_compatible,
-                         checkpoint_path, clear_checkpoints,
-                         latest_checkpoint, load_checkpoint,
-                         save_checkpoint)
+from .checkpoint import (CHECKPOINT_VERSION, SHARD_MANIFEST_VERSION,
+                         check_compatible, checkpoint_path,
+                         clear_checkpoints, latest_checkpoint,
+                         load_checkpoint, load_latest_checkpoint,
+                         load_shard_manifest, quarantine_checkpoint,
+                         save_checkpoint, save_shard_manifest,
+                         shard_manifest_path)
 from .dedup import drop_repeats, repeat_flags_block
 from .dnf import (dnf_terms, greedy_cover, grow_box, maximal_mask,
                   merged_mask, projections)
@@ -17,11 +20,14 @@ from .histogram import (fine_histogram_global, fine_histogram_local,
 from .identify import dense_flags_block, dense_units, unit_thresholds
 from .export import (result_from_dict, result_from_json, result_to_dict,
                      result_to_json)
-from .mafia import PMafiaRun, mafia, pmafia, pmafia_resumable
+from .mafia import (PMafiaRun, mafia, pmafia, pmafia_resumable,
+                    pmafia_supervised)
 from .merge import UnionFind, face_adjacent_components
-from .partition import (even_splits, prefix_work, row_work, split_range,
-                        triangular_splits, weighted_splits)
+from .partition import (even_splits, prefix_work, proportional_splits,
+                        row_work, split_range, triangular_splits,
+                        weighted_splits)
 from .pmafia import assemble_clusters, pmafia_rank
+from .rebalance import REBALANCE_THRESHOLD, StragglerMonitor
 from .population import populate_global, populate_local
 from .result import ClusteringResult, LevelTrace
 from .timing import PhaseTimes, phase, phase_timer
@@ -30,7 +36,10 @@ from .units import (MAX_BINS, MAX_DIMS, UnitTable, first_occurrence,
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "REBALANCE_THRESHOLD",
+    "SHARD_MANIFEST_VERSION",
     "ClusteringResult",
+    "StragglerMonitor",
     "HashJoinPlan",
     "JoinResult",
     "PhaseTimes",
@@ -65,6 +74,8 @@ __all__ = [
     "join_block",
     "latest_checkpoint",
     "load_checkpoint",
+    "load_latest_checkpoint",
+    "load_shard_manifest",
     "local_domains",
     "mafia",
     "maximal_mask",
@@ -80,7 +91,12 @@ __all__ = [
     "pmafia",
     "pmafia_rank",
     "pmafia_resumable",
+    "pmafia_supervised",
+    "proportional_splits",
+    "quarantine_checkpoint",
     "save_checkpoint",
+    "save_shard_manifest",
+    "shard_manifest_path",
     "populate_global",
     "populate_local",
     "prefix_work",

@@ -20,6 +20,7 @@ garbage.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import re
@@ -35,6 +36,8 @@ _MAGIC = b"PMCK"
 CHECKPOINT_VERSION = 1
 _HEADER = struct.Struct("<4sHIq")
 _LEVEL_RE = re.compile(r"^level(\d{4})\.ckpt$")
+#: bump when the shard-manifest schema changes incompatibly
+SHARD_MANIFEST_VERSION = 1
 
 
 def checkpoint_path(directory: str | os.PathLike, level: int) -> Path:
@@ -109,6 +112,37 @@ def latest_checkpoint(directory: str | os.PathLike) -> Path | None:
     return best[1] if best else None
 
 
+def quarantine_checkpoint(path: str | os.PathLike) -> Path:
+    """Move a bad checkpoint aside as ``<name>.corrupt`` so the next
+    :func:`latest_checkpoint` scan no longer offers it; returns the new
+    path.  An existing quarantine file for the same level is replaced —
+    only the newest corpse is worth keeping for post-mortems."""
+    path = Path(path)
+    target = path.with_suffix(path.suffix + ".corrupt")
+    os.replace(path, target)
+    return target
+
+
+def load_latest_checkpoint(directory: str | os.PathLike
+                           ) -> dict[str, Any] | None:
+    """Load the newest *readable* checkpoint in ``directory``.
+
+    A truncated or corrupt newest file — the expected debris of a crash
+    or disk fault mid-run — is quarantined (renamed ``.corrupt``) and
+    the scan falls back to the previous level instead of aborting the
+    resume; losing one level of progress beats losing all of it.
+    Returns ``None`` when no readable checkpoint remains.
+    """
+    while True:
+        newest = latest_checkpoint(directory)
+        if newest is None:
+            return None
+        try:
+            return load_checkpoint(newest)
+        except CheckpointError:
+            quarantine_checkpoint(newest)
+
+
 def clear_checkpoints(directory: str | os.PathLike) -> int:
     """Delete every checkpoint file in ``directory``; returns the count.
 
@@ -126,6 +160,54 @@ def clear_checkpoints(directory: str | os.PathLike) -> int:
     return removed
 
 
+def shard_manifest_path(directory: str | os.PathLike, rank: int) -> Path:
+    """The manifest describing rank ``rank``'s shard of the run."""
+    return Path(directory) / f"shard{rank:04d}.json"
+
+
+def save_shard_manifest(directory: str | os.PathLike, rank: int,
+                        manifest: dict[str, Any]) -> Path:
+    """Atomically write one rank's shard manifest next to the level
+    checkpoints.
+
+    The manifest records what a *replacement* for this rank needs in
+    order to rebuild only the lost shard: the record range the rank
+    owns, the staged artifact paths (local record copy, PMBS bin store,
+    PMBI ``.bmx`` bitmap index) and the grid fingerprint those artifacts
+    were staged under.  Every rank writes its own file (distinct names,
+    no contention); the supervisor hands the file to the replacement so
+    it can reuse the on-disk caches instead of re-deriving them, after
+    verifying the fingerprint still matches the checkpointed grid.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = shard_manifest_path(directory, rank)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    payload = dict(manifest)
+    payload.setdefault("version", SHARD_MANIFEST_VERSION)
+    payload.setdefault("rank", rank)
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def load_shard_manifest(directory: str | os.PathLike,
+                        rank: int) -> dict[str, Any] | None:
+    """Read one rank's shard manifest; ``None`` when absent or
+    unreadable (the replacement then re-stages from scratch — manifests
+    are an optimisation witness, never load-bearing state)."""
+    path = shard_manifest_path(directory, rank)
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if (not isinstance(manifest, dict)
+            or manifest.get("version") != SHARD_MANIFEST_VERSION):
+        return None
+    return manifest
+
+
 def check_compatible(state: dict[str, Any], params: Any,
                      n_records: int) -> None:
     """Refuse to resume from a checkpoint written under different
@@ -141,7 +223,9 @@ def check_compatible(state: dict[str, Any], params: Any,
     the checkpointed grid on resume.  ``trace`` and ``metrics`` are
     likewise excluded: observability is read-only with respect to the
     algorithm, so a crashed untraced run may be resumed under tracing
-    (and vice versa) without divergence.
+    (and vice versa) without divergence.  ``rebalance`` is excluded for
+    the same reason — straggler re-fencing moves work between ranks
+    without changing any pass's output.
     """
     stored = state.get("params")
     if stored is not None:
@@ -151,7 +235,8 @@ def check_compatible(state: dict[str, Any], params: Any,
                                   bitmap_budget=params.bitmap_budget,
                                   compute_threads=params.compute_threads,
                                   trace=params.trace,
-                                  metrics=params.metrics)
+                                  metrics=params.metrics,
+                                  rebalance=params.rebalance)
         except (AttributeError, TypeError):
             pass
     if stored != params:

@@ -25,6 +25,7 @@ broadcasts the result (print-clusters()).
 from __future__ import annotations
 
 import os
+import time
 from contextlib import nullcontext
 from dataclasses import replace
 from pathlib import Path
@@ -32,11 +33,12 @@ from typing import Any
 
 import numpy as np
 
-from ..errors import DataError
+from ..errors import CheckpointError, DataError
 from ..io.binned import grid_fingerprint, stage_binned
 from ..io.bitmap_index import stage_bitmap_index
 from ..io.chunks import DataSource, as_source
 from ..io.partition import block_range
+from ..io.records import RecordFile
 from ..io.resilient import RetryPolicy
 from ..io.staging import stage_local
 from ..obs import RankObs
@@ -44,19 +46,22 @@ from ..obs.manifest import MANIFEST_NAME, build_manifest, write_manifest
 from ..params import MafiaParams
 from ..parallel.comm import Comm
 from ..parallel.faults import fault_site
+from ..parallel.supervisor import RecoveryInterrupt
 from ..types import Cluster, Grid, Subspace
 from .adaptive_grid import build_grid
-from .checkpoint import (check_compatible, clear_checkpoints,
-                         latest_checkpoint, load_checkpoint,
-                         save_checkpoint)
+from .checkpoint import (check_compatible, checkpoint_path,
+                         clear_checkpoints, load_checkpoint,
+                         load_latest_checkpoint, load_shard_manifest,
+                         save_checkpoint, save_shard_manifest)
 from .candidates import hash_join_block, hash_join_plan, join_block
 from .dedup import drop_repeats, repeat_flags_block
 from .dnf import dnf_terms, maximal_mask, merged_mask
 from .histogram import fine_histogram_global, global_domains
 from .identify import dense_flags_block, dense_units, unit_thresholds
 from .merge import face_adjacent_components
-from .partition import (even_splits, prefix_work, triangular_splits,
-                        weighted_splits)
+from .partition import (even_splits, prefix_work, proportional_splits,
+                        triangular_splits, weighted_splits)
+from .rebalance import StragglerMonitor
 from .population import IndexedPopulator, OverlapRunner, populate_global
 from .result import ClusteringResult, LevelTrace
 from .timing import phase
@@ -112,6 +117,25 @@ def _local_view(comm: Comm, data: Any) -> tuple[DataSource, int, int]:
     return source, start, stop
 
 
+def _solo_record_count(data: Any) -> int:
+    """The global record count, derived without collectives.
+
+    A replacement rank boots while every survivor is parked mid-run, so
+    the usual sum-allreduce over local counts would deadlock.  For a
+    shared record file the header carries the global count; for an
+    in-memory array every rank sees the whole thing anyway.
+    """
+    if isinstance(data, (str, os.PathLike)):
+        return RecordFile(Path(data)).n_records
+    return as_source(data).n_records
+
+
+def _artifact_path(obj: Any) -> str | None:
+    """The on-disk path of a staged artifact, if it has one."""
+    path = getattr(obj, "path", None)
+    return None if path is None else os.fspath(path)
+
+
 def _level_one_cdus(grid: Grid) -> UnitTable:
     """Every bin of every dimension is a level-1 candidate dense unit."""
     if grid.ndim > MAX_DIMS:
@@ -129,7 +153,8 @@ def _level_one_cdus(grid: Grid) -> UnitTable:
 def _find_candidate_dense_units(comm: Comm, dense: UnitTable, tau: int,
                                 block_join=join_block, *,
                                 strategy: str = "pairwise",
-                                tokens: np.ndarray | None = None
+                                tokens: np.ndarray | None = None,
+                                shares: np.ndarray | None = None
                                 ) -> tuple[UnitTable, np.ndarray]:
     """Algorithm 3: build level-(k+1) CDUs from the level-k dense units.
 
@@ -148,6 +173,12 @@ def _find_candidate_dense_units(comm: Comm, dense: UnitTable, tau: int,
     pairwise path's.  ``tokens`` may pass the dense table's
     pre-packed token matrix (computed overlapping the previous level's
     population reduce).
+
+    ``shares`` (per-rank fractions from
+    :class:`~repro.core.rebalance.StragglerMonitor`, identical on every
+    rank) skews the fences so slow ranks own proportionally less pivot
+    work; ``None`` keeps the paper's balanced split.  Either way the
+    fences stay contiguous pivot ranges, so the output is bit-identical.
     """
     ndu = dense.n_units
     if strategy == "hash":
@@ -159,7 +190,15 @@ def _find_candidate_dense_units(comm: Comm, dense: UnitTable, tau: int,
         plan = None
     if comm.size > 1 and ndu > tau:
         if plan is not None:
-            offsets = weighted_splits(plan.row_pair_counts, comm.size)
+            if shares is not None:
+                offsets = proportional_splits(plan.row_pair_counts, shares)
+            else:
+                offsets = weighted_splits(plan.row_pair_counts, comm.size)
+        elif shares is not None:
+            # per-pivot pair counts of the triangular sweep: row i
+            # examines ndu - 1 - i partners
+            offsets = proportional_splits(
+                np.arange(ndu - 1, -1, -1, dtype=np.float64), shares)
         else:
             offsets = triangular_splits(ndu, comm.size)
         lo, hi = offsets[comm.rank], offsets[comm.rank + 1]
@@ -185,12 +224,21 @@ def _find_candidate_dense_units(comm: Comm, dense: UnitTable, tau: int,
     return jr.cdus, jr.combined
 
 
-def _eliminate_repeat_cdus(comm: Comm, raw: UnitTable,
-                           tau: int) -> UnitTable:
-    """Algorithm 4: drop repeated CDUs, task-parallel above τ."""
+def _eliminate_repeat_cdus(comm: Comm, raw: UnitTable, tau: int,
+                           shares: np.ndarray | None = None) -> UnitTable:
+    """Algorithm 4: drop repeated CDUs, task-parallel above τ.
+
+    ``shares`` re-fences the flag-marking split for stragglers (see
+    :func:`_find_candidate_dense_units`); the even rebuild split below
+    is untouched — it is pure cheap selection, not pair work.
+    """
     n = raw.n_units
     if comm.size > 1 and n > tau:
-        offsets = triangular_splits(n, comm.size)
+        if shares is not None:
+            offsets = proportional_splits(
+                np.arange(n - 1, -1, -1, dtype=np.float64), shares)
+        else:
+            offsets = triangular_splits(n, comm.size)
         lo, hi = offsets[comm.rank], offsets[comm.rank + 1]
         pairs = prefix_work(n, hi) - prefix_work(n, lo)
         comm.charge_pairs(pairs)
@@ -336,31 +384,67 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
                  obs: RankObs | None) -> ClusteringResult:
     """The actual per-rank driver; ``obs`` is this rank's observer (or
     ``None``, making every hook a plain ``is None`` check)."""
+    recovery = getattr(comm, "recovery", None)
+    boot = recovery.boot if recovery is not None else None
+
+    def announce(site: str, level: int | None = None) -> None:
+        # a safe point between passes: inject any planned fault, then
+        # act on a pending park directive before entering the next
+        # collective sequence
+        fault_site(comm, site, level)
+        if recovery is not None:
+            recovery.poll()
+
     fault_site(comm, "start")
     source, start, stop = _local_view(comm, data)
     n_local = stop - start
-    n_records = int(comm.allreduce(np.array([n_local], dtype=np.int64),
-                                   op="sum")[0])
-    if n_records == 0:
-        raise DataError("cannot cluster an empty data set")
 
     state = None
-    if checkpoint_dir is not None and resume:
-        with _ospan(obs, "checkpoint_restore", cat="checkpoint") as sp:
-            if comm.rank == 0:
-                newest = latest_checkpoint(checkpoint_dir)
-                state = load_checkpoint(newest) if newest is not None else None
-            state = comm.bcast(state, root=0)
-            if state is not None:
-                check_compatible(state, params, n_records)
-                if sp is not None:
-                    sp["level"] = state["level"]
-                if obs is not None:
-                    obs.checkpoint_restored(state["level"])
+    prior_manifest = None
+    if boot is not None:
+        # replacement rank: every survivor is parked deep in the run, so
+        # nothing on this path may enter a collective — derive the
+        # global count solo and load the agreed restore-level checkpoint
+        # straight from disk.
+        if checkpoint_dir is None:
+            raise CheckpointError(
+                "a replacement rank needs a checkpoint directory")
+        n_records = _solo_record_count(data)
+        if n_records == 0:
+            raise DataError("cannot cluster an empty data set")
+        with _ospan(obs, "recovery.rebuild", cat="recovery",
+                    level=boot.level, epoch=boot.epoch):
+            state = load_checkpoint(checkpoint_path(checkpoint_dir,
+                                                    boot.level))
+            check_compatible(state, params, n_records)
+            prior_manifest = load_shard_manifest(checkpoint_dir, comm.rank)
+        if obs is not None:
+            obs.recovery_event("rebuilt", level=boot.level,
+                               epoch=boot.epoch)
+    else:
+        n_records = int(comm.allreduce(np.array([n_local], dtype=np.int64),
+                                       op="sum")[0])
+        if n_records == 0:
+            raise DataError("cannot cluster an empty data set")
+        if checkpoint_dir is not None and resume:
+            with _ospan(obs, "checkpoint_restore", cat="checkpoint") as sp:
+                if comm.rank == 0:
+                    state = load_latest_checkpoint(checkpoint_dir)
+                state = comm.bcast(state, root=0)
+                if state is not None:
+                    check_compatible(state, params, n_records)
+                    if sp is not None:
+                        sp["level"] = state["level"]
+                    if obs is not None:
+                        obs.checkpoint_restored(state["level"])
 
     def save_level(level: int, trace: list[LevelTrace],
                    registered: Registered, grid: Grid,
                    domains: np.ndarray) -> None:
+        if recovery is not None:
+            # every rank keeps the frontier in memory so a *survivor*
+            # can unwind to any agreed restore level without disk I/O
+            recovery.snapshot(level, trace, registered)
         if checkpoint_dir is None or comm.rank != 0:
             return
         with _ospan(obs, "checkpoint_save", cat="checkpoint", level=level):
@@ -396,6 +480,8 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
                                          params.chunk_records, start, stop,
                                          retry)
             grid = build_grid(fine, domains, n_records, params)
+        trace = []
+        registered = []
 
     # once the grid is fixed, stage this rank's bin-index store — every
     # level pass then streams compact indices instead of re-locating the
@@ -423,6 +509,33 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
         compute_threads=params.compute_threads)
     runner = OverlapRunner()
 
+    # each rank records what its shard is made of next to the level
+    # checkpoints; a future replacement verifies the witness against the
+    # checkpointed grid before trusting the staged on-disk artifacts
+    if checkpoint_dir is not None:
+        ghash = grid_fingerprint(grid).hex()
+        if boot is not None and obs is not None:
+            reused = (prior_manifest is not None
+                      and prior_manifest.get("size") == comm.size
+                      and prior_manifest.get("grid_hash") == ghash
+                      and prior_manifest.get("record_range")
+                      == [int(start), int(stop)])
+            obs.recovery_event("shard_manifest", rank=comm.rank,
+                               reused=bool(reused))
+        save_shard_manifest(checkpoint_dir, comm.rank, {
+            "size": comm.size,
+            "record_range": [int(start), int(stop)],
+            "n_records": int(n_records),
+            "grid_hash": ghash,
+            "data_path": os.fspath(data)
+            if isinstance(data, (str, os.PathLike)) else None,
+            "staged_path": _artifact_path(source),
+            "binned_path": _artifact_path(binned),
+            "bitmap_path": _artifact_path(index),
+        })
+
+    monitor = StragglerMonitor.create(params, comm)
+
     # token packing for the *next* level's hash join can overlap the
     # population reduce — it only reads the CDU table, which is fixed
     # before the pass starts
@@ -432,13 +545,14 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
 
     def level_pass(cdus: UnitTable, raw_count: int, level: int
                    ) -> tuple[LevelTrace, np.ndarray | None]:
-        fault_site(comm, "populate", level)
+        announce("populate", level)
         with _ospan(obs, "level", cat="level", level=level) as sp:
             packed: dict[str, np.ndarray] = {}
             overlap = None
             if may_hash and cdus.n_units:
                 def overlap() -> None:
                     packed["tokens"] = cdus.tokens()
+            pop_start = time.perf_counter()
             with phase("population"):
                 counts = populate_global(source, comm, grid, cdus,
                                          params.chunk_records, start, stop,
@@ -446,6 +560,7 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
                                          indexed=indexed,
                                          prefetch=params.prefetch,
                                          overlap=overlap, runner=runner)
+            pop_seconds = time.perf_counter() - pop_start
             mask, ndu = _identify_dense(comm, cdus, counts, grid,
                                         params.tau, params.min_bin_points)
             if sp is not None:
@@ -459,6 +574,8 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
             trace_entry = LevelTrace(level=level, n_cdus_raw=raw_count,
                                      n_cdus=cdus.n_units, n_dense=ndu,
                                      dense=dense, dense_counts=dense_counts)
+        if monitor is not None:
+            monitor.observe(level, pop_seconds)
         return trace_entry, dense_tokens
 
     try:
@@ -468,62 +585,97 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
             # files behind for a later resume to pick up
             if checkpoint_dir is not None and comm.rank == 0:
                 clear_checkpoints(checkpoint_dir)
-            cdus = _level_one_cdus(grid)
-            first, dense_tokens = level_pass(cdus, cdus.n_units, 1)
-            trace = [first]
-            registered = []
-            save_level(1, trace, registered, grid, domains)
-        current = trace[-1]
-        while current.n_dense > 0:
-            dense, dense_counts = current.dense, current.dense_counts
-            if current.level >= params.max_dimensionality:
-                registered.append((dense, dense_counts))
+            # the level-0 checkpoint (grid + domains, empty frontier)
+            # makes even a rank lost during the *first* level pass
+            # recoverable without replaying grid construction
+            save_level(0, trace, registered, grid, domains)
+        elif recovery is not None:
+            recovery.snapshot(state["level"], trace, registered)
+        if recovery is not None:
+            recovery.arm()
+        # the retry loop of the recovery protocol: a RecoveryInterrupt
+        # unwinds this rank to the restore level the supervisor agreed
+        # on, then the level loop replays from there — deterministically,
+        # so the final result is bit-identical to a fault-free run
+        while True:
+            try:
+                if not trace:
+                    cdus = _level_one_cdus(grid)
+                    first, dense_tokens = level_pass(cdus, cdus.n_units, 1)
+                    trace.append(first)
+                    save_level(1, trace, registered, grid, domains)
+                current = trace[-1]
+                while current.n_dense > 0:
+                    dense, dense_counts = current.dense, current.dense_counts
+                    if current.level >= params.max_dimensionality:
+                        registered.append((dense, dense_counts))
+                        break
+                    announce("join", current.level)
+                    shares = monitor.shares() if monitor is not None else None
+                    if shares is not None and obs is not None:
+                        obs.rebalance_event(current.level, monitor.last_ratio)
+                    with phase("join"):
+                        strategy = resolved_join_strategy(params, comm,
+                                                          dense.n_units)
+                        raw, combined = _find_candidate_dense_units(
+                            comm, dense, params.tau, strategy=strategy,
+                            tokens=dense_tokens, shares=shares)
+                    # non-combinable dense units are registered as
+                    # potential clusters
+                    if (~combined).any():
+                        registered.append((dense.select(~combined),
+                                           dense_counts[~combined]))
+                    if raw.n_units == 0:
+                        if combined.any():
+                            registered.append((dense.select(combined),
+                                               dense_counts[combined]))
+                        break
+                    announce("dedup", current.level)
+                    with phase("dedup"):
+                        cdus = _eliminate_repeat_cdus(comm, raw, params.tau,
+                                                      shares=shares)
+                    nxt, dense_tokens = level_pass(cdus, raw.n_units,
+                                                   current.level + 1)
+                    trace.append(nxt)
+                    if nxt.n_dense == 0 and combined.any():
+                        # the combinable units were the top of the
+                        # lattice after all
+                        registered.append((dense.select(combined),
+                                           dense_counts[combined]))
+                    current = nxt
+                    save_level(current.level, trace, registered, grid,
+                               domains)
+                reg = registered
+                if params.report == "maximal":
+                    reg = _maximal_registrations(tuple(trace))
+                elif params.report == "merged":
+                    reg = _maximal_registrations(tuple(trace), merged_mask)
+                with phase("assembly"):
+                    if comm.rank == 0:
+                        clusters = assemble_clusters(grid, reg)
+                    else:
+                        clusters = None
+                    clusters = comm.bcast(clusters, root=0)
                 break
-            fault_site(comm, "join", current.level)
-            with phase("join"):
-                strategy = resolved_join_strategy(params, comm,
-                                                  dense.n_units)
-                raw, combined = _find_candidate_dense_units(
-                    comm, dense, params.tau, strategy=strategy,
-                    tokens=dense_tokens)
-            # non-combinable dense units are registered as potential
-            # clusters
-            if (~combined).any():
-                registered.append((dense.select(~combined),
-                                   dense_counts[~combined]))
-            if raw.n_units == 0:
-                if combined.any():
-                    registered.append((dense.select(combined),
-                                       dense_counts[combined]))
-                break
-            fault_site(comm, "dedup", current.level)
-            with phase("dedup"):
-                cdus = _eliminate_repeat_cdus(comm, raw, params.tau)
-            nxt, dense_tokens = level_pass(cdus, raw.n_units,
-                                           current.level + 1)
-            trace.append(nxt)
-            if nxt.n_dense == 0 and combined.any():
-                # the combinable units were the top of the lattice
-                # after all
-                registered.append((dense.select(combined),
-                                   dense_counts[combined]))
-            current = nxt
-            save_level(current.level, trace, registered, grid, domains)
+            except RecoveryInterrupt as intr:
+                if recovery is None:
+                    raise
+                with _ospan(obs, "recovery.park", cat="recovery",
+                            epoch=intr.epoch):
+                    level, trace_t, reg_t = recovery.park_and_await(intr)
+                trace = list(trace_t)
+                registered = list(reg_t)
+                dense_tokens = None
+                if monitor is not None:
+                    # the replacement has no timing history; fences must
+                    # be derived from data every rank agrees on
+                    monitor.reset()
+                if obs is not None:
+                    obs.recovery_event("resumed", level=level)
     finally:
         runner.close()
         if indexed is not None:
             indexed.close()
-
-    if params.report == "maximal":
-        registered = _maximal_registrations(tuple(trace))
-    elif params.report == "merged":
-        registered = _maximal_registrations(tuple(trace), merged_mask)
-    with phase("assembly"):
-        if comm.rank == 0:
-            clusters = assemble_clusters(grid, registered)
-        else:
-            clusters = None
-        clusters = comm.bcast(clusters, root=0)
 
     return ClusteringResult(grid=grid, clusters=clusters,
                             trace=tuple(trace), params=params,

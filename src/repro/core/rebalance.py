@@ -1,0 +1,98 @@
+"""Mid-level straggler detection and work rebalancing.
+
+The paper's task partition (equation (1)) equalises *predicted* work,
+which is only fair on homogeneous ranks.  On a fleet where one node is
+slow — thermal throttling, a noisy neighbour, a replacement rank warming
+its caches after recovery — every level then waits on the slowest
+shard.  This module watches the *realised* per-level population times
+and, when the spread crosses a threshold, re-fences the next join and
+repeat-elimination passes with
+:func:`~repro.core.partition.proportional_splits` so the slow rank owns
+a proportionally smaller pivot range.
+
+Rebalancing never changes results: fences remain contiguous row ranges
+whose rank-order concatenation reproduces the serial row order
+bit-for-bit, so only message sizes and wall clock move.  Two rules keep
+the fences *identical on every rank* (diverging fences would corrupt
+the gathered fragments):
+
+* speeds derive solely from the current level's allgathered elapsed
+  vector — no per-rank history that a freshly booted replacement would
+  lack;
+* the driver resets the monitor when a recovery round restores an
+  earlier level, so the first post-recovery join uses uniform fences on
+  every rank.
+
+The monitor is inert on the simulated-time backend: the virtual machine
+models the paper's homogeneous SP2, and an extra allgather per level
+would change the modelled message pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.comm import Comm
+
+#: re-fence only when the fastest rank is at least this much faster
+#: than the slowest — below it the spread is noise, and uniform fences
+#: keep the paper's schedule
+REBALANCE_THRESHOLD = 1.5
+
+#: cap on how much more work the fastest rank may take than the slowest
+#: — one wild timing sample must not starve a healthy rank to zero rows
+MAX_SPEED_RATIO = 4.0
+
+
+class StragglerMonitor:
+    """Per-rank view of the fleet's realised level times."""
+
+    @classmethod
+    def create(cls, params, comm: Comm) -> "StragglerMonitor | None":
+        """A monitor when rebalancing applies, else ``None`` (single
+        rank, rebalancing off, or the cost-modelling sim backend)."""
+        if not getattr(params, "rebalance", False):
+            return None
+        if comm.size <= 1 or getattr(comm, "models_paper_costs", False):
+            return None
+        return cls(comm)
+
+    def __init__(self, comm: Comm,
+                 threshold: float | None = None) -> None:
+        self._comm = comm
+        self._threshold = threshold
+        self._speeds: np.ndarray | None = None
+        self.last_ratio = 1.0
+        self.refences = 0
+
+    def observe(self, level: int, elapsed: float) -> None:
+        """Share this rank's population seconds for ``level`` with the
+        fleet (one allgather; the vector — hence everything derived
+        from it — is identical on every rank)."""
+        times = np.asarray(
+            self._comm.allgather(float(max(elapsed, 1e-9))),
+            dtype=np.float64)
+        self.last_ratio = float(times.max() / times.min())
+        speeds = 1.0 / times
+        speeds = np.minimum(speeds, float(speeds.min()) * MAX_SPEED_RATIO)
+        self._speeds = speeds / speeds.sum()
+
+    def shares(self) -> np.ndarray | None:
+        """Per-rank work shares for the next join/dedup fences, or
+        ``None`` when the fleet is balanced within the threshold (the
+        paper's uniform fences then apply unchanged)."""
+        if self._speeds is None:
+            return None
+        threshold = (REBALANCE_THRESHOLD if self._threshold is None
+                     else self._threshold)
+        if self.last_ratio <= threshold:
+            return None
+        self.refences += 1
+        return self._speeds
+
+    def reset(self) -> None:
+        """Forget all timing state.  Called after a recovery restore:
+        the replacement rank has no history, and fences must be derived
+        from data every rank agrees on."""
+        self._speeds = None
+        self.last_ratio = 1.0

@@ -293,6 +293,11 @@ class Comm:
         accesses to this rank's virtual clock.  No-op outside the
         simulated-time backend."""
 
+    def charge_wait(self, seconds: float) -> None:
+        """Charge ``seconds`` of idle waiting (an injected message delay,
+        a stalled device) to this rank's virtual clock.  No-op outside
+        the simulated-time backend, where wall sleeps stand in."""
+
     def time(self) -> float:
         """This rank's virtual time in seconds (0.0 when untimed)."""
         return 0.0

@@ -23,6 +23,7 @@ See ``docs/ROBUSTNESS.md`` for a cookbook.
 from __future__ import annotations
 
 import errno
+import os
 import time
 from dataclasses import dataclass
 from typing import Any
@@ -47,12 +48,17 @@ class CrashPoint:
     """Kill ``rank`` when it enters ``site`` at ``level``.
 
     ``None`` fields are wildcards; ``CrashPoint(rank=1)`` kills rank 1
-    at the first site it announces.
+    at the first site it announces.  ``hard=True`` exits the process
+    with ``os._exit`` instead of raising — a SIGKILL / OOM-killer
+    surrogate that leaves no chance to report an error, so only the
+    supervisor's liveness checks can notice it (process backend only;
+    on in-process backends a hard crash degrades to the raised form).
     """
 
     rank: int
     site: str | None = None
     level: int | None = None
+    hard: bool = False
 
     def matches(self, rank: int, site: str, level: int | None) -> bool:
         """True when this crash fires for ``rank`` at ``site``/``level``."""
@@ -127,6 +133,41 @@ class FaultPlan:
         """Wrap a communicator so this plan's faults fire on its rank."""
         return FaultyComm(comm, self.state_for(comm.rank))
 
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable description of this plan (the scenario
+        file format — see ``benchmarks/scenarios/``)."""
+        return {
+            "seed": self.seed,
+            "crashes": [vars(c).copy() for c in self.crashes],
+            "read_faults": [vars(r).copy() for r in self.read_faults],
+            "message_faults": [vars(m).copy() for m in self.message_faults],
+            "drop_rate": self.drop_rate,
+            "delay_rate": self.delay_rate,
+            "chaos_delay": self.chaos_delay,
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output / a scenario file."""
+        known = {"seed", "crashes", "read_faults", "message_faults",
+                 "drop_rate", "delay_rate", "chaos_delay"}
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault-plan fields {sorted(unknown)}")
+        return cls(
+            seed=int(spec.get("seed", 0)),
+            crashes=tuple(CrashPoint(**c)
+                          for c in spec.get("crashes", ())),
+            read_faults=tuple(ReadFault(**r)
+                              for r in spec.get("read_faults", ())),
+            message_faults=tuple(MessageFault(**m)
+                                 for m in spec.get("message_faults", ())),
+            drop_rate=float(spec.get("drop_rate", 0.0)),
+            delay_rate=float(spec.get("delay_rate", 0.0)),
+            chaos_delay=float(spec.get("chaos_delay", 0.01)),
+        )
+
 
 class RankFaults:
     """One rank's runtime view of a :class:`FaultPlan`: tracks the
@@ -158,7 +199,12 @@ class RankFaults:
         self.level = level
         for point in self.plan.crashes:
             if point.matches(self.rank, site, level):
-                self._record("crash", site=site, level=level)
+                self._record("crash", site=site, level=level,
+                             hard=point.hard)
+                if point.hard:
+                    # SIGKILL surrogate: no exception, no error report,
+                    # no cleanup — the process is simply gone
+                    os._exit(137)
                 raise InjectedFailure(
                     f"injected crash on rank {self.rank} at site "
                     f"{site!r}, level {level}")
@@ -230,11 +276,24 @@ class FaultyComm(Comm):
         self.rank = inner.rank
         self.size = inner.size
         self.strategy = inner.strategy
+        # class attributes shadow __getattr__ delegation, so the flag
+        # must be copied for policy code keyed off it (join strategy,
+        # delay charging) to see the wrapped backend's value
+        self.models_paper_costs = inner.models_paper_costs
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         deliver, delay = self.fault_state.on_send(dest, tag)
         if delay > 0:
-            time.sleep(delay)
+            # On the simulated-time backend an injected delay is charged
+            # to the sender's *virtual* clock only; it reaches other
+            # ranks solely through the arrival stamps of this rank's
+            # subsequent sends — under a tree collective that means the
+            # delayed rank's subtree path, never the whole world.  Wall
+            # backends sleep for real.
+            if getattr(self._inner, "models_paper_costs", False):
+                self._inner.charge_wait(delay)
+            else:
+                time.sleep(delay)
         if deliver:
             self._inner.send(obj, dest, tag)
 
@@ -250,6 +309,9 @@ class FaultyComm(Comm):
 
     def charge_io(self, nbytes: float, chunks: int = 1) -> None:
         self._inner.charge_io(nbytes, chunks)
+
+    def charge_wait(self, seconds: float) -> None:
+        self._inner.charge_wait(seconds)
 
     def time(self) -> float:
         return self._inner.time()

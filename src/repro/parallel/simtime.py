@@ -113,5 +113,11 @@ class TimedComm(Comm):
         self.counters.io_bytes += nbytes
         self.counters.io_chunks += chunks
 
+    def charge_wait(self, seconds: float) -> None:
+        # idle waiting (e.g. an injected message delay) advances only
+        # this rank's clock; downstream ranks feel it solely through the
+        # arrival stamps of messages this rank sends afterwards
+        self.clock += seconds
+
     def time(self) -> float:
         return self.clock

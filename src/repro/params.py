@@ -130,6 +130,16 @@ class MafiaParams:
         histogram registry (records read, bytes per collective, pairs
         examined, per-level lattice sizes, retries, checkpoint bytes,
         prefetch hits).  Same bit-identity guarantee as ``trace``.
+    rebalance:
+        When True (and more than one rank, on a wall-clock backend),
+        the driver watches realised per-level population times and
+        re-fences the next join/repeat-elimination passes so a
+        straggling rank owns proportionally less pivot work (see
+        :mod:`repro.core.rebalance`).  Fences stay contiguous row
+        ranges, so clusters and CDU tables are bit-identical with
+        rebalancing on or off — only wall clock and message sizes move.
+        Inert on the simulated-time backend (it would change the
+        modelled message pattern).
     """
 
     alpha: float = 1.5
@@ -151,6 +161,7 @@ class MafiaParams:
     compute_threads: int = 1
     trace: bool = False
     metrics: bool = False
+    rebalance: bool = False
 
     def __post_init__(self) -> None:
         if self.report not in ("merged", "paper", "maximal"):
@@ -174,7 +185,7 @@ class MafiaParams:
             if not isinstance(value, int) or value <= 0:
                 raise ParameterError(
                     f"{name} must be a positive int, got {value!r}")
-        for name in ("prefetch", "trace", "metrics"):
+        for name in ("prefetch", "trace", "metrics", "rebalance"):
             value = getattr(self, name)
             if not isinstance(value, bool):
                 raise ParameterError(

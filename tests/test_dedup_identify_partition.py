@@ -160,3 +160,152 @@ class TestTriangularPartition:
             row_work(5, 5)
         with pytest.raises(ParameterError):
             split_range(10, 2, 2)
+
+
+class TestSplitProperties:
+    """Property-based invariants for the weighted fence builders: every
+    output must be a valid fence-post vector (monotone, spanning
+    [0, n]) for *any* non-negative weights, and the generalisation
+    chain even -> triangular -> weighted -> proportional must close."""
+
+    hyp = pytest.importorskip("hypothesis")
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    weights_st = st.lists(
+        st.floats(min_value=0.0, max_value=1e12, allow_nan=False,
+                  allow_infinity=False),
+        min_size=0, max_size=200)
+    ranks_st = st.integers(min_value=1, max_value=32)
+
+    @staticmethod
+    def _check_fences(offsets, n, n_ranks):
+        assert len(offsets) == n_ranks + 1
+        assert offsets[0] == 0 and offsets[-1] == n
+        assert all(a <= b for a, b in zip(offsets, offsets[1:]))
+        assert all(isinstance(o, int) for o in offsets)
+
+    @given(weights=weights_st, n_ranks=ranks_st)
+    @settings(max_examples=200, deadline=None)
+    def test_weighted_splits_always_valid_fences(self, weights, n_ranks):
+        from repro.core.partition import weighted_splits
+        offsets = weighted_splits(weights, n_ranks)
+        self._check_fences(offsets, len(weights), n_ranks)
+
+    @given(weights=weights_st, n_ranks=ranks_st)
+    @settings(max_examples=200, deadline=None)
+    def test_uniform_shares_reduce_to_weighted(self, weights, n_ranks):
+        """proportional_splits with equal shares matches weighted_splits
+        up to float tie-breaking: a 1-ulp difference in the prefix
+        target may shift a fence across a tie (including a plateau of
+        zero-weight rows), moving at most one boundary row's worth of
+        work — never a second row."""
+        from repro.core.partition import (proportional_splits,
+                                          weighted_splits)
+        shares = np.full(n_ranks, 1.0 / n_ranks)
+        got = proportional_splits(weights, shares)
+        want = weighted_splits(weights, n_ranks)
+        assert len(got) == len(want)
+        w = np.asarray(weights, dtype=np.float64)
+        prefix = np.concatenate([[0.0], np.cumsum(w)])
+        heaviest = float(w.max()) if w.size else 0.0
+        tol = heaviest + 1e-6 * float(prefix[-1]) + 1e-12
+        for g, f in zip(got, want):
+            assert abs(prefix[g] - prefix[f]) <= tol
+
+    @given(weights=weights_st,
+           shares=st.lists(st.floats(min_value=0.0, max_value=100.0,
+                                     allow_nan=False,
+                                     allow_infinity=False),
+                           min_size=1, max_size=32))
+    @settings(max_examples=200, deadline=None)
+    def test_proportional_splits_always_valid_fences(self, weights,
+                                                     shares):
+        from repro.core.partition import proportional_splits
+        if sum(shares) <= 0:
+            shares = [s + 1.0 for s in shares]
+        offsets = proportional_splits(weights, shares)
+        self._check_fences(offsets, len(weights), len(shares))
+
+    @given(weights=weights_st, n_ranks=ranks_st)
+    @settings(max_examples=100, deadline=None)
+    def test_weighted_splits_balance_bound(self, weights, n_ranks):
+        """No rank's share of the total work may exceed the ideal
+        1/p share by more than one row's worth of weight."""
+        from repro.core.partition import weighted_splits
+        w = np.asarray(weights, dtype=np.float64)
+        offsets = weighted_splits(weights, n_ranks)
+        total = float(w.sum())
+        if total == 0:
+            return
+        ideal = total / n_ranks
+        heaviest = float(w.max())
+        for lo, hi in zip(offsets, offsets[1:]):
+            assert float(w[lo:hi].sum()) <= ideal + heaviest + 1e-6
+
+    @given(n=st.integers(min_value=0, max_value=500), n_ranks=ranks_st)
+    @settings(max_examples=100, deadline=None)
+    def test_triangular_weights_match_triangular_splits(self, n, n_ranks):
+        """weights = [n, n-1, ..., 1] reproduces the closed form."""
+        from repro.core.partition import weighted_splits
+        weights = np.arange(n, 0, -1, dtype=np.float64)
+        got = weighted_splits(weights, n_ranks)
+        want = triangular_splits(n, n_ranks)
+        # both balance identical prefix work; demand equal imbalance
+        # rather than equal cuts (rounding may differ by one row)
+        tri = n * (n + 1) / 2
+        for fences in (got, want):
+            self._check_fences(fences, n, n_ranks)
+            for lo, hi in zip(fences, fences[1:]):
+                work = float(weights[lo:hi].sum())
+                assert work <= tri / n_ranks + n + 1e-6
+
+    @given(weights=weights_st)
+    @settings(max_examples=100, deadline=None)
+    def test_starved_share_gets_empty_range(self, weights):
+        """A zero share is legal (a parked rank): it must produce an
+        empty fence range, never steal rows."""
+        from repro.core.partition import proportional_splits
+        offsets = proportional_splits(weights, [1.0, 0.0, 1.0])
+        self._check_fences(offsets, len(weights), 3)
+        w = np.asarray(weights, dtype=np.float64)
+        mid = float(w[offsets[1]:offsets[2]].sum())
+        # rank 1's range may hold at most one boundary row's weight
+        assert mid <= (float(w.max()) if w.size else 0.0) + 1e-6
+
+    def test_proportional_splits_validation(self):
+        from repro.core.partition import proportional_splits
+        with pytest.raises(ParameterError):
+            proportional_splits([1.0, 2.0], [])
+        with pytest.raises(ParameterError):
+            proportional_splits([1.0, 2.0], [0.0, 0.0])
+        with pytest.raises(ParameterError):
+            proportional_splits([1.0, 2.0], [1.0, -1.0])
+        with pytest.raises(ParameterError):
+            proportional_splits([1.0, 2.0], [1.0, float("nan")])
+        with pytest.raises(ParameterError):
+            proportional_splits([[1.0], [2.0]], [1.0])
+        with pytest.raises(ParameterError):
+            proportional_splits([-1.0], [1.0])
+
+    def test_more_ranks_than_units(self):
+        """16 ranks over a 3-row lattice: trailing ranks get empty but
+        valid ranges on both weighted and proportional paths."""
+        from repro.core.partition import (proportional_splits,
+                                          weighted_splits)
+        offsets = weighted_splits([5.0, 3.0, 1.0], 16)
+        self._check_fences(offsets, 3, 16)
+        offsets = proportional_splits([5.0, 3.0, 1.0], np.ones(16) / 16)
+        self._check_fences(offsets, 3, 16)
+
+    def test_single_unit_lattice(self):
+        """One row: exactly one rank gets it, whoever's share covers
+        the first positive prefix target."""
+        from repro.core.partition import (proportional_splits,
+                                          weighted_splits)
+        for offsets in (weighted_splits([7.0], 4),
+                        proportional_splits([7.0], [1.0, 1.0, 1.0, 1.0])):
+            self._check_fences(offsets, 1, 4)
+            widths = [b - a for a, b in zip(offsets, offsets[1:])]
+            assert sum(widths) == 1 and max(widths) == 1

@@ -415,6 +415,72 @@ class TestCheckpointFiles:
         with pytest.raises(CheckpointError, match="records"):
             check_compatible(state, small_params, 4999)
 
+    def test_quarantine_moves_file_aside(self, tmp_path):
+        from repro.core.checkpoint import quarantine_checkpoint
+        path = save_checkpoint(tmp_path, 2, self.STATE)
+        corpse = quarantine_checkpoint(path)
+        assert corpse == tmp_path / "level0002.ckpt.corrupt"
+        assert corpse.exists() and not path.exists()
+        # a quarantined file is invisible to the resume scan
+        assert latest_checkpoint(tmp_path) is None
+
+    def test_load_latest_falls_back_past_corruption(self, tmp_path):
+        """A corrupt newest checkpoint — the expected debris of a crash
+        mid-write — costs one level of progress, not the whole run."""
+        from repro.core.checkpoint import load_latest_checkpoint
+        save_checkpoint(tmp_path, 2, dict(self.STATE, level=2))
+        bad = save_checkpoint(tmp_path, 3, dict(self.STATE, level=3))
+        bad.write_bytes(bad.read_bytes()[:-6])
+        state = load_latest_checkpoint(tmp_path)
+        assert state is not None and state["level"] == 2
+        # the corpse is preserved for post-mortems
+        assert (tmp_path / "level0003.ckpt.corrupt").exists()
+        assert latest_checkpoint(tmp_path) == checkpoint_path(tmp_path, 2)
+
+    def test_load_latest_all_corrupt_returns_none(self, tmp_path):
+        from repro.core.checkpoint import load_latest_checkpoint
+        for level in (1, 2):
+            path = save_checkpoint(tmp_path, level,
+                                   dict(self.STATE, level=level))
+            path.write_bytes(b"JUNK" + b"\x00" * 20)
+        assert load_latest_checkpoint(tmp_path) is None
+        assert load_latest_checkpoint(tmp_path / "absent") is None
+
+    def test_shard_manifest_roundtrip(self, tmp_path):
+        from repro.core.checkpoint import (load_shard_manifest,
+                                           save_shard_manifest,
+                                           shard_manifest_path)
+        manifest = {"size": 3, "record_range": [0, 1667],
+                    "grid_hash": "ab" * 32, "data_path": "/tmp/d.bin"}
+        path = save_shard_manifest(tmp_path, 1, manifest)
+        assert path == shard_manifest_path(tmp_path, 1)
+        got = load_shard_manifest(tmp_path, 1)
+        assert got["record_range"] == [0, 1667]
+        assert got["rank"] == 1  # stamped on write
+        assert load_shard_manifest(tmp_path, 2) is None
+
+    def test_shard_manifest_never_load_bearing(self, tmp_path):
+        """Garbage or wrong-version manifests read as absent — the
+        replacement then restages from scratch instead of failing."""
+        from repro.core.checkpoint import (load_shard_manifest,
+                                           shard_manifest_path)
+        shard_manifest_path(tmp_path, 0).write_text("{not json")
+        assert load_shard_manifest(tmp_path, 0) is None
+        shard_manifest_path(tmp_path, 0).write_text(
+            '{"version": 999, "rank": 0}')
+        assert load_shard_manifest(tmp_path, 0) is None
+
+    def test_clear_checkpoints_keeps_shard_manifests(self, tmp_path):
+        """A fresh run clears stale level checkpoints but must keep the
+        shard manifests: the staged artifacts they describe remain
+        valid for the new run's identical partition."""
+        from repro.core.checkpoint import (load_shard_manifest,
+                                           save_shard_manifest)
+        save_checkpoint(tmp_path, 1, self.STATE)
+        save_shard_manifest(tmp_path, 0, {"size": 3})
+        assert clear_checkpoints(tmp_path) == 1
+        assert load_shard_manifest(tmp_path, 0) is not None
+
 
 @pytest.fixture(scope="module")
 def baseline(one_cluster_dataset, small_params):
@@ -663,7 +729,8 @@ class TestObservabilityUnderFaults:
         # the injected fault appears on the dead rank's own timeline
         crashes = [s for s in spans if s.name == "fault.crash"]
         assert [s.rank for s in crashes] == [1]
-        assert crashes[0].attrs == {"site": "populate", "level": 3}
+        assert crashes[0].attrs == {"site": "populate", "level": 3,
+                                    "hard": False}
 
         # the resumed attempt restored the level-2 checkpoint on every
         # rank (the broadcast hands all ranks the same state)

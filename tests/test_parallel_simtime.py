@@ -151,3 +151,87 @@ class TestTimedComm:
 
         [r] = run_spmd(prog, 1, backend="sim")
         assert r.value == "ibm-sp2"
+
+
+class TestInjectedDelayAccounting:
+    """Audit of MessageFault delays on the simulated-time backend: an
+    injected delay is charged to the *sender's virtual clock*, never
+    slept for real, and reaches other ranks only through the arrival
+    stamps of the delayed rank's subsequent sends."""
+
+    def test_delay_charges_virtual_time_not_wall_time(self):
+        import time as _time
+
+        from repro.parallel import FaultPlan, MessageFault
+
+        m = MachineSpec(comm_latency=1e-6, comm_bandwidth=1e9)
+        plan = FaultPlan(message_faults=(
+            MessageFault(rank=0, action="delay", nth=0, delay=50.0),))
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("hello", 1)
+            elif comm.rank == 1:
+                comm.recv(0)
+            else:
+                comm.charge_cells(10)  # bystander: no contact with rank 0
+            return comm.time()
+
+        start = _time.perf_counter()
+        r0, r1, r2 = run_spmd(prog, 3, backend="sim", machine=m,
+                              faults=plan)
+        wall = _time.perf_counter() - start
+        # the sender pays the 50 virtual seconds...
+        assert r0.value >= 50.0
+        # ...the receiver inherits them through the arrival stamp...
+        assert r1.value >= 50.0
+        # ...the bystander never sees them...
+        assert r2.value < 1.0
+        # ...and nobody actually slept
+        assert wall < 5.0
+
+    def test_delay_sleeps_for_real_on_wall_backends(self):
+        import time as _time
+
+        from repro.parallel import FaultPlan, MessageFault
+
+        plan = FaultPlan(message_faults=(
+            MessageFault(rank=0, action="delay", nth=0, delay=0.2),))
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("hello", 1)
+            else:
+                comm.recv(0)
+            return comm.rank
+
+        start = _time.perf_counter()
+        run_spmd(prog, 2, backend="thread", faults=plan)
+        assert _time.perf_counter() - start >= 0.2
+
+    def test_collective_delay_stays_on_affected_subtree(self):
+        """Under an allreduce only ranks downstream of the delayed
+        contribution inherit the virtual delay; with flat collectives
+        the root gathers everyone, so the whole world synchronises —
+        the sim must still not wall-sleep in either pattern."""
+        import time as _time
+
+        from repro.parallel import FaultPlan, MessageFault
+
+        m = MachineSpec(comm_latency=1e-6, comm_bandwidth=1e9)
+        plan = FaultPlan(message_faults=(
+            MessageFault(rank=1, action="delay", nth=0, delay=30.0),))
+
+        def prog(comm):
+            comm.allreduce(np.ones(4))
+            return comm.time()
+
+        start = _time.perf_counter()
+        results = run_spmd(prog, 3, backend="sim", machine=m,
+                           faults=plan, collectives="flat")
+        wall = _time.perf_counter() - start
+        # flat allreduce: rank 1's delayed contribution stalls the
+        # root's gather, and the broadcast spreads it everywhere
+        for r in results:
+            assert r.value >= 30.0
+        assert wall < 5.0
