@@ -58,10 +58,12 @@ for p in (str(_REPO_ROOT), str(_REPO_ROOT / "src")):
 import numpy as np  # noqa: E402
 
 from repro.analysis.verify import verify_result  # noqa: E402
-from repro.core.candidates import (hash_join_all, hash_join_plan,  # noqa: E402
-                                   join_all)
+from repro.core.candidates import (hash_join_all, hash_join_block,  # noqa: E402
+                                   hash_join_plan, join_all)
+from repro.core.fptree import fptree_join_plan  # noqa: E402
 from repro.core.histogram import fine_histogram_local  # noqa: E402
 from repro.core.mafia import mafia  # noqa: E402
+from repro.core.pmafia import resolved_join_strategy  # noqa: E402
 from repro.core.population import (IndexedPopulator,  # noqa: E402
                                    populate_local)
 from repro.core.units import UnitTable  # noqa: E402
@@ -195,6 +197,29 @@ def build_suite(smoke: bool):
     bulk_plan = hash_join_plan(bulk)
     bulk_raw = hash_join_all(bulk).cdus
 
+    # high-dimensionality join load: cluster cores over a d >= 50 noise
+    # floor (the Fig. 7 cluster-dim scaling regime).  Drop-one
+    # signatures are prefix-sparse there — most noise units share no
+    # (m-1)-token subsequence — which is exactly where the fptree
+    # engine's support prune skips the hash join's O(Ndu*m^2) key
+    # factory.  Tokens are pre-packed for both engines, matching the
+    # driver's overlapped pack.
+    if smoke:
+        hd_dims, hd_level = 50, 4
+        hd_core = clustered_units(2, 8, hd_level, hd_dims, nbins, seed=21)
+        hd_noise = random_units(8_000, hd_level, hd_dims, nbins, seed=22)
+    else:
+        hd_dims, hd_level = 60, 6
+        hd_core = clustered_units(4, 12, hd_level, hd_dims, nbins, seed=21)
+        hd_noise = random_units(60_000, hd_level, hd_dims, nbins, seed=22)
+    highdim = UnitTable(
+        dims=np.concatenate([hd_core.dims, hd_noise.dims]),
+        bins=np.concatenate([hd_core.bins, hd_noise.bins])).unique()
+    hd_tokens = highdim.tokens()
+    hd_auto, _ = resolved_join_strategy(
+        bench_params(join_strategy="auto"), comm, highdim.n_units,
+        hd_level, tokens=hd_tokens)
+
     # level-N population loads: one *nested* clustered lattice — every
     # level's units extend the previous level's, the shape real level
     # passes count — timed on the binned streaming engine vs the
@@ -247,7 +272,15 @@ def build_suite(smoke: bool):
         "repeat_mask": (lambda: dup_table.repeat_mask(), runs),
         "cdu_join_pairwise_bulk": (lambda: join_all(bulk), runs),
         "cdu_join_hash_bulk": (lambda: hash_join_all(bulk), runs),
+        "cdu_join_fptree_bulk": (
+            lambda: hash_join_block(bulk, 0, bulk.n_units,
+                                    plan=fptree_join_plan(bulk)), runs),
         "hash_join_plan_bulk": (lambda: hash_join_plan(bulk), runs),
+        "fptree_join_plan_bulk": (lambda: fptree_join_plan(bulk), runs),
+        f"join_level{hd_level}_hash": (
+            lambda: hash_join_plan(highdim, hd_tokens), runs),
+        f"join_level{hd_level}_fptree": (
+            lambda: fptree_join_plan(highdim, hd_tokens), runs),
         "cdu_dedup_bulk": (lambda: bulk_raw.repeat_mask(), runs),
         "bitmap_index_build": (
             lambda: stage_bitmap_index(source, comm, grid, chunk,
@@ -272,7 +305,14 @@ def build_suite(smoke: bool):
     }
 
     join_load = {"n_units": int(bulk.n_units),
-                 "raw_cdus": int(bulk_plan.n_pairs)}
+                 "raw_cdus": int(bulk_plan.n_pairs),
+                 "highdim": {"n_units": int(highdim.n_units),
+                             "n_dims": int(hd_dims),
+                             "level": int(hd_level),
+                             "raw_pairs":
+                             int(fptree_join_plan(highdim,
+                                                  hd_tokens).n_pairs),
+                             "auto_strategy": hd_auto}}
 
     if smoke:
         e2e = dict(n_records=20_000, n_dims=8, n_clusters=2, cluster_dim=4,
@@ -532,6 +572,17 @@ def main(argv=None) -> int:
     print(f"  bulk join: {join_load['n_units']} units -> "
           f"{join_load['raw_cdus']} raw CDUs, hash is "
           f"{doc['join']['speedup']}x faster than pairwise")
+
+    hd = join_load["highdim"]
+    hd_hash_s = doc["kernels"][f"join_level{hd['level']}_hash"]["median_s"]
+    hd_fp_s = doc["kernels"][f"join_level{hd['level']}_fptree"]["median_s"]
+    doc["join"]["highdim"] = dict(
+        hd, fptree_speedup=round(hd_hash_s / hd_fp_s, 2) if hd_fp_s
+        else None)
+    print(f"  highdim join (d={hd['n_dims']}, level {hd['level']}, "
+          f"{hd['n_units']} units): fptree is "
+          f"{doc['join']['highdim']['fptree_speedup']}x faster than hash, "
+          f"auto resolves to {hd['auto_strategy']!r}")
 
     per_level = {}
     speedups = []

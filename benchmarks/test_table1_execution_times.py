@@ -88,9 +88,10 @@ class TestJoinCostModelGuard:
     model: whatever implementation runs, ``pairs_examined`` reported to
     the virtual clock is the paper's pairwise comparison count."""
 
+    STRATEGIES = ("pairwise", "hash", "fptree", "auto")
     PARAMS = {
         strategy: bench_params(chunk_records=15_000, join_strategy=strategy)
-        for strategy in ("pairwise", "hash", "auto")}
+        for strategy in STRATEGIES}
 
     def run(self, dataset, strategy, p):
         return pmafia(dataset.records, p, self.PARAMS[strategy],
@@ -104,8 +105,9 @@ class TestJoinCostModelGuard:
             totals = {
                 strategy: sum(c.unit_pair_ops
                               for c in self.run(dataset, strategy, p).counters)
-                for strategy in ("pairwise", "hash", "auto")}
+                for strategy in self.STRATEGIES}
             assert totals["hash"] == totals["pairwise"]
+            assert totals["fptree"] == totals["pairwise"]
             assert totals["auto"] == totals["pairwise"]
 
     def test_single_rank_virtual_time_identical(self, dataset):
@@ -113,8 +115,9 @@ class TestJoinCostModelGuard:
         hash path's virtual makespan must equal the pairwise path's
         exactly."""
         times = {strategy: self.run(dataset, strategy, 1).makespan
-                 for strategy in ("pairwise", "hash")}
+                 for strategy in ("pairwise", "hash", "fptree")}
         assert times["hash"] == times["pairwise"]
+        assert times["fptree"] == times["pairwise"]
 
     def test_default_policy_keeps_sim_times_bit_identical(self, dataset):
         """``auto`` resolves to pairwise on the sim backend: per-rank

@@ -34,7 +34,7 @@ from .datagen.spec import ClusterSpec
 from .io.records import RecordFile, read_header, write_records
 from .obs import as_run_obs, write_chrome_trace, write_metrics_snapshot
 from .obs.manifest import MANIFEST_NAME, build_manifest, write_manifest
-from .params import CliqueParams, MafiaParams
+from .params import JOIN_STRATEGIES, CliqueParams, MafiaParams
 
 
 def _parse_cluster(text: str) -> ClusterSpec:
@@ -99,7 +99,8 @@ def _write_observability(args: argparse.Namespace, run: object,
     out = args.trace_out if args.trace_out is not None else args.metrics_out
     manifest = build_manifest(result, phases=run_obs.phase_seconds(),
                               nprocs=nprocs,
-                              virtual_seconds=getattr(run, "makespan", 0.0))
+                              virtual_seconds=getattr(run, "makespan", 0.0),
+                              join_strategies=run_obs.join_strategies())
     write_manifest(Path(out).parent / MANIFEST_NAME, manifest)
 
 
@@ -256,13 +257,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="staged bin-index store policy: keep per-record "
                           "bin indices in RAM, on disk beside the staged "
                           "records, or re-locate records every pass")
-    run.add_argument("--join-strategy", choices=("auto", "hash", "pairwise"),
+    run.add_argument("--join-strategy", choices=JOIN_STRATEGIES,
                      default="auto", dest="join_strategy",
-                     help="CDU join implementation: the sub-signature hash "
-                          "join, the paper's pairwise sweep, or auto "
-                          "(hash above a small-table threshold; always "
+                     help="CDU join implementation: the paper's pairwise "
+                          "sweep, the sub-signature hash join, the "
+                          "prefix-trie fptree engine, or auto (picked "
+                          "per level from realised lattice stats; always "
                           "pairwise on the sim backend); clusters are "
-                          "identical either way")
+                          "identical under every choice")
     run.add_argument("--prefetch", action="store_true",
                      help="double-buffer chunk reads on a background "
                           "thread during level passes")

@@ -13,6 +13,7 @@ from .checkpoint import (CHECKPOINT_VERSION, SHARD_MANIFEST_VERSION,
                          save_checkpoint, save_shard_manifest,
                          shard_manifest_path)
 from .dedup import drop_repeats, repeat_flags_block
+from .fptree import FPTree, fptree_join_plan, prune_entries, suffix_ids
 from .dnf import (dnf_terms, greedy_cover, grow_box, maximal_mask,
                   merged_mask, projections)
 from .histogram import (fine_histogram_global, fine_histogram_local,
@@ -39,6 +40,7 @@ __all__ = [
     "REBALANCE_THRESHOLD",
     "SHARD_MANIFEST_VERSION",
     "ClusteringResult",
+    "FPTree",
     "StragglerMonitor",
     "HashJoinPlan",
     "JoinResult",
@@ -64,6 +66,7 @@ __all__ = [
     "fine_histogram_global",
     "fine_histogram_local",
     "first_occurrence",
+    "fptree_join_plan",
     "global_domains",
     "greedy_cover",
     "grow_box",
@@ -101,9 +104,11 @@ __all__ = [
     "populate_local",
     "prefix_work",
     "projections",
+    "prune_entries",
     "repeat_flags_block",
     "row_work",
     "split_range",
+    "suffix_ids",
     "triangular_splits",
     "unit_thresholds",
     "weighted_splits",

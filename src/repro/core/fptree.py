@@ -1,0 +1,378 @@
+"""FP-tree candidate engine — trie-based CDU pair mining.
+
+The sub-signature hash join (:func:`repro.core.candidates.hash_join_plan`)
+materialises ``m`` drop-one sub-signatures per level-``m`` unit — an
+``O(Ndu·m²)`` token copy plus a lexsort over ``(m−1)``-token keys — before
+any pair is enumerated.  At high cluster dimensionality that key
+factory, not the per-pair kernel, is the wall (the Fig. 7 regime).
+
+This module mines the same pair set from a **prefix trie** (FP-tree in
+the sense of arXiv 1811.02722) built over the lex-sorted ``(dim, bin)``
+token rows of the dense-unit table:
+
+* **Build** — one vectorised pass turns the sorted token matrix into a
+  pooled trie: flat numpy arrays of edges keyed ``parent << 16 | token``
+  plus each row's node path.  No Python objects, no per-node dicts.
+* **Mine** — every unit *drops* each of its ``m`` tokens once (the
+  same drop-one entries the hash join materialises), but instead of
+  copying the ``m−1`` surviving tokens into a wide sort key, each entry
+  *projects* them through the trie — the conditional-tree walk — until
+  the path runs out.  The death point is a canonical scalar fingerprint
+  of the whole deleted sequence: the death node pins its longest
+  trie-realised prefix and a right-to-left suffix id
+  (:func:`suffix_ids`) pins the unconsumed rest.  Two units join iff
+  two of their entries share a fingerprint with differing dropped
+  dimensions, so one scalar sort + segmented pair expansion finishes
+  the mine.  On prefix-sparse lattices — the high-dimensional regime,
+  where most units share no ``(m−1)``-token subsequence — walks die in
+  a round or two and the whole mine is ``O(Ndu·m)`` scalar work, where
+  the hash join always pays ``O(Ndu·m²)`` token materialisation plus a
+  multi-word lexsort before it can see that the buckets are empty.
+
+Because a bucket holds exactly the entries whose deleted sequences are
+identical, repeat candidates never arise from the mining itself — the
+repeats the dedup phase removes come from *distinct* pairs producing
+equal unions, exactly as in the pairwise sweep.
+
+The output is **not** a new table format: :func:`fptree_join_plan`
+returns the same :class:`~repro.core.candidates.HashJoinPlan` the hash
+engine builds — pairs lexsorted by ``(pivot, partner)`` with realised
+per-row pair counts — so block assembly
+(:func:`~repro.core.candidates.hash_join_block`), partition fencing
+(:func:`~repro.core.partition.weighted_splits`), straggler shares,
+repeat elimination and the sim backend's ``pairs_examined`` charges are
+shared code and bit-identical by construction.  The conformance suite
+(``tests/test_join_strategies.py``) asserts array-for-array plan
+equality on top of that.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError
+from .candidates import HashJoinPlan, _empty_plan
+from .units import UnitTable, group_sort, pack_tokens
+
+__all__ = ["FPTree", "fptree_join_plan", "prune_entries", "suffix_ids"]
+
+#: bit layout of the flat edge keys: ``parent << 16 | token``
+_TOKEN_BITS = np.int64(16)
+#: bit layout of the mining bucket keys: ``node << 32 | suffix_id``
+_SFX_BITS = np.int64(32)
+
+
+@dataclass(frozen=True)
+class FPTree:
+    """A prefix trie over ``n`` lex-sorted token rows of width ``m``,
+    pooled in flat arrays (node ids are dense integers, 0 = root).
+
+    Node ids are assigned column-major — all depth-1 nodes before all
+    depth-2 nodes — so an id's depth is recoverable from its range and
+    two equal ids always sit at the same depth.
+
+    Attributes
+    ----------
+    edge_keys:
+        ``parent << 16 | token`` for every trie edge, ascending — child
+        lookup is one ``searchsorted``.
+    edge_child:
+        Child node id of each edge, aligned with ``edge_keys``.
+    path:
+        ``(n, m+1)`` node ids: ``path[r, c]`` is the node reached after
+        row ``r``'s first ``c`` tokens (``path[:, 0]`` is the root).
+    node_count:
+        Rows passing through each node — the per-prefix support counts
+        (root counts every row).
+    """
+
+    edge_keys: np.ndarray
+    edge_child: np.ndarray
+    path: np.ndarray
+    node_count: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.node_count.shape[0])
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.edge_keys.shape[0])
+
+    @classmethod
+    def build(cls, ts: np.ndarray) -> "FPTree":
+        """Build the trie from an ``(n, m)`` int64 token matrix whose
+        rows are lexicographically sorted.
+
+        Vectorised: a row opens a new node at column ``c`` iff it
+        differs from the previous row at or before ``c``, so one
+        row-shift comparison plus a running OR yields every node id,
+        edge and support count without visiting rows one at a time.
+        """
+        n, m = ts.shape
+        if n == 0 or m == 0:
+            return cls(edge_keys=np.zeros(0, dtype=np.int64),
+                       edge_child=np.zeros(0, dtype=np.int64),
+                       path=np.zeros((n, m + 1), dtype=np.int64),
+                       node_count=np.full(1, n, dtype=np.int64))
+        neq = np.ones((n, m), dtype=bool)
+        if n > 1:
+            neq[1:] = ts[1:] != ts[:-1]
+        opens = np.logical_or.accumulate(neq, axis=1)
+
+        # column-major node numbering: column c owns ids
+        # [offsets[c], offsets[c] + opens[:, c].sum())
+        col_counts = opens.sum(axis=0)
+        offsets = np.empty(m, dtype=np.int64)
+        offsets[0] = 1  # id 0 is the root
+        np.cumsum(col_counts[:-1], out=offsets[1:])
+        offsets[1:] += 1
+        path = np.empty((n, m + 1), dtype=np.int64)
+        path[:, 0] = 0
+        # cumsum is >= 1 everywhere (row 0 opens every column), so rows
+        # that do not open a node inherit the previous opener's id
+        path[:, 1:] = np.cumsum(opens, axis=0) - 1 + offsets[np.newaxis, :]
+
+        # edges in column-major order: within a column parents ascend
+        # (ids were assigned downwards) and a parent's tokens ascend
+        # (rows are sorted), and later columns hold strictly larger
+        # parent ids — so the concatenated keys arrive already sorted
+        opens_t = opens.T
+        parents = path[:, :m].T[opens_t]
+        children = path[:, 1:].T[opens_t]
+        tokens = ts.T[opens_t]
+        edge_keys = (parents << _TOKEN_BITS) | tokens
+
+        n_nodes = 1 + int(col_counts.sum())
+        node_count = np.bincount(path.ravel(), minlength=n_nodes)
+        return cls(edge_keys=edge_keys, edge_child=children,
+                   path=path, node_count=node_count)
+
+    def children(self, nodes: np.ndarray,
+                 tokens: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised child lookup: for each ``(node, token)`` query the
+        child node id, plus the mask of edges that exist."""
+        keys = (nodes << _TOKEN_BITS) | tokens
+        if self.n_edges == 0:
+            return (np.zeros(keys.shape[0], dtype=np.int64),
+                    np.zeros(keys.shape[0], dtype=bool))
+        pos = np.minimum(np.searchsorted(self.edge_keys, keys),
+                         self.n_edges - 1)
+        return self.edge_child[pos], self.edge_keys[pos] == keys
+
+
+def suffix_ids(ts: np.ndarray) -> np.ndarray:
+    """``(n, m+1)`` suffix-equivalence ids: ``sfx[r, c]`` identifies the
+    token sequence ``ts[r, c:]`` — two rows get equal ids at column
+    ``c`` iff their suffixes from ``c`` on are identical.
+
+    Ids are computed right-to-left, each column folding its token with
+    the next column's id through one ``np.unique``; the empty suffix
+    (column ``m``) is id 0 everywhere.  Ids are only comparable within
+    a column, which is all the miner ever does — the bucket keys pair
+    them with node ids whose depth fixes the column.
+    """
+    n, m = ts.shape
+    sfx = np.zeros((n, m + 1), dtype=np.int64)
+    for c in range(m - 1, -1, -1):
+        key = (ts[:, c] << _SFX_BITS) | sfx[:, c + 1]
+        _, sfx[:, c] = np.unique(key, return_inverse=True)
+    return sfx
+
+
+#: multipliers of the support-pruning fingerprint hash (splitmix64 /
+#: xxhash odd constants — any odd 64-bit mixers work)
+_MIX_A = np.uint64(0x9E3779B97F4A7C15)
+_MIX_B = np.uint64(0xC2B2AE3D27D4EB4F)
+
+
+def prune_entries(tokens: np.ndarray, n: int, m: int) -> np.ndarray:
+    """The support-pruning stage: a boolean ``(n, m)`` mask of drop-one
+    entries that can possibly pair.
+
+    Two entries join only if their deleted ``(m−1)``-token sequences are
+    identical, and identical sequences have identical (sum, xor) token
+    aggregates — both computable per entry in one subtraction from the
+    row aggregate, no materialisation.  Hashing the aggregate pair into
+    a fingerprint table and dropping every entry whose fingerprint is
+    unoccupied by a second entry is the FP-growth support prune: on
+    prefix-sparse lattices (the high-dimensional noise floor) it
+    removes nearly everything before any sort runs.  False survivors
+    (distinct sequences, colliding fingerprints) cost only time — the
+    trie mine resolves them exactly.
+    """
+    # Raw (dim, bin) tokens carry ~10 bits of xor entropy and a
+    # CLT-concentrated sum, so distinct sequences collide constantly on
+    # raw aggregates.  Mixing every token through a 64-bit finalizer
+    # first spreads both aggregates over the full word: equal sequences
+    # still agree, distinct ones collide at table load factor only.
+    g = tokens.astype(np.uint64) * _MIX_A
+    g ^= g >> np.uint64(29)
+    g *= _MIX_B
+    g ^= g >> np.uint64(32)
+    a = (g.sum(axis=1, dtype=np.uint64)[:, None] - g).ravel()
+    b = (np.bitwise_xor.reduce(g, axis=1)[:, None] ^ g).ravel()
+    h = (a * _MIX_A) ^ (b * _MIX_B)
+    # Cascade three disjoint hash slices: each pass recounts only the
+    # previous pass's survivors, so false survivors (random slice
+    # collisions at load factor λ) decay like λ^passes while true pairs
+    # — equal aggregates, hence equal h — survive every pass.
+    ent = np.arange(n * m, dtype=np.int64)
+    for shift in (0, 21, 42):
+        bits = max(14, min(21, ent.size.bit_length() + 2))
+        fp = ((h[ent] >> np.uint64(shift))
+              & np.uint64((1 << bits) - 1)).astype(np.int64)
+        cnt = np.bincount(fp, minlength=1 << bits)
+        mask = cnt[fp] > 1
+        if mask.all():
+            break
+        ent = ent[mask]
+        if ent.size == 0:
+            break
+    keep = np.zeros(n * m, dtype=bool)
+    keep[ent] = True
+    return keep.reshape(n, m)
+
+
+def fptree_join_plan(dense: UnitTable,
+                     tokens: np.ndarray | None = None,
+                     obs=None,
+                     keep: np.ndarray | None = None) -> HashJoinPlan:
+    """Mine every valid join pair of ``dense`` from a prefix trie —
+    drop-in for :func:`~repro.core.candidates.hash_join_plan`, returning
+    an array-for-array identical :class:`HashJoinPlan`.
+
+    ``tokens`` may pass a precomputed ``dense.tokens()`` matrix (the
+    driver packs it overlapping the population reduce).  ``obs`` is an
+    optional :class:`~repro.obs.RankObs`; when given, the prune, build
+    and mine phases are traced as ``join.fptree.*`` spans and trie /
+    prune sizes land in the metrics registry.  ``keep`` may pass a
+    precomputed :func:`prune_entries` mask — the ``auto`` policy probes
+    the kept fraction to pick a strategy and hands the mask down so the
+    prune pass is not paid twice.
+    """
+    n, m = dense.n_units, dense.level
+    if tokens is None:
+        tokens = dense.tokens()
+    if n < 2:
+        return _empty_plan(n, m)
+
+    # -- support prune: drop entries that provably pair with nothing ----
+    with _span(obs, "join.fptree.prune", n_units=n, level=m) as sp:
+        if keep is None:
+            keep = prune_entries(tokens, n, m)
+        n_kept = int(keep.sum())
+        if sp is not None:
+            sp["entries_kept"] = n_kept
+        if obs is not None and obs.metrics is not None:
+            obs.metrics.counter("fptree.entries_pruned").inc(n * m - n_kept)
+        if n_kept == 0:
+            return _empty_plan(n, m)
+
+    # -- build: lex-sort surviving rows, raise the trie, id suffixes ----
+    # Every pairable entry lives on a surviving row, and a walk only
+    # ever needs prefixes that some *pairable* partner realises, so the
+    # trie is built over the surviving sub-table only.
+    with _span(obs, "join.fptree.build", n_units=n, level=m):
+        sub = np.flatnonzero(keep.any(axis=1))   # original row ids
+        subtok = tokens[sub]
+        lex = group_sort(pack_tokens(subtok))
+        ts = subtok[lex].astype(np.int64)
+        tree = FPTree.build(ts)
+        sfx = suffix_ids(ts)
+        orig = sub[lex]            # trie row order -> original unit index
+        if obs is not None and obs.metrics is not None:
+            obs.metrics.counter("fptree.nodes").inc(tree.n_nodes)
+
+    # -- mine: conditional-tree projection to exhaustion -----------------
+    # Entry (r, p) is row r with its p-th token deleted — the same
+    # drop-one entries the hash join materialises, but instead of
+    # copying the m−1 surviving tokens into a wide key, each entry
+    # *walks* them through the trie from its own prefix node (the
+    # conditional projection) until the path runs out.  Where a walk
+    # dies is a canonical scalar fingerprint of the whole deleted
+    # sequence: the death node pins the longest trie-realised prefix
+    # (one node = one token sequence) and the suffix id pins the
+    # unconsumed rest, so two entries share a (death node, suffix id)
+    # key iff their deleted sequences are identical.  One scalar sort
+    # over the death keys then replaces the hash join's multi-word
+    # sub-signature lexsort.
+    with _span(obs, "join.fptree.mine", n_units=n, level=m):
+        e_row, e_pos = np.nonzero(keep[sub][lex])
+        e_tok = ts[e_row, e_pos]
+        ne = e_row.shape[0]
+        live = np.arange(ne, dtype=np.int64)
+        w_row = e_row
+        w_node = tree.path[e_row, e_pos]
+        w_next = e_pos + 1
+        keys = np.empty(ne, dtype=np.int64)
+        rounds = 0
+        while live.size:
+            alive = w_next < m
+            if not alive.any():
+                keys[live] = (w_node << _SFX_BITS) | sfx[w_row, w_next]
+                break
+            child, found = tree.children(
+                w_node[alive], ts[w_row[alive], w_next[alive]])
+            adv = np.zeros(live.size, dtype=bool)
+            adv[np.flatnonzero(alive)[found]] = True
+            dead = ~adv
+            keys[live[dead]] = ((w_node[dead] << _SFX_BITS)
+                                | sfx[w_row[dead], w_next[dead]])
+            live, w_row = live[adv], w_row[adv]
+            w_node, w_next = child[found], w_next[adv] + 1
+            rounds += 1
+        if obs is not None and obs.metrics is not None:
+            obs.metrics.counter("fptree.walk_rounds").inc(rounds)
+
+        # group entries by deleted-sequence key; within a bucket every
+        # ordered pair whose dropped *dimensions* differ is a join
+        # (equal dims mean the same unit, a duplicate row, or a bin
+        # conflict — the hash join's leftover-dims filter)
+        order = np.argsort(keys, kind="stable")
+        ks = keys[order]
+        starts = np.ones(ne, dtype=bool)
+        starts[1:] = ks[1:] != ks[:-1]
+        run_start = np.flatnonzero(starts)
+        run_id = np.cumsum(starts) - 1
+        run_end = np.append(run_start[1:], ne)[run_id]
+        pos = np.arange(ne)
+        after = run_end - pos - 1
+        total = int(after.sum())
+        if total == 0:
+            return _empty_plan(n, m)
+        first = np.repeat(pos, after)
+        excl = np.cumsum(after) - after
+        second = first + 1 + (np.arange(total, dtype=np.int64)
+                              - np.repeat(excl, after))
+        e1, e2 = order[first], order[second]
+        t1, t2 = e_tok[e1], e_tok[e2]
+        valid = (t1 >> np.int64(8)) != (t2 >> np.int64(8))
+        e1, e2, t1, t2 = e1[valid], e2[valid], t1[valid], t2[valid]
+
+    if e1.size == 0:
+        return _empty_plan(n, m)
+
+    # -- assemble the plan in the hash join's exact order ---------------
+    o1 = orig[e_row[e1]]
+    o2 = orig[e_row[e2]]
+    left = np.minimum(o1, o2)
+    right = np.maximum(o1, o2)
+    right_token = np.where(o2 > o1, t2, t1).astype(np.uint16)
+    pair_order = np.lexsort((right, left))
+    plan = HashJoinPlan(left=left[pair_order], right=right[pair_order],
+                        right_token=right_token[pair_order],
+                        row_pair_counts=np.bincount(left, minlength=n),
+                        n_units=n, level=m)
+    if obs is not None and obs.metrics is not None:
+        obs.metrics.counter("fptree.pairs_mined").inc(plan.n_pairs)
+    return plan
+
+
+def _span(obs, name: str, **attrs):
+    """An obs span, or a free no-op when untraced."""
+    return nullcontext(None) if obs is None \
+        else obs.span(name, cat="join", **attrs)

@@ -54,6 +54,7 @@ from .checkpoint import (check_compatible, checkpoint_path,
                          load_latest_checkpoint, load_shard_manifest,
                          save_checkpoint, save_shard_manifest)
 from .candidates import hash_join_block, hash_join_plan, join_block
+from .fptree import fptree_join_plan, prune_entries
 from .dedup import drop_repeats, repeat_flags_block
 from .dnf import dnf_terms, maximal_mask, merged_mask
 from .histogram import fine_histogram_global, global_domains
@@ -72,6 +73,18 @@ from .units import MAX_DIMS, UnitTable
 #: sweep has real quadratic work to skip
 HASH_JOIN_MIN_UNITS = 256
 
+#: below this level the ``auto`` policy never probes the fptree engine —
+#: drop-one keys are short enough that the hash join's one-word lexsort
+#: beats any trie walk (measured crossover: fptree first wins at level 4)
+FPTREE_MIN_LEVEL = 4
+
+#: largest fraction of drop-one entries surviving the fptree support
+#: prune for which ``auto`` stays with the trie engine.  Prefix-sparse
+#: lattices (high-d noise floors) keep well under 10% and the trie wins
+#: 2–4x; saturated combinatorial cores keep ~100% and the trie walk
+#: degenerates to the hash join's O(Ndu·m²) with extra overhead.
+FPTREE_MAX_KEPT = 0.35
+
 
 def _ospan(obs: RankObs | None, name: str, cat: str = "task", **attrs):
     """A span on this rank's observer, or a free no-op when untraced."""
@@ -81,24 +94,41 @@ def _ospan(obs: RankObs | None, name: str, cat: str = "task", **attrs):
 
 
 def resolved_join_strategy(params: MafiaParams, comm: Comm,
-                           n_dense: int) -> str:
+                           n_dense: int, level: int = 2,
+                           tokens: np.ndarray | None = None
+                           ) -> tuple[str, "np.ndarray | None"]:
     """The concrete join implementation ``params.join_strategy`` selects
-    for a level with ``n_dense`` dense units.
+    for a ``level``-dimensional join over ``n_dense`` dense units,
+    plus the fptree support-prune mask when one was probed (reusable by
+    :func:`~repro.core.fptree.fptree_join_plan` so the prune pass is
+    paid once).
 
     ``auto`` resolves to pairwise on the simulated-time backend
     (``comm.models_paper_costs``): the virtual SP2 ran the paper's
     pairwise sweep, and keeping the default run on the same code path
     keeps per-rank fences — hence message sizes and virtual times —
     bit-identical to the paper's cost model.  On wall-clock backends
-    ``auto`` picks hash once ``n_dense`` exceeds
-    :data:`HASH_JOIN_MIN_UNITS`.  Both implementations produce
-    bit-identical CDU tables either way.
+    ``auto`` picks between hash and fptree from realised lattice stats
+    once ``n_dense`` exceeds :data:`HASH_JOIN_MIN_UNITS`: from
+    :data:`FPTREE_MIN_LEVEL` on, the fptree support prune is probed
+    (one linear fingerprint pass over the drop-one entries, reading
+    ``tokens``) and the trie engine is chosen iff at most
+    :data:`FPTREE_MAX_KEPT` of the entries survive — the direct
+    signature of a prefix-sparse lattice, where trie walks die early
+    and the hash join's O(Ndu·m²) key factory is wasted.  All
+    implementations produce bit-identical CDU tables either way.
     """
     if params.join_strategy != "auto":
-        return params.join_strategy
+        return params.join_strategy, None
     if getattr(comm, "models_paper_costs", False):
-        return "pairwise"
-    return "hash" if n_dense > HASH_JOIN_MIN_UNITS else "pairwise"
+        return "pairwise", None
+    if n_dense <= HASH_JOIN_MIN_UNITS:
+        return "pairwise", None
+    if level >= FPTREE_MIN_LEVEL and n_dense >= 2 and tokens is not None:
+        keep = prune_entries(tokens, n_dense, level)
+        if keep.mean() <= FPTREE_MAX_KEPT:
+            return "fptree", keep
+    return "hash", None
 
 
 def _local_view(comm: Comm, data: Any) -> tuple[DataSource, int, int]:
@@ -154,7 +184,8 @@ def _find_candidate_dense_units(comm: Comm, dense: UnitTable, tau: int,
                                 block_join=join_block, *,
                                 strategy: str = "pairwise",
                                 tokens: np.ndarray | None = None,
-                                shares: np.ndarray | None = None
+                                shares: np.ndarray | None = None,
+                                keep: np.ndarray | None = None
                                 ) -> tuple[UnitTable, np.ndarray]:
     """Algorithm 3: build level-(k+1) CDUs from the level-k dense units.
 
@@ -170,7 +201,11 @@ def _find_candidate_dense_units(comm: Comm, dense: UnitTable, tau: int,
     (:func:`~repro.core.partition.weighted_splits`) instead of the
     triangular estimate.  The fences stay contiguous pivot-row ranges,
     so the rank-order concatenation below is bit-identical to the
-    pairwise path's.  ``tokens`` may pass the dense table's
+    pairwise path's.  ``strategy="fptree"`` builds the identical plan
+    from the prefix-trie engine instead
+    (:func:`~repro.core.fptree.fptree_join_plan`; ``keep`` forwards the
+    ``auto`` policy's already-probed support-prune mask so that pass is
+    not repeated).  ``tokens`` may pass the dense table's
     pre-packed token matrix (computed overlapping the previous level's
     population reduce).
 
@@ -181,8 +216,13 @@ def _find_candidate_dense_units(comm: Comm, dense: UnitTable, tau: int,
     fences stay contiguous pivot ranges, so the output is bit-identical.
     """
     ndu = dense.n_units
-    if strategy == "hash":
-        plan = hash_join_plan(dense, tokens)
+    if strategy in ("hash", "fptree"):
+        # both engines emit the same HashJoinPlan, so fencing, block
+        # assembly, collectives and pair charging below are shared code
+        if strategy == "fptree":
+            plan = fptree_join_plan(dense, tokens, obs=comm.obs, keep=keep)
+        else:
+            plan = hash_join_plan(dense, tokens)
 
         def block_join(d: UnitTable, lo: int, hi: int, _plan=plan):
             return hash_join_block(d, lo, hi, plan=_plan)
@@ -373,7 +413,8 @@ def pmafia_rank(comm: Comm, data: Any, params: MafiaParams | None = None,
         if checkpoint_dir is not None and comm.rank == 0:
             manifest = build_manifest(result, phases=obs.phase_seconds(),
                                       nprocs=comm.size,
-                                      virtual_seconds=comm.time())
+                                      virtual_seconds=comm.time(),
+                                      join_strategies=obs.join_strategies())
             write_manifest(Path(checkpoint_dir) / MANIFEST_NAME, manifest)
     return replace(result, obs=obs.export())
 
@@ -536,10 +577,10 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
 
     monitor = StragglerMonitor.create(params, comm)
 
-    # token packing for the *next* level's hash join can overlap the
-    # population reduce — it only reads the CDU table, which is fixed
-    # before the pass starts
-    may_hash = params.join_strategy == "hash" or (
+    # token packing for the *next* level's hash/fptree join can overlap
+    # the population reduce — it only reads the CDU table, which is
+    # fixed before the pass starts
+    may_pack = params.join_strategy in ("hash", "fptree") or (
         params.join_strategy == "auto"
         and not getattr(comm, "models_paper_costs", False))
 
@@ -549,7 +590,7 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
         with _ospan(obs, "level", cat="level", level=level) as sp:
             packed: dict[str, np.ndarray] = {}
             overlap = None
-            if may_hash and cdus.n_units:
+            if may_pack and cdus.n_units:
                 def overlap() -> None:
                     packed["tokens"] = cdus.tokens()
             pop_start = time.perf_counter()
@@ -615,11 +656,20 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
                     if shares is not None and obs is not None:
                         obs.rebalance_event(current.level, monitor.last_ratio)
                     with phase("join"):
-                        strategy = resolved_join_strategy(params, comm,
-                                                          dense.n_units)
+                        if dense_tokens is None and may_pack \
+                                and dense.n_units:
+                            # resumed runs arrive without the overlapped
+                            # token pack; repack before resolving so the
+                            # auto probe sees the same stats
+                            dense_tokens = dense.tokens()
+                        strategy, keep = resolved_join_strategy(
+                            params, comm, dense.n_units, current.level,
+                            tokens=dense_tokens)
+                        if obs is not None:
+                            obs.join_strategy(current.level, strategy)
                         raw, combined = _find_candidate_dense_units(
                             comm, dense, params.tau, strategy=strategy,
-                            tokens=dense_tokens, shares=shares)
+                            tokens=dense_tokens, shares=shares, keep=keep)
                     # non-combinable dense units are registered as
                     # potential clusters
                     if (~combined).any():

@@ -18,7 +18,8 @@ Schema (``pmafia-run-manifest/1``)::
       "levels": [{"level", "n_cdus_raw", "n_cdus", "n_dense"}, ...],
       "n_clusters": int,
       "phases": {"grid": seconds, ...}, # from the writing rank's spans
-      "virtual_seconds": float          # 0.0 off the sim backend
+      "virtual_seconds": float,         # 0.0 off the sim backend
+      "join_strategies": {"2": "hash", "4": "fptree", ...}  # resolved
     }
 
 Rank 0 writes the manifest at the end of a run when observability is on
@@ -40,9 +41,15 @@ MANIFEST_NAME = "run_manifest.json"
 
 def build_manifest(result: Any, *, phases: dict[str, float],
                    nprocs: int = 1,
-                   virtual_seconds: float = 0.0) -> dict[str, Any]:
+                   virtual_seconds: float = 0.0,
+                   join_strategies: dict[int, str] | None = None
+                   ) -> dict[str, Any]:
     """Assemble the manifest dict for a finished
-    :class:`~repro.core.result.ClusteringResult`."""
+    :class:`~repro.core.result.ClusteringResult`.
+
+    ``join_strategies`` records the *resolved* join implementation each
+    level ran (``auto`` decisions included), keyed by level.
+    """
     params = result.params
     fields = getattr(params, "__dataclass_fields__", {})
     return {
@@ -59,6 +66,8 @@ def build_manifest(result: Any, *, phases: dict[str, float],
         "phases": {name: round(secs, 6)
                    for name, secs in phases.items()},
         "virtual_seconds": float(virtual_seconds),
+        "join_strategies": {str(level): strategy for level, strategy
+                            in sorted((join_strategies or {}).items())},
     }
 
 

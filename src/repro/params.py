@@ -20,6 +20,12 @@ def _check_positive(name: str, value: float) -> None:
         raise ParameterError(f"{name} must be > 0, got {value!r}")
 
 
+#: the full CDU join strategy set — the single source for
+#: ``MafiaParams.join_strategy`` validation and the CLI
+#: ``--join-strategy`` choices
+JOIN_STRATEGIES = ("auto", "pairwise", "hash", "fptree")
+
+
 @dataclass(frozen=True)
 class MafiaParams:
     """Parameters of the (p)MAFIA algorithm.
@@ -87,11 +93,15 @@ class MafiaParams:
         How CDUs are generated from the dense units of the level below.
         ``"pairwise"`` runs the paper's O(Ndu²) triangular sweep
         (Algorithm 3 verbatim); ``"hash"`` runs the sub-signature hash
-        join (near-linear grouping, bit-identical output); ``"auto"``
-        (default) picks hash above a small-Ndu threshold and pairwise
-        below it — and always pairwise on the simulated-time backend,
-        so virtual SP2 runtimes keep the paper's cost model.  Clusters
-        are identical under all three values.
+        join (near-linear grouping, bit-identical output);
+        ``"fptree"`` mines the pairs from a prefix trie (FP-tree)
+        with support pruning — fastest on prefix-sparse lattices, the
+        high-dimensionality regime; ``"auto"`` (default) picks per
+        level from realised lattice stats: pairwise below a small-Ndu
+        threshold, fptree from level 4 up when the support prune shows
+        a sparse lattice, hash otherwise — and always pairwise on the
+        simulated-time backend, so virtual SP2 runtimes keep the
+        paper's cost model.  Clusters are identical under all values.
     prefetch:
         When True, level passes double-buffer their chunk reads: the
         next chunk of the binned store (or float records) is staged on
@@ -172,9 +182,10 @@ class MafiaParams:
             raise ParameterError(
                 f"bin_cache must be 'memory', 'disk' or 'off', "
                 f"got {self.bin_cache!r}")
-        if self.join_strategy not in ("auto", "hash", "pairwise"):
+        if self.join_strategy not in JOIN_STRATEGIES:
+            choices = ", ".join(repr(s) for s in JOIN_STRATEGIES)
             raise ParameterError(
-                f"join_strategy must be 'auto', 'hash' or 'pairwise', "
+                f"join_strategy must be one of {choices}, "
                 f"got {self.join_strategy!r}")
         if self.bitmap_index not in ("auto", "resident", "mmap", "off"):
             raise ParameterError(

@@ -1,14 +1,17 @@
-"""The sub-signature hash join is a bit-identical drop-in for the
-paper's pairwise CDU join.
+"""The sub-signature hash join and the fptree engine are bit-identical
+drop-ins for the paper's pairwise CDU join.
 
 Property-based equivalence (hypothesis): on random lattices across
 levels 1-6 the hash path emits the *same raw CDU table in the same row
 order* as the pairwise sweep — for the full join and for arbitrary
 row fences — so repeat elimination sees identical first-occurrence
-order and every downstream pass is unchanged.  Full-run tests pin the
+order and every downstream pass is unchanged; the fptree engine must
+additionally produce an *array-for-array identical*
+:class:`~repro.core.candidates.HashJoinPlan`, which makes fencing,
+block assembly and pair charging shared code.  Full-run tests pin the
 same statement end-to-end: clusterings are byte-identical between
-``join_strategy='hash'`` and ``'pairwise'`` on the serial, thread and
-process backends, and invariant to the rank count.
+``join_strategy='hash'``, ``'fptree'`` and ``'pairwise'`` on the
+serial, thread and process backends, and invariant to the rank count.
 """
 
 from __future__ import annotations
@@ -23,8 +26,10 @@ from repro.core.candidates import (HashJoinPlan, hash_join_all,
                                    hash_join_block, hash_join_plan,
                                    join_all, join_block)
 from repro.core.dedup import drop_repeats
+from repro.core.fptree import FPTree, fptree_join_plan, prune_entries
 from repro.core.partition import triangular_splits, weighted_splits
-from repro.core.pmafia import (HASH_JOIN_MIN_UNITS, pmafia_rank,
+from repro.core.pmafia import (FPTREE_MAX_KEPT, FPTREE_MIN_LEVEL,
+                               HASH_JOIN_MIN_UNITS, pmafia_rank,
                                resolved_join_strategy)
 from repro.core.units import UnitTable
 from repro.errors import ParameterError
@@ -118,6 +123,113 @@ class TestHashEqualsPairwise:
             assert_results_equal(join_all(t), hash_join_all(t))
 
 
+def assert_plans_equal(a: HashJoinPlan, b: HashJoinPlan) -> None:
+    """Array-for-array plan identity, dtypes included — the contract
+    that lets fencing, block assembly and pair charging share code."""
+    assert a.n_units == b.n_units and a.level == b.level
+    for name in ("left", "right", "right_token", "row_pair_counts"):
+        x, y = getattr(a, name), getattr(b, name)
+        assert x.dtype == y.dtype, name
+        assert np.array_equal(x, y), name
+
+
+class TestFPTreeEqualsHash:
+    @given(lattices())
+    @settings(max_examples=120, deadline=None)
+    def test_plan_bit_identical(self, t):
+        assert_plans_equal(hash_join_plan(t), fptree_join_plan(t))
+
+    @given(lattices())
+    @settings(max_examples=60, deadline=None)
+    def test_full_join_bit_identical_to_pairwise(self, t):
+        plan = fptree_join_plan(t)
+        assert_results_equal(join_all(t),
+                             hash_join_block(t, 0, t.n_units, plan=plan))
+
+    @given(lattices(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_block_join_bit_identical_for_any_fences(self, t, data):
+        n = t.n_units
+        plan = fptree_join_plan(t)
+        fences = sorted(data.draw(st.lists(st.integers(0, n), min_size=0,
+                                           max_size=4)))
+        cuts = [0] + fences + [n]
+        for lo, hi in zip(cuts[:-1], cuts[1:]):
+            assert_results_equal(join_block(t, lo, hi),
+                                 hash_join_block(t, lo, hi, plan=plan))
+
+    @given(lattices())
+    @settings(max_examples=60, deadline=None)
+    def test_dedup_sees_identical_first_occurrence_order(self, t):
+        raw_p = join_all(t).cdus
+        raw_f = hash_join_block(t, 0, t.n_units,
+                                plan=fptree_join_plan(t)).cdus
+        assert drop_repeats(raw_p, raw_p.repeat_mask()) \
+            == drop_repeats(raw_f, raw_f.repeat_mask())
+
+    @given(lattices())
+    @settings(max_examples=40, deadline=None)
+    def test_rank_partition_reassembles_serial_table(self, t):
+        n = t.n_units
+        serial = hash_join_all(t).cdus
+        plan = fptree_join_plan(t)
+        for p in (2, 3, 5):
+            for offsets in (triangular_splits(n, p),
+                            weighted_splits(plan.row_pair_counts, p)):
+                parts = [hash_join_block(t, offsets[r], offsets[r + 1],
+                                         plan=plan).cdus
+                         for r in range(p)]
+                assert UnitTable.concat_all(parts) == serial
+
+    @given(lattices())
+    @settings(max_examples=60, deadline=None)
+    def test_precomputed_prune_mask_changes_nothing(self, t):
+        """The auto policy hands its probed support-prune mask down;
+        the plan must not depend on who computed it."""
+        if t.n_units < 2:
+            return
+        keep = prune_entries(t.tokens(), t.n_units, t.level)
+        assert_plans_equal(fptree_join_plan(t),
+                           fptree_join_plan(t, keep=keep))
+
+    @given(lattices())
+    @settings(max_examples=60, deadline=None)
+    def test_prune_never_drops_a_pairable_entry(self, t):
+        """Entries surviving the support prune account for every pair
+        the hash join finds — the prune is a pure false-positive
+        filter."""
+        if t.n_units < 2:
+            return
+        keep = prune_entries(t.tokens(), t.n_units, t.level)
+        plan = hash_join_plan(t)
+        pairable = np.zeros(t.n_units, dtype=bool)
+        pairable[plan.left] = True
+        pairable[plan.right] = True
+        assert keep.any(axis=1)[pairable].all()
+
+    def test_trie_support_counts(self):
+        """Node counts are per-prefix supports (root counts all rows)."""
+        t = UnitTable.from_pairs([
+            [(0, 1), (1, 0)], [(0, 1), (1, 1)], [(0, 1), (2, 0)],
+            [(3, 0), (4, 0)]])
+        tok = t.tokens().astype(np.int64)
+        order = np.lexsort(tuple(tok[:, c] for c in
+                                 range(tok.shape[1] - 1, -1, -1)))
+        tree = FPTree.build(tok[order])
+        assert tree.node_count[0] == t.n_units
+        # the shared (0,1) prefix node supports three of the four rows
+        assert tree.node_count[1:].max() == 3
+        # 2 depth-1 nodes + 4 distinct depth-2 leaves, plus the root
+        assert tree.n_nodes == 7
+        assert tree.n_edges == 6
+
+    def test_empty_and_tiny_tables(self):
+        for t in (UnitTable.empty(1), UnitTable.empty(3),
+                  UnitTable.from_pairs([[(0, 1)]]),
+                  UnitTable.from_pairs([[(0, 1), (2, 0)]])):
+            assert_plans_equal(hash_join_plan(t), fptree_join_plan(t))
+
+
 class TestWeightedSplits:
     @given(st.lists(st.integers(0, 50), max_size=60), st.integers(1, 8))
     @settings(max_examples=80, deadline=None)
@@ -155,25 +267,71 @@ class _StubSimComm(_StubComm):
     models_paper_costs = True
 
 
+def _sparse_table(n=600, level=5, n_dims=40, seed=0):
+    """No two units share a drop-one sub-signature: a prefix-sparse
+    lattice, the fptree engine's win regime."""
+    rng = np.random.default_rng(seed)
+    rows = np.stack([np.sort(rng.choice(n_dims, size=level, replace=False))
+                     for _ in range(n)]).astype(np.uint8)
+    bins = rng.integers(0, 8, size=(n, level)).astype(np.uint8)
+    return UnitTable(dims=rows, bins=bins).unique()
+
+
+def _saturated_table(level=5, n_dims=9):
+    """Every level-subset of one dim block at one bin — a combinatorial
+    core where every drop-one sub-signature is shared and the trie
+    prunes nothing."""
+    from itertools import combinations
+    units = [[(d, 1) for d in combo]
+             for combo in combinations(range(n_dims), level)]
+    return UnitTable.from_pairs(units)
+
+
 class TestAutoPolicy:
     def test_explicit_strategies_win(self):
-        for strategy in ("hash", "pairwise"):
+        for strategy in ("hash", "pairwise", "fptree"):
             params = MafiaParams(join_strategy=strategy)
             assert resolved_join_strategy(params, _StubSimComm(), 10**6) \
-                == strategy
+                == (strategy, None)
 
     def test_auto_is_pairwise_on_sim_backend(self):
         params = MafiaParams(join_strategy="auto")
         assert resolved_join_strategy(params, _StubSimComm(), 10**6) \
-            == "pairwise"
+            == ("pairwise", None)
 
     def test_auto_threshold_on_wallclock_backends(self):
         params = MafiaParams(join_strategy="auto")
         comm = _StubComm()
         assert resolved_join_strategy(params, comm,
-                                      HASH_JOIN_MIN_UNITS) == "pairwise"
+                                      HASH_JOIN_MIN_UNITS) \
+            == ("pairwise", None)
         assert resolved_join_strategy(params, comm,
-                                      HASH_JOIN_MIN_UNITS + 1) == "hash"
+                                      HASH_JOIN_MIN_UNITS + 1) \
+            == ("hash", None)
+
+    def test_auto_picks_fptree_on_sparse_high_level_lattices(self):
+        params = MafiaParams(join_strategy="auto")
+        t = _sparse_table(level=FPTREE_MIN_LEVEL + 1)
+        strategy, keep = resolved_join_strategy(
+            params, _StubComm(), t.n_units, t.level, tokens=t.tokens())
+        assert strategy == "fptree"
+        assert keep is not None and keep.shape == (t.n_units, t.level)
+        assert keep.mean() <= FPTREE_MAX_KEPT
+
+    def test_auto_demotes_to_hash_on_saturated_lattices(self):
+        params = MafiaParams(join_strategy="auto")
+        t = _saturated_table(level=FPTREE_MIN_LEVEL + 1, n_dims=12)
+        assert t.n_units > HASH_JOIN_MIN_UNITS
+        strategy, keep = resolved_join_strategy(
+            params, _StubComm(), t.n_units, t.level, tokens=t.tokens())
+        assert strategy == "hash" and keep is None
+
+    def test_auto_never_probes_below_min_level(self):
+        params = MafiaParams(join_strategy="auto")
+        t = _sparse_table(level=FPTREE_MIN_LEVEL - 1)
+        strategy, keep = resolved_join_strategy(
+            params, _StubComm(), t.n_units, t.level, tokens=t.tokens())
+        assert strategy == "hash" and keep is None
 
     def test_params_validation(self):
         with pytest.raises(ParameterError):
@@ -212,7 +370,7 @@ class TestFullRunsIdentical:
     def test_hash_equals_pairwise_across_backends_and_ranks(
             self, one_cluster_dataset, strategy_params, reference,
             backend, nprocs):
-        for strategy in ("hash", "auto"):
+        for strategy in ("hash", "fptree", "auto"):
             params = strategy_params.with_(join_strategy=strategy)
             ranks = run_spmd(pmafia_rank, nprocs, backend=backend,
                              args=(one_cluster_dataset.records, params,
