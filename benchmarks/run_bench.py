@@ -8,7 +8,11 @@ staging, histogramming, the CDU join and repeat elimination — including
 a bulk clustered-lattice join that times the pairwise sweep against the
 sub-signature hash join on > 20k raw CDUs, and ``populate_levelN_*``
 pairs that time the binned streaming pass against the indexed
-AND/popcount pass on clustered level-N lattices — plus an end-to-end
+AND/popcount pass on clustered level-N lattices, and a serving triple
+(``score_batch_naive`` / ``_compiled`` / ``_cached``) that scores one
+skewed hot-key batch through the per-term reference loop, the compiled
+packed-interval evaluator and a cache-warm ``ClusterServer`` — plus an
+end-to-end
 5-level pMAFIA run under ``bin_cache="off"`` vs ``"memory"`` (index
 pinned off) and under the default ``bitmap_index="auto"``, and writes
 one JSON document (kernel → median seconds, machine info, e2e and
@@ -70,7 +74,10 @@ from repro.core.units import UnitTable  # noqa: E402
 from repro.io import ArraySource, stage_bitmap_index  # noqa: E402
 from repro.io.binned import stage_binned  # noqa: E402
 from repro.parallel import SerialComm  # noqa: E402
-from repro.types import DimensionGrid, Grid  # noqa: E402
+from repro.serve import (ClusterServer, compile_clusters,  # noqa: E402
+                         score_batch_naive)
+from repro.types import (Cluster, DimensionGrid, DNFTerm, Grid,  # noqa: E402
+                         Subspace)
 
 from benchmarks.workloads import (bench_params, clustered_dataset,  # noqa: E402
                                   domains)
@@ -115,6 +122,36 @@ def clustered_units(n_clusters: int, cluster_dim: int, level: int,
         for subset in combinations(dims, level):
             units.append([(d, bins[d]) for d in subset])
     return UnitTable.from_pairs(units).unique()
+
+
+def dnf_clusters(n_clusters: int, n_dims: int, seed: int
+                 ) -> list[Cluster]:
+    """Synthetic serving clusters shaped like MAFIA output: a few
+    subspace dims each, 1-6 DNF terms per cluster, interval endpoints
+    drawn from a shared per-dimension edge pool (real DNFs reuse grid
+    bin edges, which is what makes the packed-interval tables small)."""
+    rng = np.random.default_rng(seed)
+    edge_pool = {d: np.sort(rng.uniform(0.0, 100.0, size=12))
+                 for d in range(n_dims)}
+    clusters = []
+    for _ in range(n_clusters):
+        k = int(rng.integers(3, 6))
+        dims = sorted(rng.choice(n_dims, size=k, replace=False).tolist())
+        sub = Subspace(tuple(dims))
+        terms = []
+        for _ in range(int(rng.integers(2, 11))):
+            intervals = []
+            for d in dims:
+                a, b = rng.choice(len(edge_pool[d]), size=2,
+                                  replace=False)
+                lo, hi = sorted((edge_pool[d][a], edge_pool[d][b]))
+                intervals.append((float(lo), float(hi)))
+            terms.append(DNFTerm(subspace=sub,
+                                 intervals=tuple(intervals)))
+        clusters.append(Cluster(
+            subspace=sub, units_bins=np.zeros((1, k), dtype=np.int64),
+            dnf=tuple(terms), point_count=1))
+    return clusters
 
 
 def median_time(fn, runs: int) -> float:
@@ -242,6 +279,37 @@ def build_suite(smoke: bool):
                        indexed=indexed_pop)
     del level_units[1]      # level 1 only seeds the memo
 
+    # serving load: a skewed hot-key trace — every record in the batch
+    # is one of ``pool_n`` distinct rows, the shape of production
+    # scoring traffic — so all three engines score the *same* batch:
+    # the per-term reference loop, the compiled packed-interval
+    # evaluator, and a cache-warm server answering from signatures.
+    # same model shape at both scales (the 4-word mask is what makes
+    # the evaluator worth caching); smoke just shrinks the batch
+    serve_dims, serve_n_clusters = 12, 32
+    if smoke:
+        serve_batch, serve_pool = 100_000, 1_000
+    else:
+        serve_batch, serve_pool = 1_000_000, 4_000
+    serve_cls = dnf_clusters(serve_n_clusters, serve_dims, seed=31)
+    serve_model = compile_clusters(serve_cls, serve_dims)
+    rng31 = np.random.default_rng(32)
+    pool = rng31.uniform(0.0, 100.0, size=(serve_pool, serve_dims))
+    serve_records = pool[rng31.integers(0, serve_pool, size=serve_batch)]
+    serve_server = ClusterServer(serve_model)
+    serve_server.score_batch(serve_records)       # warm the cache
+    serve_identical = bool(np.array_equal(
+        serve_model.score(serve_records),
+        score_batch_naive(serve_cls, serve_records)))
+    serve_load = {
+        "n_clusters": int(serve_model.n_clusters),
+        "n_terms": int(serve_model.n_terms),
+        "n_dims": int(serve_dims),
+        "batch_records": int(serve_batch),
+        "hot_pool_rows": int(serve_pool),
+        "identical": serve_identical,
+    }
+
     dense = random_units(join_units, 3, min(n_dims, 12), 6, seed=9)
     rng10 = np.random.default_rng(10)
     dup = []
@@ -285,6 +353,12 @@ def build_suite(smoke: bool):
         "bitmap_index_build": (
             lambda: stage_bitmap_index(source, comm, grid, chunk,
                                        policy="resident"), runs),
+        "score_batch_naive": (
+            lambda: score_batch_naive(serve_cls, serve_records), runs),
+        "score_batch_compiled": (
+            lambda: serve_model.score(serve_records), runs),
+        "score_batch_cached": (
+            lambda: serve_server.score_batch(serve_records), runs),
     }
     for lv, lvu in level_units.items():
         kernels[f"populate_level{lv}_binned"] = (
@@ -320,7 +394,7 @@ def build_suite(smoke: bool):
     else:
         e2e = dict(n_records=200_000, n_dims=15, n_clusters=10,
                    cluster_dim=5, chunk=50_000)
-    return kernels, e2e, join_load, index_load
+    return kernels, e2e, join_load, index_load, serve_load
 
 
 def cluster_signature(result):
@@ -541,6 +615,11 @@ def main(argv=None) -> int:
                     help="fail unless the level>=2 population kernels' "
                          "median indexed-vs-binned speedup reaches this "
                          "factor")
+    ap.add_argument("--min-serve-speedup", type=float, default=0.0,
+                    help="fail unless the compiled serving evaluator "
+                         "beats the naive per-term scorer by this "
+                         "factor (or the engines disagree on any "
+                         "record)")
     ap.add_argument("--skip-e2e", action="store_true",
                     help="kernels only (no end-to-end runs)")
     ap.add_argument("--max-obs-overhead", type=float, default=0.0,
@@ -556,7 +635,8 @@ def main(argv=None) -> int:
 
     suite = "smoke" if args.smoke else "full"
     print(f"suite: {suite}")
-    kernels, e2e_cfg, join_load, index_load = build_suite(args.smoke)
+    kernels, e2e_cfg, join_load, index_load, serve_load = \
+        build_suite(args.smoke)
 
     doc = {"schema": SCHEMA, "suite": suite, "machine": machine_info(),
            "kernels": {}}
@@ -601,6 +681,27 @@ def main(argv=None) -> int:
           f"resident, level>=2 population median speedup "
           f"{doc['index']['median_speedup']}x over binned streaming")
 
+    naive_s = doc["kernels"]["score_batch_naive"]["median_s"]
+    comp_s = doc["kernels"]["score_batch_compiled"]["median_s"]
+    cache_s = doc["kernels"]["score_batch_cached"]["median_s"]
+    doc["serve"] = dict(
+        serve_load,
+        compiled_speedup=round(naive_s / comp_s, 2) if comp_s else None,
+        cached_speedup=round(comp_s / cache_s, 2) if cache_s else None,
+        compiled_records_per_s=round(serve_load["batch_records"] / comp_s)
+        if comp_s else None,
+        cached_records_per_s=round(serve_load["batch_records"] / cache_s)
+        if cache_s else None)
+    print(f"  serving: {serve_load['n_clusters']} clusters / "
+          f"{serve_load['n_terms']} terms, "
+          f"{serve_load['batch_records']} records over "
+          f"{serve_load['hot_pool_rows']} hot rows — compiled is "
+          f"{doc['serve']['compiled_speedup']}x over naive "
+          f"({doc['serve']['compiled_records_per_s']:,} rec/s), "
+          f"cache-warm {doc['serve']['cached_speedup']}x over compiled "
+          f"({doc['serve']['cached_records_per_s']:,} rec/s), "
+          f"identical: {serve_load['identical']}")
+
     if not args.skip_e2e:
         print("running end-to-end bin_cache off vs memory ...")
         doc["e2e"] = run_e2e(e2e_cfg)
@@ -641,6 +742,16 @@ def main(argv=None) -> int:
         print(f"FAIL: indexed population median speedup "
               f"{doc['index']['median_speedup']}x below required "
               f"{args.min_index_speedup}x")
+        rc = 1
+    if not doc["serve"]["identical"]:
+        print("FAIL: compiled serving evaluator disagrees with the "
+              "naive per-term scorer")
+        rc = 1
+    if args.min_serve_speedup and \
+            (doc["serve"]["compiled_speedup"] or 0) < args.min_serve_speedup:
+        print(f"FAIL: compiled serving speedup "
+              f"{doc['serve']['compiled_speedup']}x below required "
+              f"{args.min_serve_speedup}x")
         rc = 1
     if not args.skip_e2e:
         e = doc["e2e"]

@@ -12,6 +12,11 @@ Three subcommands cover the workflow a downstream user needs:
     JSON.
 ``pmafia info``
     Inspect a record file's header.
+``pmafia score``
+    Serve cluster membership for a record stream against a finished
+    result (or a pre-compiled model): which clusters each record
+    belongs to, in which subspaces, at batch speed through the
+    compiled DNF engine (``docs/SERVING.md``).
 
 Exposed as the ``pmafia`` console script and ``python -m repro.cli``.
 """
@@ -102,6 +107,104 @@ def _write_observability(args: argparse.Namespace, run: object,
                               virtual_seconds=getattr(run, "makespan", 0.0),
                               join_strategies=run_obs.join_strategies())
     write_manifest(Path(out).parent / MANIFEST_NAME, manifest)
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .core.export import (model_from_dict, model_to_json,
+                              result_from_dict)
+    from .obs import RankObs, RunObs, serve_summary
+    from .serve import ClusterServer
+
+    try:
+        payload = _json.loads(Path(args.model).read_text())
+    except _json.JSONDecodeError as exc:
+        raise ReproError(f"invalid model JSON: {exc}") from exc
+    result = None
+    if isinstance(payload, dict) \
+            and payload.get("format") == "pmafia-compiled-model":
+        model = model_from_dict(payload)
+    else:
+        result = result_from_dict(payload)
+        model = result
+
+    obs = None
+    if args.trace_out is not None or args.metrics_out is not None:
+        obs = RankObs(0, trace=args.trace_out is not None,
+                      metrics=args.metrics_out is not None)
+    server = ClusterServer(
+        model, cache_size=0 if args.no_cache else args.cache_size,
+        obs=obs)
+
+    if args.export_model is not None:
+        Path(args.export_model).write_text(
+            model_to_json(server.model) + "\n")
+        print(f"wrote compiled model to {args.export_model}",
+              file=sys.stderr)
+
+    if str(args.data) == "-":
+        records = np.atleast_2d(
+            np.loadtxt(sys.stdin, delimiter=",", ndmin=2))
+    else:
+        records = _load_records(Path(args.data))
+    n = records.shape[0]
+
+    counts = np.zeros(server.model.n_clusters, dtype=np.int64)
+    matched = 0
+    for start in range(0, n, args.batch):
+        scores = server.score_batch(records[start:start + args.batch])
+        counts += scores.counts()
+        member_any = scores.membership.any(axis=1)
+        matched += int(member_any.sum())
+        if args.summary_only:
+            continue
+        for i in range(len(scores)):
+            ids = scores.cluster_ids(i)
+            if args.json:
+                print(_json.dumps(
+                    {"record": start + i, "clusters": ids,
+                     "subspaces": [list(s) for s
+                                   in scores.record_subspaces(i)]},
+                    separators=(",", ":")))
+            else:
+                print(f"{start + i}\t"
+                      f"{','.join(map(str, ids)) if ids else '-'}")
+
+    stats = server.stats()
+    summary = {
+        "records": n, "matched": matched,
+        "clusters": {str(c): int(counts[c])
+                     for c in range(len(counts)) if counts[c]},
+        "server": stats,
+    }
+    if args.json and args.summary_only:
+        print(_json.dumps(summary, indent=2))
+    else:
+        cache = stats.get("cache") or {}
+        print(f"scored {n} records: {matched} in >=1 cluster; "
+              f"{stats['evaluations']} evaluations, "
+              f"{cache.get('hits', 0)} cache hits",
+              file=sys.stderr)
+
+    if obs is not None:
+        run_obs = RunObs(ranks=(obs.export(),))
+        if args.trace_out is not None:
+            write_chrome_trace(args.trace_out, run_obs.merged_spans())
+            print(f"wrote trace to {args.trace_out}", file=sys.stderr)
+        if args.metrics_out is not None:
+            write_metrics_snapshot(args.metrics_out, run_obs)
+            print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+        if result is not None:
+            # only a full result carries the params/grid the manifest
+            # describes; a bare compiled model does not
+            out = (args.trace_out if args.trace_out is not None
+                   else args.metrics_out)
+            manifest = build_manifest(
+                result, phases=run_obs.phase_seconds(),
+                serve=serve_summary(run_obs))
+            write_manifest(Path(out).parent / MANIFEST_NAME, manifest)
+    return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -232,6 +335,45 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="inspect a record file header")
     info.add_argument("data", type=Path)
     info.set_defaults(func=_cmd_info)
+
+    score = sub.add_parser(
+        "score", help="serve cluster membership for a record stream")
+    score.add_argument("model", type=Path,
+                       help="result JSON (pmafia run --json) or compiled "
+                            "model JSON (pmafia-compiled-model)")
+    score.add_argument("data",
+                       help="record file (.bin), .npy array, CSV, or - "
+                            "for CSV on stdin")
+    score.add_argument("--batch", type=int, default=65_536,
+                       help="records scored per batch")
+    score.add_argument("--cache-size", type=int, default=65_536,
+                       dest="cache_size",
+                       help="LRU signature-cache entries")
+    score.add_argument("--no-cache", action="store_true", dest="no_cache",
+                       help="disable the signature cache (every batch "
+                            "evaluates vectorized)")
+    score.add_argument("--json", action="store_true",
+                       help="emit JSON: one object per record (or the "
+                            "whole summary with --summary-only)")
+    score.add_argument("--summary-only", action="store_true",
+                       dest="summary_only",
+                       help="suppress per-record output; print only "
+                            "per-cluster counts and server stats")
+    score.add_argument("--export-model", type=Path, default=None,
+                       dest="export_model", metavar="PATH",
+                       help="also write the compiled model as versioned "
+                            "JSON for faster future loads")
+    score.add_argument("--trace-out", type=Path, default=None,
+                       dest="trace_out", metavar="PATH",
+                       help="write the serving session's score_batch "
+                            "spans as Chrome trace_event JSON")
+    score.add_argument("--metrics-out", type=Path, default=None,
+                       dest="metrics_out", metavar="PATH",
+                       help="write the serve.* metrics snapshot as JSON; "
+                            "when the model input is a full result, a "
+                            "run_manifest.json with a serve section "
+                            "lands next to the first output path")
+    score.set_defaults(func=_cmd_score)
 
     run = sub.add_parser("run", help="cluster a data file")
     run.add_argument("data", type=Path,

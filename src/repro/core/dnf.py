@@ -19,11 +19,12 @@ k; only maximal units seed clusters.
 from __future__ import annotations
 
 from itertools import product as iter_product
+from typing import Sequence
 
 import numpy as np
 
 from ..errors import DataError
-from ..types import DNFTerm, Grid, Subspace
+from ..types import Cluster, DNFTerm, Grid, Subspace
 from .units import UnitTable
 
 
@@ -93,6 +94,79 @@ def dnf_terms(grid: Grid, subspace: Subspace,
             intervals.append((dg.edges[lo], dg.edges[hi + 1]))
         terms.append(DNFTerm(subspace=subspace, intervals=tuple(intervals)))
     return tuple(terms)
+
+
+def term_arrays(clusters: Sequence[Cluster]) -> "TermArrays":
+    """Flatten the clusters' DNF terms into parallel condition arrays —
+    the array form the serving compiler (:mod:`repro.serve.compile`)
+    consumes instead of walking ``DNFTerm`` objects term by term.
+
+    Term ``t`` of the flattened table contributes one *condition* row
+    per dimension of its subspace; conditions of one term are emitted
+    contiguously, and terms of one cluster are emitted contiguously in
+    cluster order — the layout that lets the compiler give every
+    cluster a contiguous bit range in the packed term mask.
+    """
+    term_cluster: list[int] = []
+    cond_term: list[int] = []
+    cond_dim: list[int] = []
+    cond_lo: list[float] = []
+    cond_hi: list[float] = []
+    for ci, cluster in enumerate(clusters):
+        for term in cluster.dnf:
+            t = len(term_cluster)
+            term_cluster.append(ci)
+            for dim, (lo, hi) in zip(term.subspace.dims, term.intervals):
+                cond_term.append(t)
+                cond_dim.append(dim)
+                cond_lo.append(lo)
+                cond_hi.append(hi)
+    return TermArrays(
+        n_clusters=len(clusters),
+        term_cluster=np.asarray(term_cluster, dtype=np.int64),
+        cond_term=np.asarray(cond_term, dtype=np.int64),
+        cond_dim=np.asarray(cond_dim, dtype=np.int64),
+        cond_lo=np.asarray(cond_lo, dtype=np.float64),
+        cond_hi=np.asarray(cond_hi, dtype=np.float64))
+
+
+class TermArrays:
+    """The DNF terms of a cluster set as five parallel flat arrays.
+
+    ``term_cluster[t]`` is the cluster index of term ``t``; condition
+    row ``c`` says term ``cond_term[c]`` requires
+    ``cond_lo[c] <= record[cond_dim[c]] < cond_hi[c]``.  A record
+    matches a cluster iff it satisfies *every* condition of at least
+    one of the cluster's terms (plain DNF semantics).
+    """
+
+    __slots__ = ("n_clusters", "term_cluster", "cond_term", "cond_dim",
+                 "cond_lo", "cond_hi")
+
+    def __init__(self, n_clusters: int, term_cluster: np.ndarray,
+                 cond_term: np.ndarray, cond_dim: np.ndarray,
+                 cond_lo: np.ndarray, cond_hi: np.ndarray) -> None:
+        if not (len(cond_term) == len(cond_dim) == len(cond_lo)
+                == len(cond_hi)):
+            raise DataError("condition arrays must have equal length")
+        if len(cond_term) and int(cond_term.max()) >= len(term_cluster):
+            raise DataError("cond_term references a term out of range")
+        if len(term_cluster) and int(term_cluster.max()) >= n_clusters:
+            raise DataError("term_cluster references a cluster out of range")
+        self.n_clusters = int(n_clusters)
+        self.term_cluster = term_cluster
+        self.cond_term = cond_term
+        self.cond_dim = cond_dim
+        self.cond_lo = cond_lo
+        self.cond_hi = cond_hi
+
+    @property
+    def n_terms(self) -> int:
+        return int(len(self.term_cluster))
+
+    @property
+    def n_conditions(self) -> int:
+        return int(len(self.cond_term))
 
 
 def projections(units: UnitTable) -> UnitTable:

@@ -1,4 +1,4 @@
-"""Serialisation of clustering results.
+"""Serialisation of clustering results and compiled serving models.
 
 pMAFIA's output — minimal DNF expressions per cluster — is meant for
 the end user (§3.2), so the library exports results as plain
@@ -6,12 +6,25 @@ JSON-compatible dictionaries: grid geometry, per-level trace, and each
 cluster's subspace, units, DNF and population.  ``result_from_dict``
 round-trips everything, enabling result files, diffing runs, and the
 command-line interface.
+
+Two sizes of JSON output: :func:`result_to_json` defaults to the
+compact encoding (``indent=None`` with tight separators — large
+results stay one-third the pretty-printed size), and
+:func:`write_result_json` streams the encoder's chunks straight to the
+file instead of materialising one giant string.
+
+The serving layer's compiled models have their own versioned format
+(``pmafia-compiled-model``/1): :func:`model_to_dict` /
+:func:`model_from_dict` carry the flat DNF condition table plus
+cluster metadata, so a model exported today recompiles identically on
+load without shipping the full clustering result.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any
+from pathlib import Path
+from typing import Any, IO
 
 import numpy as np
 
@@ -150,9 +163,39 @@ def result_from_dict(payload: dict[str, Any]) -> ClusteringResult:
         n_records=int(payload["n_records"]))
 
 
-def result_to_json(result: ClusteringResult, indent: int | None = 2) -> str:
-    """The clustering as a JSON string."""
-    return json.dumps(result_to_dict(result), indent=indent)
+def result_to_json(result: ClusteringResult,
+                   indent: int | None = None) -> str:
+    """The clustering as a JSON string.
+
+    The default ``indent=None`` is the compact encoding (no whitespace
+    between tokens) — on a large result the pretty-printed form is
+    ~3x the bytes, all of it spaces and newlines.  Pass ``indent=2``
+    for a human-facing dump, or use :func:`write_result_json` to
+    stream a big result to disk without building the string at all.
+    """
+    return json.dumps(result_to_dict(result), indent=indent,
+                      separators=((",", ":") if indent is None else None))
+
+
+def write_result_json(path_or_file: str | Path | IO[str],
+                      result: ClusteringResult,
+                      indent: int | None = None) -> None:
+    """Stream the clustering as JSON to a path or open text file.
+
+    Unlike ``write_text(result_to_json(...))`` this never materialises
+    the whole document as one string: ``json.dump`` yields the encoder
+    chunks straight into the file object.
+    """
+    separators = (",", ":") if indent is None else None
+    if hasattr(path_or_file, "write"):
+        json.dump(result_to_dict(result), path_or_file, indent=indent,
+                  separators=separators)
+        path_or_file.write("\n")
+        return
+    with open(path_or_file, "w") as fh:
+        json.dump(result_to_dict(result), fh, indent=indent,
+                  separators=separators)
+        fh.write("\n")
 
 
 def result_from_json(text: str) -> ClusteringResult:
@@ -162,3 +205,82 @@ def result_from_json(text: str) -> ClusteringResult:
     except json.JSONDecodeError as exc:
         raise DataError(f"invalid result JSON: {exc}") from exc
     return result_from_dict(payload)
+
+
+# -- compiled serving models --------------------------------------------
+
+MODEL_FORMAT = "pmafia-compiled-model"
+MODEL_VERSION = 1
+
+
+def model_to_dict(model: Any) -> dict[str, Any]:
+    """A compiled serving model as a versioned JSON-compatible dict.
+
+    The payload carries the flat DNF condition table
+    (:class:`repro.core.dnf.TermArrays`) plus cluster metadata — the
+    exact inputs of :func:`repro.serve.compile.compile_arrays` — so
+    importing rebuilds a bit-identical evaluator without needing the
+    original clustering result or its grid.
+    """
+    terms = model.terms
+    return {
+        "format": MODEL_FORMAT,
+        "version": MODEL_VERSION,
+        "ndim": int(model.ndim),
+        "clusters": [
+            {"subspace": list(dims), "point_count": int(count)}
+            for dims, count in zip(model.subspaces, model.point_counts)
+        ],
+        "terms": {
+            "term_cluster": model.terms.term_cluster.tolist(),
+            "cond_term": terms.cond_term.tolist(),
+            "cond_dim": terms.cond_dim.tolist(),
+            "cond_lo": terms.cond_lo.tolist(),
+            "cond_hi": terms.cond_hi.tolist(),
+        },
+    }
+
+
+def model_from_dict(payload: dict[str, Any]) -> Any:
+    """Inverse of :func:`model_to_dict`: recompile the evaluator."""
+    from ..core.dnf import TermArrays
+    from ..serve.compile import compile_arrays
+
+    if payload.get("format") != MODEL_FORMAT:
+        raise DataError("not a pmafia-compiled-model payload")
+    if payload.get("version") != MODEL_VERSION:
+        raise DataError(
+            f"unsupported compiled-model version {payload.get('version')}")
+    try:
+        t = payload["terms"]
+        terms = TermArrays(
+            n_clusters=len(payload["clusters"]),
+            term_cluster=np.asarray(t["term_cluster"], dtype=np.int64),
+            cond_term=np.asarray(t["cond_term"], dtype=np.int64),
+            cond_dim=np.asarray(t["cond_dim"], dtype=np.int64),
+            cond_lo=np.asarray(t["cond_lo"], dtype=np.float64),
+            cond_hi=np.asarray(t["cond_hi"], dtype=np.float64))
+        subspaces = [tuple(int(d) for d in c["subspace"])
+                     for c in payload["clusters"]]
+        counts = [int(c.get("point_count", 0))
+                  for c in payload["clusters"]]
+        ndim = int(payload["ndim"])
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"malformed compiled-model payload: {exc}") from exc
+    return compile_arrays(terms, ndim, subspaces=subspaces,
+                          point_counts=counts)
+
+
+def model_to_json(model: Any, indent: int | None = None) -> str:
+    """A compiled serving model as a JSON string (compact by default)."""
+    return json.dumps(model_to_dict(model), indent=indent,
+                      separators=((",", ":") if indent is None else None))
+
+
+def model_from_json(text: str) -> Any:
+    """Parse a compiled model back from :func:`model_to_json` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DataError(f"invalid compiled-model JSON: {exc}") from exc
+    return model_from_dict(payload)

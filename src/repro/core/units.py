@@ -197,12 +197,9 @@ class UnitTable:
             raise DataError("level mismatch in contains_rows")
         if self.n_units == 0 or other.n_units == 0:
             return np.zeros(other.n_units, dtype=bool)
-        mine = self.sort()._rows()
-        theirs = other._rows()
-        # row-wise membership via searchsorted on a void view
-        void = np.dtype((np.void, mine.shape[1] * mine.dtype.itemsize))
-        a = np.ascontiguousarray(mine).view(void).ravel()
-        b = np.ascontiguousarray(theirs).view(void).ravel()
+        # row-wise membership via searchsorted on the void-key view
+        a = row_keys(self.sort()._rows())
+        b = row_keys(other._rows())
         pos = np.searchsorted(a, b)
         pos = np.clip(pos, 0, len(a) - 1)
         return a[pos] == b
@@ -281,6 +278,25 @@ def pack_tokens(tokens: np.ndarray) -> np.ndarray:
         shift = np.uint64(16 * (TOKENS_PER_WORD - 1 - slot))
         words[:, w] |= tokens[:, j] << shift
     return words
+
+
+def row_keys(rows: np.ndarray) -> np.ndarray:
+    """A 1-D void view of a 2-D array's rows: one memcmp-comparable,
+    hashable key per row.
+
+    Equal rows ⇔ equal keys, so the view feeds ``np.searchsorted`` /
+    ``np.unique`` grouping (as in :meth:`UnitTable.contains_rows`) and
+    — via ``key.tobytes()`` — dictionary keys, which is how the serving
+    cache (:mod:`repro.serve.cache`) indexes packed bin signatures.
+    Void keys order by memcmp, not by integer value; use them for
+    grouping and equality, not for numeric order.
+    """
+    rows = np.ascontiguousarray(rows)
+    if rows.ndim != 2 or rows.shape[1] == 0:
+        raise DataError(f"row_keys needs a non-empty 2-D array, "
+                        f"got shape {rows.shape}")
+    void = np.dtype((np.void, rows.shape[1] * rows.dtype.itemsize))
+    return rows.view(void).ravel()
 
 
 def group_sort(words: np.ndarray) -> np.ndarray:

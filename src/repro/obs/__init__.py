@@ -53,6 +53,7 @@ __all__ = [
     "check_rank_spans",
     "check_spans_by_rank",
     "obs_session",
+    "serve_summary",
     "write_chrome_trace",
     "write_metrics_snapshot",
 ]
@@ -249,6 +250,30 @@ class RankObs:
         if self.metrics is not None:
             self.metrics.counter("faults.injected", kind=kind).inc()
 
+    # -- serving hooks ----------------------------------------------------
+    def serve_batch(self, n_records: int, seconds: float, *,
+                    hits: int, misses: int, evaluated: int,
+                    bypassed: bool) -> None:
+        """One scored batch from the serving engine: records answered,
+        signature-cache hits/misses at record granularity, distinct
+        signatures actually evaluated, and whether the batch bypassed
+        the cache probe (mostly-novel traffic).  The ``score_batch``
+        span itself is recorded by the server around the evaluation;
+        this hook lands the metrics half."""
+        if self.metrics is None:
+            return
+        self.metrics.counter("serve.batches").inc()
+        self.metrics.counter("serve.records").inc(n_records)
+        self.metrics.counter("serve.cache_hits").inc(hits)
+        self.metrics.counter("serve.cache_misses").inc(misses)
+        self.metrics.counter("serve.evaluations").inc(evaluated)
+        if bypassed:
+            self.metrics.counter("serve.cache_bypasses").inc()
+        self.metrics.gauge("serve.batch_size").set(n_records)
+        self.metrics.histogram("serve.batch_records").observe(n_records)
+        self.metrics.histogram("serve.batch_latency_us").observe(
+            seconds * 1e6)
+
     # -- recovery / rebalance hooks --------------------------------------
     def recovery_event(self, kind: str, **attrs: Any) -> None:
         """One step of a shard-recovery round seen from this rank:
@@ -376,6 +401,37 @@ def as_run_obs(obj: Any) -> RunObs | None:
     if inner is obj:
         return None
     return as_run_obs(inner)
+
+
+def serve_summary(obs: Any) -> dict[str, Any] | None:
+    """The serving half of an observer's metrics, flattened to one
+    JSON-ready dict (``None`` when no ``serve.*`` metric was ever
+    recorded — e.g. metrics off, or the observer never served).
+
+    Counters come through as plain numbers; the latency histogram is
+    summarised as count / total / min / max / mean microseconds."""
+    run = as_run_obs(obs)
+    if run is None:
+        if isinstance(obs, RankObs):
+            run = RunObs(ranks=(obs.export(),))
+        else:
+            return None
+    total = run.merged_metrics()["total"]
+    out: dict[str, Any] = {}
+    for name in ("serve.batches", "serve.records", "serve.cache_hits",
+                 "serve.cache_misses", "serve.evaluations",
+                 "serve.cache_bypasses"):
+        entry = total.get(name)
+        if entry is not None:
+            out[name.split(".", 1)[1]] = entry["value"]
+    lat = total.get("serve.batch_latency_us")
+    if lat is not None and lat["count"]:
+        out["latency_us"] = {
+            "count": lat["count"], "total": lat["sum"],
+            "min": lat["min"], "max": lat["max"],
+            "mean": lat["sum"] / lat["count"],
+        }
+    return out or None
 
 
 def write_metrics_snapshot(path: str | Path, obs: Any) -> Path:

@@ -19,8 +19,9 @@ Schema (``pmafia-run-manifest/1``)::
       "n_clusters": int,
       "phases": {"grid": seconds, ...}, # from the writing rank's spans
       "virtual_seconds": float,         # 0.0 off the sim backend
-      "join_strategies": {"2": "hash", "4": "fptree", ...}  # resolved
-    }
+      "join_strategies": {"2": "hash", "4": "fptree", ...},  # resolved
+      "serve": {...}                    # optional: serve_summary() of a
+    }                                   # scoring session over the result
 
 Rank 0 writes the manifest at the end of a run when observability is on
 and a checkpoint directory is configured; the CLI writes one next to
@@ -42,17 +43,22 @@ MANIFEST_NAME = "run_manifest.json"
 def build_manifest(result: Any, *, phases: dict[str, float],
                    nprocs: int = 1,
                    virtual_seconds: float = 0.0,
-                   join_strategies: dict[int, str] | None = None
+                   join_strategies: dict[int, str] | None = None,
+                   serve: dict[str, Any] | None = None
                    ) -> dict[str, Any]:
     """Assemble the manifest dict for a finished
     :class:`~repro.core.result.ClusteringResult`.
 
     ``join_strategies`` records the *resolved* join implementation each
     level ran (``auto`` decisions included), keyed by level.
+    ``serve`` attaches a :func:`repro.obs.serve_summary` of a scoring
+    session run over the result (the CLI ``score`` subcommand's path);
+    the key is omitted when ``None`` so clustering-only manifests are
+    byte-identical to before.
     """
     params = result.params
     fields = getattr(params, "__dataclass_fields__", {})
-    return {
+    manifest = {
         "schema": SCHEMA,
         "params": {name: _plain(getattr(params, name)) for name in fields},
         "n_records": int(result.n_records),
@@ -69,6 +75,9 @@ def build_manifest(result: Any, *, phases: dict[str, float],
         "join_strategies": {str(level): strategy for level, strategy
                             in sorted((join_strategies or {}).items())},
     }
+    if serve is not None:
+        manifest["serve"] = serve
+    return manifest
 
 
 def write_manifest(path: str | Path, manifest: dict[str, Any]) -> Path:

@@ -1,0 +1,45 @@
+"""Cluster serving: compiled DNF membership scoring at batch speed.
+
+The millions-of-users front door over a finished clustering.  Compile
+a :class:`~repro.core.result.ClusteringResult`'s minimal DNF cluster
+descriptions once (:func:`compile_result`), then answer "which clusters
+does this record belong to, in which subspaces" for whole record
+batches via vectorized packed-interval evaluation — with an LRU result
+cache keyed by per-record bin signature so hot traffic skips
+evaluation entirely.
+
+Entry points
+------------
+* :class:`ClusterServer` — load a result (object, dict or JSON file),
+  call :meth:`~ClusterServer.score_batch`; thread-safe, asyncio-aware
+  (:meth:`~ClusterServer.ascore_batch`), optionally metered through a
+  :class:`repro.obs.RankObs` (``serve.*`` metrics + spans).
+* :func:`compile_result` / :func:`compile_clusters` — build the
+  reusable :class:`CompiledModel` directly.
+* :func:`score_batch_naive` — the per-term reference scorer the
+  compiled engine is property-tested and benchmarked against.
+* ``repro.core.export.model_to_json`` / ``model_from_json`` — the
+  versioned compiled-model interchange format.
+
+See ``docs/SERVING.md`` for the full query API, cache semantics and
+performance numbers, and ``examples/score_stream.py`` for an
+end-to-end walkthrough.
+"""
+
+from __future__ import annotations
+
+from .cache import SignatureCache
+from .compile import (CompiledModel, compile_arrays, compile_clusters,
+                      compile_result)
+from .engine import BatchScores, ClusterServer, score_batch_naive
+
+__all__ = [
+    "BatchScores",
+    "ClusterServer",
+    "CompiledModel",
+    "SignatureCache",
+    "compile_arrays",
+    "compile_clusters",
+    "compile_result",
+    "score_batch_naive",
+]

@@ -1,0 +1,74 @@
+"""The serving result cache: LRU over packed bin signatures.
+
+Two records that digitize to the same serve-bin row provably score
+identically (membership is a pure function of the bin signature), so
+the server caches one membership row per *signature* rather than per
+record.  Keys are the raw bytes of the record's packed uint64
+signature words (:meth:`repro.serve.compile.CompiledModel.signatures`);
+values are the ``(n_clusters,)`` bool membership row.
+
+The store is a plain ``OrderedDict`` in LRU order — a hit moves the
+key to the back, inserting past ``maxsize`` evicts from the front.
+Mutation is cheap (two dict ops), so the server holds its lock across
+whole-batch probe/fill sections rather than per key.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+
+class SignatureCache:
+    """Bounded LRU map from bin-signature bytes to membership rows."""
+
+    __slots__ = ("maxsize", "_store", "hits", "misses", "evictions")
+
+    def __init__(self, maxsize: int = 65_536) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._store: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._store
+
+    def get(self, key: bytes) -> np.ndarray | None:
+        """The cached membership row for ``key`` (refreshing its LRU
+        position), or ``None`` on a miss."""
+        row = self._store.get(key)
+        if row is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return row
+
+    def put(self, key: bytes, row: np.ndarray) -> None:
+        """Insert (or refresh) one membership row, evicting the least
+        recently used entry when full."""
+        store = self._store
+        if key in store:
+            store.move_to_end(key)
+            store[key] = row
+            return
+        if len(store) >= self.maxsize:
+            store.popitem(last=False)
+            self.evictions += 1
+        store[key] = row
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime counters as a plain dict (JSON-ready)."""
+        return {"entries": len(self._store), "maxsize": self.maxsize,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}

@@ -1,0 +1,351 @@
+"""Compile minimal DNF cluster descriptions into a vectorized evaluator.
+
+A clustering's end product is a set of DNF expressions — per cluster, a
+union of hyper-rectangles over adaptive-grid bin boundaries.  Serving
+them naively walks every term of every cluster per record; this module
+compiles the whole cluster set once into a *packed-interval* evaluator
+so a batch of records is scored with a handful of array operations:
+
+1.  **Digitize** — per serving dimension (the union of all cluster
+    subspace dims), the distinct term boundary values form one sorted
+    edge array; ``np.searchsorted(edges, col, side="right")`` maps each
+    record to a small integer *serve bin* per dimension, exactly once
+    per batch.  Because the edges are the terms' own ``lo``/``hi``
+    floats, bin membership reproduces the direct comparisons
+    ``lo <= x < hi`` bit for bit — including records sitting exactly on
+    a bin edge (property-tested in ``tests/test_serve.py``).
+2.  **Interval masks** — every DNF term owns one bit of a packed uint64
+    mask; per serving dimension a small lookup table maps each serve
+    bin to the mask of terms whose interval on that dimension contains
+    the bin (terms without a condition on the dimension are don't-care:
+    their bit stays set).  ANDing the per-dimension lookups leaves
+    exactly the bits of the terms the record satisfies.
+3.  **Cluster reduction** — terms of one cluster occupy a contiguous
+    bit range padded to never straddle a word, so membership is one
+    masked word test per cluster (``hit_words[:, w] & mask != 0``)
+    rather than a per-term loop.
+
+The per-record serve-bin row doubles as the record's *bin signature*:
+packed through :func:`repro.core.units.pack_tokens`, it keys the
+serving cache (:mod:`repro.serve.cache`) — records in the same grid
+cell provably score identically, so hot traffic short-circuits
+evaluation entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.dnf import TermArrays, term_arrays
+from ..errors import DataError
+from ..core.units import pack_tokens
+from ..types import Cluster
+
+#: serve bins are packed as uint16 tokens, so a dimension may have at
+#: most this many distinct term boundaries (adaptive grids give <= 257)
+MAX_BOUNDARIES = 65_534
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class CompiledModel:
+    """One cluster set compiled for batch membership scoring.
+
+    Built by :func:`compile_clusters` / :func:`compile_result`; see the
+    module docstring for the evaluation scheme.  All arrays are
+    read-only at serve time, so one model may be shared across threads.
+    """
+
+    #: data-set dimensionality records must match
+    ndim: int
+    #: per cluster, its subspace dims (reported alongside membership)
+    subspaces: tuple[tuple[int, ...], ...]
+    #: per cluster, the training-time record count (metadata)
+    point_counts: tuple[int, ...]
+    #: the flat condition table the model was compiled from (kept for
+    #: versioned export/import — see repro.core.export)
+    terms: TermArrays
+    #: (s,) sorted dims that actually appear in any term
+    serve_dims: np.ndarray
+    #: per serve dim, sorted unique term boundary values
+    boundaries: tuple[np.ndarray, ...]
+    #: per serve dim, (n_bins, n_words) uint64 term-mask lookup table
+    luts: tuple[np.ndarray, ...]
+    #: packed term-mask words per record after the AND-reduction
+    n_words: int
+    #: per cluster, the word index and mask of its (contiguous) term bits
+    cluster_word: np.ndarray
+    cluster_mask: np.ndarray
+
+    # -- shapes ----------------------------------------------------------
+    @property
+    def n_clusters(self) -> int:
+        return len(self.subspaces)
+
+    @property
+    def n_terms(self) -> int:
+        return self.terms.n_terms
+
+    @property
+    def n_serve_dims(self) -> int:
+        return int(len(self.serve_dims))
+
+    @property
+    def signature_words(self) -> int:
+        """uint64 words per record bin signature (>= 1)."""
+        return max(1, -(-self.n_serve_dims // 4))
+
+    @cached_property
+    def _radix_strides(self) -> np.ndarray | None:
+        """Mixed-radix strides collapsing a serve-bin row to ONE uint64
+        grouping key, or ``None`` when the bin-count product overflows
+        a word (then grouping falls back to the packed signature rows).
+        Adaptive-grid DNFs have a handful of boundaries per dim, so the
+        single-word key is the overwhelmingly common case — and sorting
+        uint64 keys is several times faster than sorting byte rows."""
+        total = 1
+        for edges in self.boundaries:
+            total *= len(edges) + 1
+        if total > (1 << 64):
+            return None
+        strides = np.empty(self.n_serve_dims, dtype=np.uint64)
+        acc = 1
+        for j in range(self.n_serve_dims - 1, -1, -1):
+            strides[j] = acc
+            acc *= len(self.boundaries[j]) + 1
+        return strides
+
+    # -- evaluation ------------------------------------------------------
+    def digitize(self, records: np.ndarray) -> np.ndarray:
+        """Map an ``(n, ndim)`` record block to its ``(n, s)`` uint16
+        serve-bin matrix — one ``searchsorted`` per serving dimension,
+        the only place record values are read.  The result is
+        column-major so each dimension's bins stay contiguous for the
+        gathers downstream; columns are searched on a contiguous copy
+        (``searchsorted`` on a strided column is ~3x slower)."""
+        records = np.atleast_2d(np.asarray(records, dtype=np.float64))
+        if records.ndim != 2 or records.shape[1] != self.ndim:
+            raise DataError(
+                f"records shape {records.shape} does not match model "
+                f"with {self.ndim} dimensions")
+        idx = np.empty((records.shape[0], self.n_serve_dims),
+                       dtype=np.uint16, order="F")
+        for j, dim in enumerate(self.serve_dims):
+            col = np.ascontiguousarray(records[:, dim])
+            idx[:, j] = np.searchsorted(self.boundaries[j], col,
+                                        side="right")
+        return idx
+
+    def signatures(self, idx: np.ndarray) -> np.ndarray:
+        """Pack a digitized ``(n, s)`` matrix into ``(n, ceil(s/4))``
+        uint64 bin-signature words (the serving-cache key space)."""
+        return pack_tokens(np.ascontiguousarray(
+            idx.astype(np.uint64, copy=False)))
+
+    def group_keys(self, idx: np.ndarray) -> np.ndarray:
+        """One hashable grouping key per digitized record: records with
+        equal keys provably score identically.  A ``(n,)`` uint64 array
+        via the mixed-radix collapse when it fits, else the packed
+        signature rows as an opaque void view."""
+        strides = self._radix_strides
+        if strides is None:
+            from ..core.units import row_keys
+            return row_keys(self.signatures(idx))
+        n = idx.shape[0]
+        key = np.zeros(n, dtype=np.uint64)
+        for j in range(self.n_serve_dims):
+            np.multiply(key, np.uint64(len(self.boundaries[j]) + 1),
+                        out=key)
+            np.add(key, idx[:, j], out=key, casting="unsafe")
+        return key
+
+    def eval_idx(self, idx: np.ndarray) -> np.ndarray:
+        """Membership from an already-digitized ``(n, s)`` matrix:
+        ``(n, n_clusters)`` bool, True where the record satisfies at
+        least one DNF term of the cluster.
+
+        Runs in ~64k-record blocks so the gathered mask words stay
+        cache-resident instead of round-tripping batch-sized
+        temporaries through memory."""
+        n = idx.shape[0]
+        if self.n_terms == 0 or n == 0:
+            return np.zeros((n, self.n_clusters), dtype=bool)
+        member = np.empty((n, self.n_clusters), dtype=bool, order="F")
+        block = min(n, 65_536)
+        hits = np.empty((block, self.n_words), dtype=np.uint64)
+        gathered = np.empty_like(hits)
+        for start in range(0, n, block):
+            m = min(block, n - start)
+            h, g = hits[:m], gathered[:m]
+            h[...] = _ALL_ONES
+            for j in range(self.n_serve_dims):
+                np.take(self.luts[j], idx[start:start + m, j], axis=0,
+                        out=g)
+                np.bitwise_and(h, g, out=h)
+            for c in range(self.n_clusters):
+                np.not_equal(h[:, self.cluster_word[c]]
+                             & self.cluster_mask[c], 0,
+                             out=member[start:start + m, c])
+        return member
+
+    def score(self, records: np.ndarray) -> np.ndarray:
+        """Digitize + evaluate in one call: ``(n, n_clusters)`` bool."""
+        return self.eval_idx(self.digitize(records))
+
+    # -- introspection ---------------------------------------------------
+    def describe(self) -> str:
+        return (f"CompiledModel({self.n_clusters} clusters, "
+                f"{self.n_terms} terms, {self.terms.n_conditions} "
+                f"conditions over {self.n_serve_dims} of {self.ndim} "
+                f"dims, {self.n_words} mask word(s))")
+
+
+def compile_clusters(clusters: Sequence[Cluster], ndim: int
+                     ) -> CompiledModel:
+    """Compile a cluster sequence (e.g. ``result.clusters``) for
+    serving against ``ndim``-dimensional records."""
+    return compile_arrays(term_arrays(clusters), ndim,
+                          subspaces=tuple(c.subspace.dims
+                                          for c in clusters),
+                          point_counts=tuple(int(c.point_count)
+                                             for c in clusters))
+
+
+def compile_result(result: Any) -> CompiledModel:
+    """Compile a :class:`~repro.core.result.ClusteringResult` (or its
+    ``result_to_dict`` payload) into a serving model."""
+    if isinstance(result, dict):
+        from ..core.export import result_from_dict
+        result = result_from_dict(result)
+    return compile_clusters(result.clusters, result.grid.ndim)
+
+
+def compile_arrays(terms: TermArrays, ndim: int, *,
+                   subspaces: Sequence[Sequence[int]],
+                   point_counts: Sequence[int] | None = None
+                   ) -> CompiledModel:
+    """Build the evaluator from a flat condition table (the import path
+    of the versioned model export, and the core of the compilers above).
+    """
+    if len(subspaces) != terms.n_clusters:
+        raise DataError(f"{len(subspaces)} subspaces for "
+                        f"{terms.n_clusters} clusters")
+    if point_counts is None:
+        point_counts = (0,) * terms.n_clusters
+    subspaces = tuple(tuple(int(d) for d in dims) for dims in subspaces)
+    for dims in subspaces:
+        for d in dims:
+            if not 0 <= d < ndim:
+                raise DataError(f"subspace dim {d} outside the "
+                                f"{ndim}-dimensional data space")
+    if terms.n_conditions and int(terms.cond_dim.max()) >= ndim:
+        raise DataError("term condition references a dim outside the "
+                        f"{ndim}-dimensional data space")
+    terms = _grouped_by_cluster(terms)
+
+    # bit layout: terms of one cluster are contiguous (enforced above)
+    # and padded so no cluster straddles a word — membership then
+    # costs one masked word test per cluster
+    bit_of_term, cluster_word, cluster_mask, n_words = _layout_bits(terms)
+
+    serve_dims = np.unique(terms.cond_dim) if terms.n_conditions \
+        else np.empty(0, dtype=np.int64)
+    boundaries: list[np.ndarray] = []
+    luts: list[np.ndarray] = []
+    for dim in serve_dims:
+        on_dim = terms.cond_dim == dim
+        edges = np.unique(np.concatenate([terms.cond_lo[on_dim],
+                                          terms.cond_hi[on_dim]]))
+        if len(edges) > MAX_BOUNDARIES:
+            raise DataError(
+                f"dim {int(dim)} has {len(edges)} distinct term "
+                f"boundaries; serving supports at most {MAX_BOUNDARIES}")
+        n_bins = len(edges) + 1     # searchsorted lands in [0, len(edges)]
+        lut = np.full((n_bins, n_words), _ALL_ONES, dtype=np.uint64)
+        lo_idx = np.searchsorted(edges, terms.cond_lo[on_dim])
+        hi_idx = np.searchsorted(edges, terms.cond_hi[on_dim])
+        for t, a, b in zip(terms.cond_term[on_dim], lo_idx, hi_idx):
+            # the term accepts serve bin v iff a < v <= b (side="right"
+            # digitizing maps x == edges[a] to a + 1): clear its bit
+            # everywhere outside that interval
+            word, bit = divmod(int(bit_of_term[t]), 64)
+            clear = ~(np.uint64(1) << np.uint64(bit))
+            lut[:a + 1, word] &= clear
+            lut[b + 1:, word] &= clear
+        boundaries.append(np.ascontiguousarray(edges))
+        luts.append(lut)
+
+    return CompiledModel(
+        ndim=int(ndim), subspaces=subspaces,
+        point_counts=tuple(int(p) for p in point_counts),
+        terms=terms, serve_dims=serve_dims,
+        boundaries=tuple(boundaries), luts=tuple(luts),
+        n_words=n_words, cluster_word=cluster_word,
+        cluster_mask=cluster_mask)
+
+
+def _grouped_by_cluster(terms: TermArrays) -> TermArrays:
+    """Reorder a condition table so terms of one cluster are contiguous
+    in cluster order (``term_arrays`` already emits this layout; a
+    hand-built or imported table may not)."""
+    order = np.argsort(terms.term_cluster, kind="stable")
+    if np.array_equal(order, np.arange(terms.n_terms)):
+        return terms
+    new_of_old = np.empty(terms.n_terms, dtype=np.int64)
+    new_of_old[order] = np.arange(terms.n_terms)
+    cond_order = np.argsort(new_of_old[terms.cond_term], kind="stable")
+    return TermArrays(
+        n_clusters=terms.n_clusters,
+        term_cluster=terms.term_cluster[order],
+        cond_term=new_of_old[terms.cond_term][cond_order],
+        cond_dim=terms.cond_dim[cond_order],
+        cond_lo=terms.cond_lo[cond_order],
+        cond_hi=terms.cond_hi[cond_order])
+
+
+def _layout_bits(terms: TermArrays
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Assign each term a bit so every cluster's terms share one word.
+
+    Returns ``(bit_of_term, cluster_word, cluster_mask, n_words)``.
+    A cluster's bit range is padded to never straddle a word boundary,
+    which caps clusters at 64 DNF terms — adaptive-grid DNFs are far
+    below that (the greedy cover emits one box per uncovered region);
+    a pathological cluster fails loudly at compile time rather than
+    silently mis-scoring.
+    """
+    n_clusters = terms.n_clusters
+    counts = np.zeros(n_clusters, dtype=np.int64)
+    if terms.n_terms:
+        counts += np.bincount(terms.term_cluster, minlength=n_clusters)
+    bit_of_term = np.zeros(terms.n_terms, dtype=np.int64)
+    cluster_word = np.zeros(n_clusters, dtype=np.int64)
+    cluster_mask = np.zeros(n_clusters, dtype=np.uint64)
+    next_bit = 0
+    term_cursor = 0
+    for c in range(n_clusters):
+        k = int(counts[c])
+        if k > 64:
+            raise DataError(
+                f"cluster {c} has {k} DNF terms; the packed evaluator "
+                f"supports at most 64 per cluster")
+        word_pos = next_bit % 64
+        if k and word_pos + k > 64:     # pad to the next word boundary
+            next_bit += 64 - word_pos
+        start = next_bit
+        bit_of_term[term_cursor:term_cursor + k] = \
+            np.arange(start, start + k)
+        cluster_word[c] = start // 64
+        if k:
+            span = (_ALL_ONES >> np.uint64(64 - k)) \
+                << np.uint64(start % 64)
+            cluster_mask[c] = span
+        term_cursor += k
+        next_bit += k
+    n_words = max(1, -(-next_bit // 64))
+    return bit_of_term, cluster_word, cluster_mask, n_words

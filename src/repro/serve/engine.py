@@ -1,0 +1,386 @@
+"""Batch membership scoring: the naive reference scorer and the server.
+
+:func:`score_batch_naive` is the obvious implementation — one NumPy
+interval comparison per term condition, looped in Python — kept as the
+ground truth the compiled engine is property-tested (and benchmarked)
+against.
+
+:class:`ClusterServer` is the front door: it loads a
+:class:`~repro.core.result.ClusteringResult` (or its JSON export, or a
+pre-compiled model), scores record batches through the compiled
+evaluator, and short-circuits hot traffic through an LRU cache keyed
+by bin signature.  Within one batch, duplicate signatures are
+evaluated once; across batches, previously seen signatures are
+answered from the cache without touching the evaluator at all.  A
+batch whose signatures are mostly novel bypasses the cache fill and
+evaluates vectorized — cold random traffic is never slower than the
+cache-less path by more than the key grouping.
+
+The hot probe never walks a Python loop over the batch: alongside the
+LRU dict the server keeps a *sorted probe snapshot* — one sorted
+uint64 key array plus the matching membership rows — so a whole batch
+is probed with a single ``searchsorted`` and answered with one row
+gather.  The snapshot may briefly retain entries the LRU has already
+evicted; that is stale-but-*correct* (membership is a pure function of
+the signature), costs only memory, and the snapshot is re-filtered
+against the live dict once it grows past twice the cache capacity.
+
+The server is thread-safe (one lock around cache sections) and
+daemon-friendly: :meth:`ClusterServer.ascore_batch` awaits the scoring
+on an executor so an asyncio service can serve concurrent requests,
+and all counters are exposed via :meth:`ClusterServer.stats` and —
+when constructed with an observer — as ``serve.*`` metrics and spans
+(see ``docs/SERVING.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import DataError
+from ..types import Cluster
+from .cache import SignatureCache
+from .compile import CompiledModel, compile_result
+
+
+def _group(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``np.unique(keys, return_index=True, return_inverse=True)``, but
+    through a stable argsort — radix sort on integer keys, several
+    times faster than unique's comparison sort on large batches.
+    Non-integer (void-view) keys fall back to ``np.unique``."""
+    if keys.dtype.kind not in "ui":
+        return np.unique(keys, return_index=True, return_inverse=True)
+    order = np.argsort(keys, kind="stable")
+    ranked = keys[order]
+    starts = np.empty(len(ranked), dtype=bool)
+    starts[0] = True
+    np.not_equal(ranked[1:], ranked[:-1], out=starts[1:])
+    group_of_rank = np.cumsum(starts) - 1
+    inverse = np.empty(len(ranked), dtype=np.int64)
+    inverse[order] = group_of_rank
+    return ranked[starts], order[starts], inverse
+
+
+def score_batch_naive(clusters: Sequence[Cluster], records: np.ndarray
+                      ) -> np.ndarray:
+    """Reference scorer: ``(n, n_clusters)`` bool membership via a
+    per-term NumPy loop over the raw interval comparisons — exactly
+    ``Cluster.contains`` vectorized over records, nothing cleverer."""
+    records = np.atleast_2d(np.asarray(records, dtype=np.float64))
+    n = records.shape[0]
+    member = np.zeros((n, len(clusters)), dtype=bool)
+    for ci, cluster in enumerate(clusters):
+        acc = member[:, ci]
+        for term in cluster.dnf:
+            hit = np.ones(n, dtype=bool)
+            for dim, (lo, hi) in zip(term.subspace.dims, term.intervals):
+                col = records[:, dim]
+                hit &= (col >= lo) & (col < hi)
+            acc |= hit
+    return member
+
+
+@dataclass(frozen=True)
+class BatchScores:
+    """One scored batch: membership plus the cluster metadata needed to
+    answer "which clusters, in which subspaces" without re-touching the
+    model."""
+
+    #: (n, n_clusters) bool — record i belongs to cluster c
+    membership: np.ndarray
+    #: per cluster, its subspace dims
+    subspaces: tuple[tuple[int, ...], ...]
+
+    def __len__(self) -> int:
+        return int(self.membership.shape[0])
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.membership.shape[1])
+
+    def cluster_ids(self, i: int) -> list[int]:
+        """The cluster indices record ``i`` belongs to."""
+        return np.nonzero(self.membership[i])[0].tolist()
+
+    def record_subspaces(self, i: int) -> list[tuple[int, ...]]:
+        """The subspaces of record ``i``'s clusters, in cluster order."""
+        return [self.subspaces[c] for c in self.cluster_ids(i)]
+
+    def subspace_masks(self) -> np.ndarray:
+        """Per record, the union of its clusters' dimensions as packed
+        uint64 bit masks: ``(n, ceil(maxdim/64))``, bit ``d`` of the
+        row set iff the record matched a cluster whose subspace
+        contains dimension ``d``."""
+        maxdim = max((d for dims in self.subspaces for d in dims),
+                     default=-1)
+        n_words = max(1, -(-(maxdim + 1) // 64))
+        cluster_bits = np.zeros((self.n_clusters, n_words),
+                                dtype=np.uint64)
+        for c, dims in enumerate(self.subspaces):
+            for d in dims:
+                cluster_bits[c, d // 64] |= np.uint64(1) << np.uint64(d % 64)
+        out = np.zeros((len(self), n_words), dtype=np.uint64)
+        for c in range(self.n_clusters):
+            out[self.membership[:, c]] |= cluster_bits[c]
+        return out
+
+    def counts(self) -> np.ndarray:
+        """Members per cluster over this batch: ``(n_clusters,)``."""
+        return self.membership.sum(axis=0)
+
+
+class ClusterServer:
+    """Serve cluster membership for record batches at array speed.
+
+    Parameters
+    ----------
+    model:
+        A :class:`CompiledModel`, a ``ClusteringResult`` or its
+        ``result_to_dict`` payload — anything :func:`compile_result`
+        accepts.
+    cache_size:
+        LRU entries (distinct bin signatures) to retain; ``0`` disables
+        the cache entirely.
+    bypass_fraction:
+        When a batch's distinct signatures exceed this fraction of its
+        records, the per-key cache probe is skipped and the batch is
+        evaluated vectorized (the cache is left untouched).  ``1.0``
+        never bypasses.
+    obs:
+        An optional :class:`repro.obs.RankObs`; when given, every batch
+        records a ``score_batch`` span and ``serve.*`` metrics.  The
+        ``None`` default is the zero-cost path.
+    """
+
+    def __init__(self, model: Any, *, cache_size: int = 65_536,
+                 bypass_fraction: float = 0.25, obs: Any = None) -> None:
+        if isinstance(model, CompiledModel):
+            self.model = model
+        else:
+            self.model = compile_result(model)
+        if not 0.0 <= bypass_fraction <= 1.0:
+            raise DataError(f"bypass_fraction must be in [0, 1], "
+                            f"got {bypass_fraction}")
+        self.cache = SignatureCache(cache_size) if cache_size > 0 else None
+        self.bypass_fraction = float(bypass_fraction)
+        self._obs = obs
+        self._lock = threading.Lock()
+        self._batches = 0
+        self._records = 0
+        self._bypasses = 0
+        self._evaluated = 0
+        # sorted probe snapshot: a uint64 key array (ascending) plus
+        # the matching membership rows, so a whole batch is probed
+        # with one searchsorted instead of a per-key dict loop.  May
+        # briefly retain LRU-evicted keys (stale-but-correct).
+        self._probe_keys: np.ndarray | None = None
+        self._probe_rows: np.ndarray | None = None
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_json(cls, text: str, **kwargs: Any) -> "ClusterServer":
+        """Build from a result or compiled-model JSON string (the two
+        versioned export formats of :mod:`repro.core.export`)."""
+        from ..core.export import model_from_dict, result_from_dict
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DataError(f"invalid model JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise DataError("model JSON must be an object")
+        if payload.get("format") == "pmafia-compiled-model":
+            return cls(model_from_dict(payload), **kwargs)
+        return cls(result_from_dict(payload), **kwargs)
+
+    @classmethod
+    def from_file(cls, path: str | Path, **kwargs: Any) -> "ClusterServer":
+        """Build from a result / compiled-model JSON file on disk."""
+        return cls.from_json(Path(path).read_text(), **kwargs)
+
+    # -- scoring ---------------------------------------------------------
+    def score_batch(self, records: np.ndarray) -> BatchScores:
+        """Score one record block: ``BatchScores`` with an ``(n,
+        n_clusters)`` membership matrix.  Identical to
+        :func:`score_batch_naive` bit for bit, for any cache state."""
+        records = np.atleast_2d(np.asarray(records, dtype=np.float64))
+        n = records.shape[0]
+        t0 = time.perf_counter()
+        span = (self._obs.span("score_batch", cat="serve", n_records=n)
+                if self._obs is not None else nullcontext())
+        with span:
+            idx = self.model.digitize(records)
+            hits = misses = evaluated = 0
+            bypassed = False
+            if self.cache is None:
+                membership = self.model.eval_idx(idx)
+                misses = evaluated = n
+            else:
+                membership, hits, misses, evaluated, bypassed = \
+                    self._score_cached(idx, n)
+        seconds = time.perf_counter() - t0
+        self._batches += 1
+        self._records += n
+        self._evaluated += evaluated
+        if bypassed:
+            self._bypasses += 1
+        if self._obs is not None:
+            self._obs.serve_batch(n, seconds, hits=hits, misses=misses,
+                                  evaluated=evaluated, bypassed=bypassed)
+        return BatchScores(membership=membership,
+                           subspaces=self.model.subspaces)
+
+    def _score_cached(self, idx: np.ndarray, n: int
+                      ) -> tuple[np.ndarray, int, int, int, bool]:
+        """The cached path: probe the sorted snapshot with one
+        ``searchsorted``, answer hits with one row gather, then group
+        only the missing records and evaluate each novel signature
+        once.  Cache hit/miss counters are record-granular here (the
+        fast path never probes the dict per key)."""
+        if n == 0:
+            return (np.zeros((0, self.model.n_clusters), dtype=bool),
+                    0, 0, 0, False)
+        keys = self.model.group_keys(idx)
+        if keys.dtype.kind not in "ui":
+            return self._score_grouped(keys, idx, n)
+
+        with self._lock:
+            pk, pr = self._probe_keys, self._probe_rows
+        if pk is not None and len(pk):
+            pos = np.searchsorted(pk, keys)
+            np.minimum(pos, len(pk) - 1, out=pos)
+            hit = pk[pos] == keys
+            n_hit = int(np.count_nonzero(hit))
+        else:
+            pos = hit = None
+            n_hit = 0
+        if n_hit == n:
+            membership = pr[pos]
+            with self._lock:
+                self.cache.hits += n
+            return membership, n, 0, 0, False
+
+        if hit is None:
+            miss_idx = None
+            miss_keys = keys
+        else:
+            miss_idx = np.nonzero(~hit)[0]
+            miss_keys = keys[miss_idx]
+        uniq, first, inverse = _group(miss_keys)
+        u = len(uniq)
+        if u > self.bypass_fraction * n:
+            # mostly-novel traffic: filling the cache would cost more
+            # than it saves, so evaluate vectorized and leave the
+            # cache untouched
+            return self.model.eval_idx(idx), 0, n, n, True
+
+        first_global = first if miss_idx is None else miss_idx[first]
+        fresh = self.model.eval_idx(idx[first_global])
+        if miss_idx is None:
+            membership = fresh[inverse]
+        else:
+            membership = np.empty((n, self.model.n_clusters),
+                                  dtype=bool)
+            membership[hit] = pr[pos[hit]]
+            membership[miss_idx] = fresh[inverse]
+        n_miss = n - n_hit
+        with self._lock:
+            self.cache.hits += n_hit
+            self.cache.misses += n_miss
+            for i in range(u):
+                self.cache.put(uniq[i].tobytes(), fresh[i])
+            self._merge_probe(uniq, fresh)
+        return membership, n_hit, n_miss, u, False
+
+    def _merge_probe(self, new_keys: np.ndarray,
+                     new_rows: np.ndarray) -> None:
+        """Fold freshly evaluated signatures into the sorted probe
+        snapshot (caller holds the lock; ``new_keys`` is ascending —
+        :func:`_group` output).  Concurrent batches may append the
+        same novel key twice; duplicates are harmless (identical rows)
+        and are dropped at the next re-filter."""
+        if self._probe_keys is None or not len(self._probe_keys):
+            self._probe_keys = new_keys
+            self._probe_rows = np.ascontiguousarray(new_rows)
+            return
+        merged = np.concatenate([self._probe_keys, new_keys])
+        rows = np.concatenate([self._probe_rows, new_rows])
+        order = np.argsort(merged, kind="stable")
+        self._probe_keys = merged[order]
+        self._probe_rows = rows[order]
+        if len(self._probe_keys) > 2 * self.cache.maxsize:
+            # drop snapshot entries the LRU has since evicted
+            live = np.fromiter(
+                (k.tobytes() in self.cache for k in self._probe_keys),
+                dtype=bool, count=len(self._probe_keys))
+            self._probe_keys = self._probe_keys[live]
+            self._probe_rows = self._probe_rows[live]
+
+    def _score_grouped(self, keys: np.ndarray, idx: np.ndarray, n: int
+                       ) -> tuple[np.ndarray, int, int, int, bool]:
+        """Fallback cached path for void-view keys (serve-bin count
+        product past 2**64): per-unique dict probe, no snapshot."""
+        uniq, first, inverse = _group(keys)
+        u = len(uniq)
+        if u > self.bypass_fraction * n:
+            return self.model.eval_idx(idx), 0, n, n, True
+
+        rows = np.empty((u, self.model.n_clusters), dtype=bool)
+        missing: list[int] = []
+        with self._lock:
+            for i in range(u):
+                row = self.cache.get(uniq[i].tobytes())
+                if row is None:
+                    missing.append(i)
+                else:
+                    rows[i] = row
+        if missing:
+            miss_pos = np.asarray(missing, dtype=np.int64)
+            fresh = self.model.eval_idx(idx[first[miss_pos]])
+            rows[miss_pos] = fresh
+            with self._lock:
+                for j, i in enumerate(missing):
+                    self.cache.put(uniq[i].tobytes(), fresh[j])
+        membership = rows[inverse]
+        per_sig = np.bincount(inverse, minlength=u)
+        missed_records = int(per_sig[missing].sum()) if missing else 0
+        return (membership, n - missed_records, missed_records,
+                len(missing), False)
+
+    def score_one(self, record: Sequence[float]) -> BatchScores:
+        """Score a single record (a length-1 batch)."""
+        return self.score_batch(np.asarray(record, dtype=np.float64)
+                                .reshape(1, -1))
+
+    async def ascore_batch(self, records: np.ndarray,
+                           executor: Any = None) -> BatchScores:
+        """Asyncio-friendly scoring: runs :meth:`score_batch` on the
+        event loop's default (or the given) executor so a daemon can
+        serve concurrent requests without blocking the loop."""
+        import asyncio
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            executor, self.score_batch, records)
+
+    # -- introspection ---------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Lifetime serving counters plus the cache's own (JSON-ready).
+        """
+        out: dict[str, Any] = {
+            "batches": self._batches,
+            "records": self._records,
+            "evaluations": self._evaluated,
+            "cache_bypasses": self._bypasses,
+            "n_clusters": self.model.n_clusters,
+            "n_terms": self.model.n_terms,
+            "cache": self.cache.stats() if self.cache is not None
+            else None,
+        }
+        return out

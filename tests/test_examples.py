@@ -31,6 +31,11 @@ class TestFastExamples:
         assert "staged their blocks" in out
         assert "(1, 3, 5)" in out
 
+    def test_score_stream(self):
+        out = run_example("score_stream.py")
+        assert "served 20000 requests" in out
+        assert "hits" in out and "evaluations" in out
+
 
 @pytest.mark.slow
 class TestSlowExamples:

@@ -10,7 +10,8 @@ from repro.clique import clique
 from repro.core.export import (cluster_from_dict, cluster_to_dict,
                                grid_from_dict, grid_to_dict,
                                result_from_dict, result_from_json,
-                               result_to_dict, result_to_json)
+                               result_to_dict, result_to_json,
+                               write_result_json)
 from repro.errors import DataError
 from repro.params import CliqueParams
 from tests.conftest import DOMAINS_10D
@@ -69,6 +70,36 @@ class TestRoundTrip:
         back = result_from_dict(result_to_dict(res))
         assert isinstance(back.params, CliqueParams)
         assert back.params.bins == 8
+
+
+class TestEncodingSize:
+    def test_compact_default_is_materially_smaller(self, result):
+        """Size regression gate: the default encoding must stay the
+        compact one — a large result's pretty print is mostly
+        whitespace, and serving-model files ship over the wire."""
+        compact = result_to_json(result)
+        pretty = result_to_json(result, indent=2)
+        assert ": " not in compact and ", " not in compact
+        assert len(compact) < 0.75 * len(pretty)
+        # both decode to the same result
+        assert result_from_json(compact).summary() == \
+            result_from_json(pretty).summary()
+
+    def test_write_result_json_streams_to_path(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        write_result_json(path, result)
+        back = result_from_json(path.read_text())
+        assert back.summary() == result.summary()
+        # the streamed file is the compact encoding plus one newline
+        assert path.read_text() == result_to_json(result) + "\n"
+
+    def test_write_result_json_accepts_file_object(self, result,
+                                                   tmp_path):
+        path = tmp_path / "result.json"
+        with open(path, "w") as fh:
+            write_result_json(fh, result, indent=2)
+        back = result_from_json(path.read_text())
+        assert back.summary() == result.summary()
 
 
 class TestValidation:

@@ -24,7 +24,8 @@ from repro.core.timing import phase_timer
 from repro.datagen import ClusterSpec, generate
 from repro.io.binned import grid_fingerprint
 from repro.obs import (RankObs, RankObsData, RunObs, as_run_obs,
-                       write_chrome_trace, write_metrics_snapshot)
+                       serve_summary, write_chrome_trace,
+                       write_metrics_snapshot)
 from repro.obs.manifest import MANIFEST_NAME, SCHEMA, build_manifest
 from repro.obs.metrics import MetricsRegistry, merge_snapshots, metric_key
 from repro.obs.trace import (COMPLETE, INSTANT, RankTracer, Span,
@@ -514,6 +515,96 @@ class TestCliFlags:
         with pytest.raises(SystemExit):
             cli_main(["run", str(npy_data), "--algorithm", "clique",
                       "--trace-out", str(tmp_path / "t.json")])
+
+
+class TestServeObservability:
+    """The serving engine meters through the same RankObs: serve.*
+    metrics and score_batch spans land beside a run's own, and the
+    ``obs=None`` default stays the zero-cost path."""
+
+    @pytest.fixture()
+    def server_parts(self):
+        from repro.serve import ClusterServer, compile_clusters
+        from repro.types import Cluster, DNFTerm, Subspace
+        sub = Subspace((0, 1))
+        cluster = Cluster(
+            subspace=sub, units_bins=np.zeros((1, 2), dtype=np.int64),
+            dnf=(DNFTerm(subspace=sub,
+                         intervals=((0.2, 0.6), (0.1, 0.9))),),
+            point_count=1)
+        model = compile_clusters([cluster], ndim=2)
+        records = np.random.default_rng(0).uniform(0, 1, (200, 2))
+        return ClusterServer, model, records
+
+    def test_metrics_and_spans_recorded(self, server_parts):
+        ClusterServer, model, records = server_parts
+        obs = RankObs(0)
+        server = ClusterServer(model, obs=obs)
+        server.score_batch(records)
+        server.score_batch(records)  # second pass is cache-warm
+        snap = obs.metrics.snapshot()
+        assert snap["serve.batches"]["value"] == 2
+        assert snap["serve.records"]["value"] == 400
+        assert snap["serve.cache_hits"]["value"] + \
+            snap["serve.cache_misses"]["value"] == 400
+        assert snap["serve.batch_latency_us"]["count"] == 2
+        spans = [s for s in obs.tracer.spans if s.cat == "serve"]
+        assert len(spans) == 2
+        assert spans[0].name == "score_batch"
+        assert spans[0].attrs["n_records"] == 200
+
+    def test_serve_spans_export_to_chrome_trace(self, tmp_path,
+                                                server_parts):
+        ClusterServer, model, records = server_parts
+        obs = RankObs(0)
+        ClusterServer(model, obs=obs).score_batch(records)
+        path = write_chrome_trace(tmp_path / "t.json",
+                                  obs.export().spans)
+        events = json.loads(path.read_text())["traceEvents"]
+        assert any(e.get("cat") == "serve"
+                   and e.get("name") == "score_batch" for e in events)
+
+    def test_obs_none_records_nothing(self, server_parts):
+        ClusterServer, model, records = server_parts
+        server = ClusterServer(model)
+        assert server._obs is None
+        server.score_batch(records)  # must not touch any observer
+
+    def test_metrics_off_half_is_guarded(self, server_parts):
+        ClusterServer, model, records = server_parts
+        obs = RankObs(0, trace=True, metrics=False)
+        ClusterServer(model, obs=obs).score_batch(records)
+        assert obs.metrics is None  # serve_batch degraded to a no-op
+        assert any(s.cat == "serve" for s in obs.tracer.spans)
+        obs2 = RankObs(0, trace=False, metrics=True)
+        ClusterServer(model, obs=obs2).score_batch(records)
+        assert obs2.tracer is None
+        assert obs2.metrics.snapshot()["serve.batches"]["value"] == 1
+
+    def test_serve_summary_shapes(self, server_parts):
+        ClusterServer, model, records = server_parts
+        assert serve_summary(None) is None
+        obs = RankObs(0)
+        assert serve_summary(obs) is None  # nothing served yet
+        ClusterServer(model, obs=obs).score_batch(records)
+        summary = serve_summary(obs)
+        assert summary["batches"] == 1
+        assert summary["records"] == 200
+        assert summary["latency_us"]["count"] == 1
+        json.dumps(summary)
+
+    def test_manifest_serve_section_is_optional(self, one_cluster_dataset):
+        result = mafia(one_cluster_dataset.records,
+                       OBS_PARAMS, domains=DOMAINS_10D)
+        phases = result.obs.phase_seconds()
+        without = build_manifest(result, phases=phases)
+        assert "serve" not in without
+        with_serve = build_manifest(result, phases=phases,
+                                    serve={"batches": 1})
+        assert with_serve["serve"] == {"batches": 1}
+        # the serve key is the only difference
+        with_serve.pop("serve")
+        assert with_serve == without
 
 
 class TestZeroCostDisabled:
