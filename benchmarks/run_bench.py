@@ -310,6 +310,59 @@ def build_suite(smoke: bool):
         "identical": serve_identical,
     }
 
+    # streaming load: a warm sliding-window session under drifting
+    # traffic.  ``ingest_delta`` slides the window by one delta;
+    # ``snapshot_vs_cold`` clusters the live window incrementally —
+    # its headline ratio (doc["stream"]["snapshot_speedup"]) is
+    # against ``cold_batch_window``, a cold batch run over the same
+    # live records, and both sides must agree bit for bit.
+    from repro.stream import StreamingSession
+    from repro.stream.soak import result_fingerprint
+    stream_dims = 8
+    stream_domains = np.array([[0.0, 100.0]] * stream_dims)
+    if smoke:
+        stream_delta, stream_window = 400, 3_200
+    else:
+        stream_delta, stream_window = 2_000, 16_000
+    stream_params = bench_params(chunk, tau=16)
+    stream_rng = np.random.default_rng(33)
+    stream_state = {"step": 0, "history": []}
+
+    def stream_block():
+        i = stream_state["step"]
+        stream_state["step"] += 1
+        block = stream_rng.uniform(0.0, 100.0,
+                                   size=(stream_delta, stream_dims))
+        center = 20.0 + 55.0 * (0.5 + 0.5 * np.sin(i / 17.0))
+        k = (2 * stream_delta) // 3
+        for dim in (1, 3, 5):
+            block[:k, dim] = stream_rng.uniform(center, center + 8.0, k)
+        stream_state["history"].append(block)
+        keep = -(-stream_window // stream_delta) + 1
+        stream_state["history"] = stream_state["history"][-keep:]
+        return block
+
+    def stream_live():
+        return np.ascontiguousarray(
+            np.concatenate(stream_state["history"])[-stream_window:])
+
+    stream_session = StreamingSession(stream_params,
+                                      domains=stream_domains,
+                                      window_records=stream_window)
+    for _ in range(stream_window // stream_delta):
+        stream_session.ingest(stream_block())
+    stream_session.snapshot()           # warm indexes and memos
+    stream_identical = bool(
+        result_fingerprint(stream_session.snapshot())
+        == result_fingerprint(mafia(stream_live(), stream_params,
+                                    domains=stream_domains)))
+    stream_load = {
+        "delta_records": int(stream_delta),
+        "window_records": int(stream_window),
+        "n_dims": int(stream_dims),
+        "identical": stream_identical,
+    }
+
     dense = random_units(join_units, 3, min(n_dims, 12), 6, seed=9)
     rng10 = np.random.default_rng(10)
     dup = []
@@ -359,6 +412,12 @@ def build_suite(smoke: bool):
             lambda: serve_model.score(serve_records), runs),
         "score_batch_cached": (
             lambda: serve_server.score_batch(serve_records), runs),
+        "ingest_delta": (
+            lambda: stream_session.ingest(stream_block()), runs),
+        "snapshot_vs_cold": (lambda: stream_session.snapshot(), runs),
+        "cold_batch_window": (
+            lambda: mafia(stream_live(), stream_params,
+                          domains=stream_domains), runs),
     }
     for lv, lvu in level_units.items():
         kernels[f"populate_level{lv}_binned"] = (
@@ -394,7 +453,7 @@ def build_suite(smoke: bool):
     else:
         e2e = dict(n_records=200_000, n_dims=15, n_clusters=10,
                    cluster_dim=5, chunk=50_000)
-    return kernels, e2e, join_load, index_load, serve_load
+    return kernels, e2e, join_load, index_load, serve_load, stream_load
 
 
 def cluster_signature(result):
@@ -635,7 +694,7 @@ def main(argv=None) -> int:
 
     suite = "smoke" if args.smoke else "full"
     print(f"suite: {suite}")
-    kernels, e2e_cfg, join_load, index_load, serve_load = \
+    kernels, e2e_cfg, join_load, index_load, serve_load, stream_load = \
         build_suite(args.smoke)
 
     doc = {"schema": SCHEMA, "suite": suite, "machine": machine_info(),
@@ -701,6 +760,21 @@ def main(argv=None) -> int:
           f"cache-warm {doc['serve']['cached_speedup']}x over compiled "
           f"({doc['serve']['cached_records_per_s']:,} rec/s), "
           f"identical: {serve_load['identical']}")
+
+    snap_s = doc["kernels"]["snapshot_vs_cold"]["median_s"]
+    cold_s = doc["kernels"]["cold_batch_window"]["median_s"]
+    ingest_s = doc["kernels"]["ingest_delta"]["median_s"]
+    doc["stream"] = dict(
+        stream_load,
+        snapshot_speedup=round(cold_s / snap_s, 2) if snap_s else None,
+        ingest_records_per_s=round(stream_load["delta_records"]
+                                   / ingest_s) if ingest_s else None)
+    print(f"  streaming: {stream_load['window_records']}-record window, "
+          f"{stream_load['delta_records']}-record deltas — incremental "
+          f"snapshot is {doc['stream']['snapshot_speedup']}x over a "
+          f"cold batch run "
+          f"({doc['stream']['ingest_records_per_s']:,} rec/s ingest), "
+          f"identical: {stream_load['identical']}")
 
     if not args.skip_e2e:
         print("running end-to-end bin_cache off vs memory ...")

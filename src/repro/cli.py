@@ -17,6 +17,11 @@ Three subcommands cover the workflow a downstream user needs:
     result (or a pre-compiled model): which clusters each record
     belongs to, in which subspaces, at batch speed through the
     compiled DNF engine (``docs/SERVING.md``).
+``pmafia stream``
+    Replay a record file as ordered deltas through the incremental
+    streaming engine (``docs/STREAMING.md``): sliding-window ingest,
+    periodic snapshots, optional spill/resume.  Every snapshot is
+    bit-identical to a cold ``pmafia run`` over the live window.
 
 Exposed as the ``pmafia`` console script and ``python -m repro.cli``.
 """
@@ -207,6 +212,116 @@ def _cmd_score(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scan_domains(path: Path) -> np.ndarray:
+    """Per-dimension ``[lo, hi]`` over the whole file.
+
+    The streaming session needs the value domains up front (they fix
+    the fine-histogram bin scale for the session's lifetime), so the
+    CLI makes the one design call a library caller would make
+    explicitly: scan the replayed file once for its extents.  A true
+    deployment would pass known schema domains instead.
+    """
+    if path.suffix in (".npy", ".csv", ".txt"):
+        records = _load_records(path)
+        return np.stack([records.min(axis=0), records.max(axis=0)],
+                        axis=1)
+    rf = RecordFile(path)
+    lo = np.full(rf.n_dims, np.inf)
+    hi = np.full(rf.n_dims, -np.inf)
+    step = 262_144
+    for start in range(0, rf.n_records, step):
+        block = rf.read_block(start, min(start + step, rf.n_records))
+        lo = np.minimum(lo, block.min(axis=0))
+        hi = np.maximum(hi, block.max(axis=0))
+    return np.stack([lo, hi], axis=1)
+
+
+def _stream_rank(comm: object, cfg: dict) -> dict:
+    """One rank of ``pmafia stream`` (module-level so the process
+    backend can pickle it).  Every rank replays the same file; the
+    session broadcasts each delta from root, so identical local reads
+    only save wire traffic."""
+    from .stream import (BlockDeltaSource, RecordDeltaSource,
+                         StreamingSession)
+
+    path = Path(cfg["path"])
+    if path.suffix in (".npy", ".csv", ".txt"):
+        source: object = BlockDeltaSource(_load_records(path),
+                                          cfg["delta_records"])
+    else:
+        source = RecordDeltaSource(path, cfg["delta_records"])
+    session = StreamingSession(
+        cfg["params"], comm=comm, domains=cfg["domains"],
+        window_records=cfg["window"],
+        drift_threshold=cfg["drift_threshold"],
+        spill_dir=cfg["spill_dir"], resume=cfg["resume"])
+    result = None
+    applied = 0
+    for delta in source:
+        if not session.ingest(delta.block, seq=delta.seq):
+            continue  # already applied by a resumed session
+        applied += 1
+        if cfg["snapshot_every"] and applied % cfg["snapshot_every"] == 0:
+            result = session.snapshot()
+            if comm.rank == 0:
+                print(f"delta {delta.seq}: {session.n_live} live "
+                      f"records, {len(result.clusters)} cluster(s)",
+                      file=sys.stderr)
+    if session.n_live and (result is None
+                           or cfg["snapshot_every"] == 0
+                           or applied % cfg["snapshot_every"]):
+        result = session.snapshot()
+    obs = session.obs.export() if session.obs is not None else None
+    session.close()
+    return {"result": result, "obs": obs, "applied": applied,
+            "last_seq": session.last_seq}
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .obs import RunObs
+    from .parallel.spmd import run_spmd
+
+    params = MafiaParams(alpha=args.alpha, beta=args.beta,
+                         fine_bins=args.fine_bins,
+                         window_size=args.merge_window,
+                         chunk_records=args.chunk,
+                         report=args.report,
+                         join_strategy=args.join_strategy,
+                         metrics=args.metrics_out is not None)
+    cfg = {
+        "path": str(args.data),
+        "delta_records": args.delta_records,
+        "window": args.window,
+        "drift_threshold": args.drift_threshold,
+        "snapshot_every": args.snapshot_every,
+        "spill_dir": (None if args.spill_dir is None
+                      else str(args.spill_dir)),
+        "resume": args.resume,
+        "params": params,
+        "domains": _scan_domains(Path(args.data)),
+    }
+    ranks = run_spmd(_stream_rank, args.procs, backend=args.backend,
+                     args=(cfg,))
+    rank0 = ranks[0].value
+    result = rank0["result"]
+    if result is None:
+        print("stream drained with an empty window; nothing to report",
+              file=sys.stderr)
+        return 0
+    print(f"applied {rank0['applied']} delta(s) through "
+          f"seq {rank0['last_seq']}", file=sys.stderr)
+    if args.metrics_out is not None:
+        exports = tuple(r.value["obs"] for r in ranks
+                        if r.value["obs"] is not None)
+        write_metrics_snapshot(args.metrics_out, RunObs(ranks=exports))
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+    if args.json:
+        print(result_to_json(result))
+    else:
+        print(result.summary())
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.algorithm == "clique":
         params = CliqueParams(bins=args.bins, threshold=args.threshold,
@@ -375,6 +490,61 @@ def build_parser() -> argparse.ArgumentParser:
                             "lands next to the first output path")
     score.set_defaults(func=_cmd_score)
 
+    stream = sub.add_parser(
+        "stream", help="replay a data file as an incremental stream")
+    stream.add_argument("data", type=Path,
+                        help="record file (.bin), .npy array or CSV to "
+                             "replay as ordered deltas")
+    stream.add_argument("--delta-records", type=int, default=10_000,
+                        dest="delta_records",
+                        help="records per ingested delta")
+    stream.add_argument("--window", type=int, default=None,
+                        help="sliding-window size in records (default: "
+                             "unbounded — no expiry)")
+    stream.add_argument("--drift-threshold", type=float, default=0.25,
+                        dest="drift_threshold",
+                        help="normalized histogram-drift level that "
+                             "triggers an eager index rebuild (latency "
+                             "knob only; snapshots are exact at any "
+                             "value — docs/STREAMING.md)")
+    stream.add_argument("--snapshot-every", type=int, default=0,
+                        dest="snapshot_every", metavar="N",
+                        help="take a snapshot every N applied deltas "
+                             "(default: only at end-of-stream)")
+    stream.add_argument("--procs", type=int, default=1)
+    stream.add_argument("--backend", choices=("thread", "sim", "process"),
+                        default="thread")
+    stream.add_argument("--spill-dir", type=Path, default=None,
+                        dest="spill_dir",
+                        help="stage segments + manifest here so a "
+                             "killed session can --resume "
+                             "(single-process sessions only)")
+    stream.add_argument("--resume", action="store_true",
+                        help="restore the session from --spill-dir's "
+                             "manifest; already-applied deltas replay "
+                             "as no-ops")
+    stream.add_argument("--alpha", type=float, default=1.5)
+    stream.add_argument("--beta", type=float, default=0.35)
+    stream.add_argument("--fine-bins", type=int, default=1000,
+                        dest="fine_bins")
+    stream.add_argument("--merge-window", type=int, default=5,
+                        dest="merge_window",
+                        help="adaptive-bin merge window (pmafia run's "
+                             "--window; renamed here to avoid clashing "
+                             "with the sliding record window)")
+    stream.add_argument("--chunk", type=int, default=50_000)
+    stream.add_argument("--report", choices=("merged", "paper", "maximal"),
+                        default="merged")
+    stream.add_argument("--join-strategy", choices=JOIN_STRATEGIES,
+                        default="auto", dest="join_strategy")
+    stream.add_argument("--metrics-out", type=Path, default=None,
+                        dest="metrics_out", metavar="PATH",
+                        help="write the per-rank stream.* counter "
+                             "snapshot as JSON")
+    stream.add_argument("--json", action="store_true",
+                        help="emit the final snapshot as JSON")
+    stream.set_defaults(func=_cmd_stream)
+
     run = sub.add_parser("run", help="cluster a data file")
     run.add_argument("data", type=Path,
                      help="record file (.bin), .npy array or CSV")
@@ -483,6 +653,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "stream":
+        if args.resume and args.spill_dir is None:
+            parser.error("--resume requires --spill-dir")
+        if args.spill_dir is not None and args.procs != 1:
+            parser.error("--spill-dir requires --procs 1 (segment "
+                         "spill files hold one rank's slice; a "
+                         "multi-rank session cannot resume them)")
     if args.command == "run":
         if args.resume and args.checkpoint_dir is None:
             parser.error("--resume requires --checkpoint-dir")

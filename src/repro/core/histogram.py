@@ -50,6 +50,39 @@ def global_domains(source: DataSource, comm: Comm, chunk_records: int,
     return np.stack([lo, hi + pad], axis=1)
 
 
+def check_domains(domains: np.ndarray, n_dims: int) -> np.ndarray:
+    """Validate and canonicalise a ``(d, 2)`` domains array."""
+    domains = np.asarray(domains, dtype=np.float64)
+    if domains.shape != (n_dims, 2):
+        raise DataError(f"domains shape {domains.shape} != ({n_dims}, 2)")
+    if (domains[:, 1] - domains[:, 0] <= 0).any():
+        raise DataError("all domains must have positive extent")
+    return domains
+
+
+def block_histogram(block: np.ndarray, domains: np.ndarray,
+                    fine_bins: int) -> np.ndarray:
+    """``(d, fine_bins)`` histogram of one record block — the exact
+    per-block operation of the batch pass, factored out so the
+    streaming engine bins deltas **identically** (same scale, same
+    clip, same integer truncation).  Integer counts are additive over
+    any block partition, which is what makes the maintained streaming
+    histogram bit-equal to a cold pass over the live records.
+    """
+    domains = np.asarray(domains, dtype=np.float64)
+    lo = domains[:, 0]
+    width = domains[:, 1] - domains[:, 0]
+    d = domains.shape[0]
+    counts = np.zeros((d, fine_bins), dtype=np.int64)
+    if block.shape[0] == 0:
+        return counts
+    scaled = (block - lo) / width * fine_bins
+    idx = np.clip(scaled.astype(np.int64), 0, fine_bins - 1)
+    for j in range(d):
+        counts[j] += np.bincount(idx[:, j], minlength=fine_bins)
+    return counts
+
+
 def fine_histogram_local(source: DataSource, comm: Comm, domains: np.ndarray,
                          fine_bins: int, chunk_records: int,
                          start: int = 0, stop: int | None = None,
@@ -60,24 +93,15 @@ def fine_histogram_local(source: DataSource, comm: Comm, domains: np.ndarray,
     fine bin (out-of-domain values can only occur if the caller passed
     domains narrower than the data).
     """
-    domains = np.asarray(domains, dtype=np.float64)
     d = source.n_dims
-    if domains.shape != (d, 2):
-        raise DataError(f"domains shape {domains.shape} != ({d}, 2)")
+    domains = check_domains(domains, d)
     if fine_bins <= 0:
         raise DataError(f"fine_bins must be positive, got {fine_bins}")
-    lo = domains[:, 0]
-    width = domains[:, 1] - domains[:, 0]
-    if (width <= 0).any():
-        raise DataError("all domains must have positive extent")
     counts = np.zeros((d, fine_bins), dtype=np.int64)
     for chunk in charged_chunks(source, comm, chunk_records, start, stop,
                                 retry=retry):
         comm.charge_cells(chunk.shape[0] * d)
-        scaled = (chunk - lo) / width * fine_bins
-        idx = np.clip(scaled.astype(np.int64), 0, fine_bins - 1)
-        for j in range(d):
-            counts[j] += np.bincount(idx[:, j], minlength=fine_bins)
+        counts += block_histogram(chunk, domains, fine_bins)
     return counts
 
 

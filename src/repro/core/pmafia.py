@@ -180,6 +180,10 @@ def _level_one_cdus(grid: Grid) -> UnitTable:
                      bins=np.asarray(bins, dtype=np.uint8)[:, None])
 
 
+#: public alias — the streaming engine seeds its level loop here too
+level_one_cdus = _level_one_cdus
+
+
 def _find_candidate_dense_units(comm: Comm, dense: UnitTable, tau: int,
                                 block_join=join_block, *,
                                 strategy: str = "pairwise",
@@ -346,6 +350,24 @@ def _maximal_registrations(trace: tuple[LevelTrace, ...],
         if mask.any():
             registered.append((level.dense.select(mask),
                                level.dense_counts[mask]))
+    return registered
+
+
+def registrations_for_report(trace: tuple[LevelTrace, ...],
+                             registered: Registered,
+                             report: str) -> Registered:
+    """The registrations to assemble for a given ``report`` policy.
+
+    ``"paper"`` reports the units registered during the level loop
+    verbatim; ``"maximal"`` / ``"merged"`` re-derive them from the
+    trace.  Shared by the batch driver and the streaming snapshot so
+    both assemble clusters from the same registrations for the same
+    trace.
+    """
+    if report == "maximal":
+        return _maximal_registrations(tuple(trace))
+    if report == "merged":
+        return _maximal_registrations(tuple(trace), merged_mask)
     return registered
 
 
@@ -695,11 +717,8 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
                     current = nxt
                     save_level(current.level, trace, registered, grid,
                                domains)
-                reg = registered
-                if params.report == "maximal":
-                    reg = _maximal_registrations(tuple(trace))
-                elif params.report == "merged":
-                    reg = _maximal_registrations(tuple(trace), merged_mask)
+                reg = registrations_for_report(tuple(trace), registered,
+                                               params.report)
                 with phase("assembly"):
                     if comm.rank == 0:
                         clusters = assemble_clusters(grid, reg)

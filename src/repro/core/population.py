@@ -535,6 +535,57 @@ class IndexedPopulator:
             counts[pend_rows[:n_pend]] = _popcount_rows(scratch[:n_pend])
 
 
+def count_units(index: BitmapIndex, units: UnitTable,
+                out: np.ndarray | None = None) -> np.ndarray:
+    """Exact per-unit record counts straight off a bitmap index.
+
+    The standalone cousin of :class:`IndexedPopulator`: same AND chains
+    in the same lexicographic order, but no communicator, no virtual
+    clock charges and no cross-call memo — a pure function of
+    ``(index, units)``.  The streaming engine counts each window
+    segment's local index with this and sums the per-segment integers,
+    which equals a single count over the concatenated records because
+    popcounts are additive over any row partition.
+    """
+    counts = np.zeros(units.n_units, dtype=np.int64) if out is None else out
+    if out is not None:
+        counts[:] = 0
+    if units.n_units == 0 or index.n_records == 0:
+        return counts
+    pairs = index.pair_ids(units.dims, units.bins)
+    k = pairs.shape[1]
+    order = np.lexsort(tuple(pairs[:, j] for j in range(k - 1, -1, -1)))
+    stack_pairs: list[int] = []
+    stack_accs: list[np.ndarray] = []
+    batch = max(1, min(_UNIT_BATCH, units.n_units))
+    scratch = np.empty((batch, index.row_bytes), dtype=np.uint8)
+    pend_rows = np.empty(batch, dtype=np.int64)
+    n_pend = 0
+    for row_i in order:
+        row = pairs[row_i].tolist()
+        keep = 0
+        limit = len(stack_pairs)
+        while keep < limit and stack_pairs[keep] == row[keep]:
+            keep += 1
+        del stack_pairs[keep:], stack_accs[keep:]
+        acc = stack_accs[keep - 1] if keep else None
+        for j in range(keep, k):
+            pair = row[j]
+            bitmap = index.bitmap(pair)
+            acc = bitmap if acc is None else acc & bitmap
+            stack_pairs.append(pair)
+            stack_accs.append(acc)
+        if n_pend == batch:
+            counts[pend_rows] = _popcount_rows(scratch)
+            n_pend = 0
+        scratch[n_pend] = acc
+        pend_rows[n_pend] = row_i
+        n_pend += 1
+    if n_pend:
+        counts[pend_rows[:n_pend]] = _popcount_rows(scratch[:n_pend])
+    return counts
+
+
 class OverlapRunner:
     """One long-lived background worker for compute/collective overlap.
 

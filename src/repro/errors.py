@@ -51,3 +51,9 @@ class CheckpointError(ReproError, RuntimeError):
 
 class GridError(ReproError, RuntimeError):
     """Adaptive grid construction failed (e.g. degenerate domain)."""
+
+
+class StreamError(ReproError, RuntimeError):
+    """A streaming session or delta source was misused (ingest after
+    close, spill on a multi-rank session, resume without a manifest,
+    put on a closed delta queue...)."""

@@ -92,6 +92,27 @@ def grid_fingerprint(grid: Grid) -> bytes:
     return h.digest()
 
 
+def edges_fingerprint(grid: Grid) -> bytes:
+    """32-byte SHA-256 fingerprint of a grid's *bin-edge geometry only*
+    (dimension count, per-dimension edges) — deliberately excluding the
+    density thresholds.
+
+    Bin membership — hence every binned column and membership bitmap —
+    depends only on the edges; thresholds merely classify counts as
+    dense.  The streaming engine keys its per-segment bitmap tiles and
+    count caches on this fingerprint so a grid whose thresholds moved
+    (every ingest changes ``n_records``, scaling thresholds) but whose
+    edges did not keeps all staged tiles valid.  Batch staging keeps
+    using the stricter :func:`grid_fingerprint`.
+    """
+    h = hashlib.sha256()
+    h.update(struct.pack("<q", grid.ndim))
+    for dg in grid:
+        h.update(struct.pack("<qq?", dg.dim, dg.nbins, dg.uniform))
+        h.update(np.asarray(dg.edges, dtype="<f8").tobytes())
+    return h.digest()
+
+
 def store_dtype(grid: Grid) -> np.dtype:
     """Narrowest unsigned dtype that can hold every bin index."""
     widest = max((dg.nbins for dg in grid), default=1)

@@ -274,6 +274,55 @@ class RankObs:
         self.metrics.histogram("serve.batch_latency_us").observe(
             seconds * 1e6)
 
+    # -- streaming hooks --------------------------------------------------
+    def stream_ingest(self, seq: int, n_records: int,
+                      seconds: float) -> None:
+        """One delta applied to a streaming session: records appended,
+        the sequence number it carried, and the wall time of the apply
+        (bin + histogram update + segment build)."""
+        if self.metrics is None:
+            return
+        self.metrics.counter("stream.deltas").inc()
+        self.metrics.counter("stream.records_ingested").inc(n_records)
+        self.metrics.gauge("stream.last_seq").set(seq)
+        self.metrics.histogram("stream.ingest_latency_us").observe(
+            seconds * 1e6)
+
+    def stream_expired(self, n_records: int) -> None:
+        """Records aged out of the sliding window by an ingest."""
+        if self.metrics is not None:
+            self.metrics.counter("stream.records_expired").inc(n_records)
+
+    def stream_rebin(self, drift: float) -> None:
+        """Histogram drift crossed the threshold: adaptive bins were
+        re-merged and the per-segment indexes rebuilt eagerly."""
+        self.instant("stream.rebin", cat="stream", drift=drift)
+        if self.metrics is not None:
+            self.metrics.counter("stream.rebins").inc()
+            self.metrics.gauge("stream.last_drift").set(drift)
+
+    def stream_snapshot(self, n_live: int, seconds: float, *,
+                        levels: int, cache_hits: int,
+                        cache_misses: int) -> None:
+        """One window snapshot: live records clustered, lattice levels
+        walked, and join/dedup cache traffic for the walk."""
+        if self.metrics is None:
+            return
+        self.metrics.counter("stream.snapshots").inc()
+        self.metrics.counter("stream.snapshot_cache_hits").inc(cache_hits)
+        self.metrics.counter("stream.snapshot_cache_misses").inc(
+            cache_misses)
+        self.metrics.gauge("stream.live_records").set(n_live)
+        self.metrics.histogram("stream.snapshot_latency_us").observe(
+            seconds * 1e6)
+
+    def stream_quarantine(self, path: str) -> None:
+        """A spilled segment tile failed its CRC check and was renamed
+        aside; the segment was rebuilt from its record file."""
+        self.instant("stream.quarantine", cat="stream", path=path)
+        if self.metrics is not None:
+            self.metrics.counter("stream.tile_quarantines").inc()
+
     # -- recovery / rebalance hooks --------------------------------------
     def recovery_event(self, kind: str, **attrs: Any) -> None:
         """One step of a shard-recovery round seen from this rank:

@@ -1,0 +1,58 @@
+"""Delta distribution primitives for the streaming engine.
+
+A streaming session running SPMD feeds every rank the same delta: the
+root broadcasts the record block, each rank slices out its
+:func:`~repro.io.partition.block_range` share, and the global fine
+histogram is maintained by summing the per-rank *delta* histograms —
+an incremental allreduce instead of a full repass.  Both primitives
+ride the ordinary :class:`~repro.parallel.comm.Comm` collectives, so
+they work (and are charged) identically on the serial, thread, process
+and simulated backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from .comm import Comm
+
+
+def broadcast_block(comm: Comm, block: np.ndarray | None,
+                    root: int = 0) -> np.ndarray:
+    """Broadcast one delta's record block from ``root`` to every rank.
+
+    The root passes the ``(n, d)`` float64 block; other ranks pass
+    ``None``.  Returns the (C-contiguous float64) block on every rank.
+    """
+    if comm.rank == root:
+        if block is None:
+            raise DataError("root rank must supply the delta block")
+        block = np.ascontiguousarray(block, dtype=np.float64)
+        if block.ndim != 2:
+            raise DataError(
+                f"delta block must be 2-D, got {block.ndim}-D")
+    if comm.size == 1:
+        return block
+    return comm.bcast(block, root=root)
+
+
+def incremental_allreduce(comm: Comm, delta: np.ndarray,
+                          into: np.ndarray | None = None) -> np.ndarray:
+    """Sum-allreduce one delta's local histogram and fold it into the
+    maintained global accumulator.
+
+    ``delta`` is this rank's integer contribution (any shape, same on
+    every rank's dtype); ``into`` is the running global histogram the
+    summed delta is added to in place.  Integer addition is exact, so
+    the accumulator after any delta sequence equals a cold global
+    histogram over the same records.
+    """
+    total = comm.allreduce(np.ascontiguousarray(delta), op="sum")
+    if into is None:
+        return total
+    if into.shape != total.shape:
+        raise DataError(
+            f"accumulator shape {into.shape} != delta shape {total.shape}")
+    into += total
+    return into

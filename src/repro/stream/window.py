@@ -1,0 +1,233 @@
+"""Sliding-window segments: the unit of incremental state.
+
+Each ingested delta becomes one :class:`WindowSegment` holding the
+rank's local slice of the delta's records plus two lazily built,
+reusable artifacts: a per-(dim, bin) bitmap index over the slice and a
+cache of per-CDU popcounts.  Both depend only on the grid's *bin
+edges* (stamped via :func:`repro.io.binned.edges_fingerprint`), so
+they survive threshold-only grid changes — the common case under
+steady traffic, where new deltas shift density thresholds every ingest
+but leave the merged bin structure alone.
+
+Window expiry is head-drop in *global* record order: the window tracks
+each segment's global size and each rank's global sub-range, so every
+rank independently drops exactly its overlap with the globally expired
+prefix — the surviving local slices always union to the surviving
+global window, which is what keeps snapshots bit-identical to a cold
+run over the live records.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ChecksumError, DataError
+from ..core.checkpoint import quarantine_checkpoint
+from ..core.population import count_units
+from ..io.bitmap_index import (BitmapIndex, bitmap_cache_path,
+                               build_bitmap_index, load_bitmap_cache)
+from ..io.chunks import ArraySource
+from ..types import Grid
+
+
+class WindowSegment:
+    """One delta's live slice on this rank, with cached artifacts.
+
+    ``g_size`` is the delta's *global* record count and ``[g_lo, g_hi)``
+    the global positions this rank's slice covered at ingest time;
+    ``g_dropped`` counts globally expired head records.  The segment's
+    artifacts (bitmap index, per-unit count cache) are invalidated by
+    expiry and by bin-edge changes, never by threshold-only grid
+    changes.
+    """
+
+    def __init__(self, seq: int, records: np.ndarray, g_size: int,
+                 g_lo: int, g_hi: int,
+                 rec_path: str | os.PathLike | None = None) -> None:
+        records = np.ascontiguousarray(records, dtype=np.float64)
+        if records.ndim != 2:
+            raise DataError(f"segment records must be 2-D, got "
+                            f"{records.ndim}-D")
+        if not 0 <= g_lo <= g_hi <= g_size or g_hi - g_lo != len(records):
+            raise DataError(
+                f"segment range [{g_lo}, {g_hi}) inconsistent with "
+                f"{len(records)} local records of {g_size} global")
+        self.seq = int(seq)
+        self.records = records
+        self.g_size = int(g_size)
+        self.g_lo = int(g_lo)
+        self.g_hi = int(g_hi)
+        self.g_dropped = 0
+        self.rec_path = None if rec_path is None else Path(rec_path)
+        self._index: BitmapIndex | None = None
+        self._edges_fp: bytes | None = None
+        self._counts: dict[bytes, np.ndarray] = {}
+
+    # -- bookkeeping ------------------------------------------------------
+    @property
+    def n_local(self) -> int:
+        return self.records.shape[0]
+
+    @property
+    def g_live(self) -> int:
+        return self.g_size - self.g_dropped
+
+    # -- expiry -----------------------------------------------------------
+    def drop_head_global(self, k: int) -> np.ndarray:
+        """Expire ``k`` more *global* head records; returns this rank's
+        dropped rows (for histogram subtraction) and invalidates the
+        segment's artifacts when any local row went."""
+        k = min(int(k), self.g_live)
+        lo = max(self.g_lo, self.g_dropped)          # first live local pos
+        hi = min(self.g_hi, self.g_dropped + k)      # end of dropped range
+        n_drop = max(0, hi - lo)
+        self.g_dropped += k
+        if n_drop == 0:
+            return self.records[:0]
+        dropped = self.records[:n_drop].copy()
+        self.records = np.ascontiguousarray(self.records[n_drop:])
+        self._index = None
+        self._edges_fp = None
+        self._counts.clear()
+        return dropped
+
+    # -- artifacts --------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop the cached index and counts (e.g. after an edge change
+        when the caller wants memory back immediately)."""
+        self._index = None
+        self._edges_fp = None
+        self._counts.clear()
+
+    def has_counts(self, units_key: bytes) -> bool:
+        """Whether :meth:`counts_for` would be a cache hit."""
+        return units_key in self._counts
+
+    def cached_counts(self) -> dict[bytes, np.ndarray]:
+        """The live count cache (read-only by convention) — compaction
+        pre-seeds a merged segment from its parents' shared keys."""
+        return self._counts
+
+    def current_index(self, edges_fp: bytes) -> BitmapIndex | None:
+        """The cached index iff it matches these bin edges."""
+        return self._index if self._edges_fp == edges_fp else None
+
+    def seed_artifacts(self, index: BitmapIndex | None, edges_fp: bytes,
+                       counts: dict[bytes, np.ndarray]) -> None:
+        """Adopt pre-built artifacts (compaction's merged index and
+        summed count cache)."""
+        self._index = index
+        self._edges_fp = edges_fp
+        self._counts = dict(counts)
+
+    def _index_path(self) -> Path | None:
+        return None if self.rec_path is None \
+            else bitmap_cache_path(self.rec_path)
+
+    def ensure_index(self, grid: Grid, edges_fp: bytes,
+                     chunk_records: int, *,
+                     on_quarantine: Callable[[str], None] | None = None
+                     ) -> BitmapIndex:
+        """The segment's bitmap index for the current bin edges,
+        (re)building it when stale.  A spilled segment persists the
+        index next to its record file; a sibling failing its header or
+        fingerprint check is silently rebuilt, and one failing a tile
+        CRC *after* load is quarantined (renamed ``.corrupt``) before
+        the rebuild — see :meth:`counts_for`."""
+        if self._index is not None and self._edges_fp == edges_fp:
+            return self._index
+        path = self._index_path()
+        index = None
+        if path is not None:
+            index = load_bitmap_cache(path, grid, self.n_local,
+                                      grid_hash=edges_fp)
+        if index is None:
+            index = build_bitmap_index(
+                ArraySource(self.records), grid, chunk_records,
+                path=path, grid_hash=edges_fp)
+        if self._edges_fp != edges_fp:
+            self._counts.clear()
+        self._index = index
+        self._edges_fp = edges_fp
+        return index
+
+    def counts_for(self, units, units_key: bytes, grid: Grid,
+                   edges_fp: bytes, chunk_records: int, *,
+                   on_quarantine: Callable[[str], None] | None = None
+                   ) -> np.ndarray:
+        """Exact per-unit counts of this segment's live local records,
+        cached per (edges, unit-table) pair.
+
+        A spilled tile failing its CRC on first touch is quarantined
+        (the ``.bmx`` is renamed ``.corrupt``, like a corrupt
+        checkpoint) and the index rebuilt from the segment's records —
+        corruption costs a rebuild, never a wrong count.
+        """
+        cached = self._counts.get(units_key)
+        if cached is not None:
+            return cached
+        index = self.ensure_index(grid, edges_fp, chunk_records,
+                                  on_quarantine=on_quarantine)
+        try:
+            counts = count_units(index, units)
+        except ChecksumError:
+            path = self._index_path()
+            if path is None or not path.exists():
+                raise
+            quarantined = quarantine_checkpoint(path)
+            if on_quarantine is not None:
+                on_quarantine(str(quarantined))
+            self._index = None
+            self._edges_fp = None
+            index = self.ensure_index(grid, edges_fp, chunk_records,
+                                      on_quarantine=on_quarantine)
+            counts = count_units(index, units)
+        self._counts[units_key] = counts
+        return counts
+
+
+class SlidingWindow:
+    """Ordered live segments plus the global-window arithmetic."""
+
+    def __init__(self) -> None:
+        self.segments: list[WindowSegment] = []
+
+    @property
+    def g_live(self) -> int:
+        """Global live record count across all ranks."""
+        return sum(seg.g_live for seg in self.segments)
+
+    @property
+    def n_local(self) -> int:
+        """This rank's live record count."""
+        return sum(seg.n_local for seg in self.segments)
+
+    def append(self, segment: WindowSegment) -> None:
+        self.segments.append(segment)
+
+    def expire(self, k_global: int) -> tuple[list[np.ndarray], int]:
+        """Expire the oldest ``k_global`` global records.
+
+        Returns ``(dropped_blocks, n_dropped_global)`` — this rank's
+        dropped row blocks in stream order (for exact histogram
+        subtraction) and the global count actually dropped.  Segments
+        whose last live record expired are removed (their spilled
+        files are left for the caller's spill manager to reap).
+        """
+        dropped: list[np.ndarray] = []
+        remaining = min(int(k_global), self.g_live)
+        total = remaining
+        for seg in self.segments:
+            if remaining <= 0:
+                break
+            take = min(remaining, seg.g_live)
+            rows = seg.drop_head_global(take)
+            if rows.shape[0]:
+                dropped.append(rows)
+            remaining -= take
+        self.segments = [s for s in self.segments if s.g_live > 0]
+        return dropped, total

@@ -1,0 +1,208 @@
+"""Differential conformance: streaming snapshots vs the cold oracle.
+
+The streaming engine's whole contract is one sentence: after any
+sequence of ingests and expiries, ``StreamingSession.snapshot()`` is
+bit-identical to a cold batch run over exactly the live window —
+clusters, DNF terms, per-level trace, and per-rank ``pairs_examined``
+— on every backend.  This suite enforces that sentence with random
+delta sequences (hypothesis) against the serial engine and scripted
+sequences against the thread / process / sim backends, and checks the
+knobs that must *not* matter (drift threshold, spill, snapshot
+repetition) really don't.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import MafiaParams, mafia
+from repro.core.pmafia import pmafia_rank
+from repro.errors import DataError
+from repro.parallel.spmd import run_spmd
+from repro.stream import StreamingSession
+from repro.stream.soak import pairs_examined, result_fingerprint
+from tests.test_binned_store import cluster_signature
+
+DIMS = 4
+DOMAINS = np.array([[0.0, 100.0]] * DIMS)
+PARAMS = MafiaParams(fine_bins=80, window_size=2, chunk_records=512,
+                     tau=8, metrics=True)
+
+
+def drifting_blocks(seed: int, sizes, d: int = DIMS) -> list[np.ndarray]:
+    """Random deltas with a cluster on dims (0, 2) whose location
+    drifts with the delta index, so bin edges genuinely move."""
+    rng = np.random.default_rng(seed)
+    blocks = []
+    for i, n in enumerate(sizes):
+        block = rng.uniform(0.0, 100.0, size=(n, d))
+        center = 10.0 + 60.0 * ((i % 7) / 7.0)
+        k = (3 * n) // 4
+        for dim in (0, 2):
+            block[:k, dim] = rng.uniform(center, center + 12.0, k)
+        blocks.append(block)
+    return blocks
+
+
+def live_window(history, window):
+    live = np.concatenate(history, axis=0)
+    if window is not None:
+        live = live[-window:]
+    return np.ascontiguousarray(live)
+
+
+def assert_equivalent(snap, cold) -> None:
+    """The full oracle: identical digest (clusters, DNF, trace) and —
+    when both sides metered — identical pairs_examined."""
+    assert result_fingerprint(snap) == result_fingerprint(cold)
+    sp, cp = pairs_examined(snap), pairs_examined(cold)
+    if not (np.isnan(sp) and np.isnan(cp)):
+        assert sp == cp
+
+
+class TestSerialConformance:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 2**20),
+           sizes=st.lists(st.integers(16, 96), min_size=2, max_size=6),
+           window=st.integers(64, 256))
+    def test_random_delta_sequences_match_cold_batch(self, seed, sizes,
+                                                     window):
+        session = StreamingSession(PARAMS, domains=DOMAINS,
+                                   window_records=window)
+        history = []
+        for block in drifting_blocks(seed, sizes):
+            history.append(block)
+            session.ingest(block)
+            snap = session.snapshot()
+            cold = mafia(live_window(history, window), PARAMS,
+                         domains=DOMAINS)
+            assert_equivalent(snap, cold)
+        session.close()
+
+    def test_visible_fields_not_just_digest(self):
+        """Spot-check the oracle compares what users see: cluster
+        signature and DNF terms, field by field."""
+        blocks = drifting_blocks(7, [80, 120, 90, 110])
+        session = StreamingSession(PARAMS, domains=DOMAINS,
+                                   window_records=250)
+        for block in blocks:
+            session.ingest(block)
+        snap = session.snapshot()
+        cold = mafia(live_window(blocks, 250), PARAMS, domains=DOMAINS)
+        assert cluster_signature(snap) == cluster_signature(cold)
+        assert [c.dnf for c in snap.clusters] == \
+            [c.dnf for c in cold.clusters]
+        assert snap.n_records == cold.n_records == 250
+        session.close()
+
+    def test_unbounded_window_never_expires(self):
+        blocks = drifting_blocks(11, [60, 70, 80])
+        with StreamingSession(PARAMS, domains=DOMAINS) as session:
+            for block in blocks:
+                session.ingest(block)
+            assert session.n_live == 210
+            assert_equivalent(session.snapshot(),
+                              mafia(live_window(blocks, None), PARAMS,
+                                    domains=DOMAINS))
+
+    def test_repeat_snapshot_is_a_cache_replay(self):
+        """A second snapshot with no ingest between replays every
+        cached join/dedup/count and still matches bit for bit."""
+        blocks = drifting_blocks(13, [90, 100, 80])
+        session = StreamingSession(PARAMS, domains=DOMAINS,
+                                   window_records=200)
+        for block in blocks:
+            session.ingest(block)
+        first = session.snapshot()
+        second = session.snapshot()
+        assert_equivalent(second, first)
+        metrics = session.obs.export().metrics
+        assert metrics["stream.snapshot_cache_hits"]["value"] > 0
+        session.close()
+
+    @pytest.mark.parametrize("drift", [0.0, 1e9])
+    def test_drift_threshold_is_latency_only(self, drift):
+        """Rebuild eagerly on every ingest (0.0) or never eagerly
+        (1e9): snapshots are exact either way — the threshold tunes
+        *when* indexes rebuild, never *what* a snapshot returns."""
+        blocks = drifting_blocks(17, [70, 90, 60, 80])
+        session = StreamingSession(PARAMS, domains=DOMAINS,
+                                   window_records=180,
+                                   drift_threshold=drift)
+        for block in blocks:
+            session.ingest(block)
+        assert_equivalent(session.snapshot(),
+                          mafia(live_window(blocks, 180), PARAMS,
+                                domains=DOMAINS))
+        session.close()
+
+    def test_spilled_session_matches_resident(self, tmp_path):
+        blocks = drifting_blocks(19, [50, 60, 70, 80, 90])
+        spilled = StreamingSession(PARAMS, domains=DOMAINS,
+                                   window_records=220,
+                                   spill_dir=tmp_path,
+                                   compact_segments=2)
+        resident = StreamingSession(PARAMS, domains=DOMAINS,
+                                    window_records=220)
+        for block in blocks:
+            spilled.ingest(block)
+            resident.ingest(block)
+        assert_equivalent(spilled.snapshot(), resident.snapshot())
+        assert_equivalent(spilled.snapshot(),
+                          mafia(live_window(blocks, 220), PARAMS,
+                                domains=DOMAINS))
+        spilled.close()
+        resident.close()
+
+    def test_empty_window_snapshot_raises(self):
+        with StreamingSession(PARAMS, domains=DOMAINS) as session:
+            with pytest.raises(DataError):
+                session.snapshot()
+
+
+def _conformance_rank(comm, cfg):
+    """SPMD body: stream on this backend, oracle via a cold
+    ``pmafia_rank`` over the live window on the same communicator."""
+    session = StreamingSession(cfg["params"], comm=comm, domains=DOMAINS,
+                               window_records=cfg["window"])
+    history = []
+    rows = []
+    for i, block in enumerate(drifting_blocks(cfg["seed"], cfg["sizes"])):
+        history.append(block)
+        session.ingest(block)
+        if (i + 1) % cfg["snapshot_every"]:
+            continue
+        snap = session.snapshot()
+        cold = pmafia_rank(comm, live_window(history, cfg["window"]),
+                           cfg["params"], DOMAINS)
+        rows.append((result_fingerprint(snap), result_fingerprint(cold),
+                     pairs_examined(snap), pairs_examined(cold)))
+    session.close()
+    return rows
+
+
+class TestBackendConformance:
+    """The oracle holds per rank on every SPMD backend — including the
+    sim backend, whose cold-run virtual-time accounting the streaming
+    path must not perturb (the cold oracle runs *inside* the same sim
+    communicator and still produces identical pairs charges)."""
+
+    @pytest.mark.parametrize("backend,nprocs",
+                             [("thread", 3), ("process", 2), ("sim", 3)])
+    def test_per_rank_snapshots_match_cold_pmafia(self, backend, nprocs):
+        cfg = {"params": PARAMS, "seed": 99, "window": 220,
+               "sizes": [60, 80, 50, 70, 90, 40], "snapshot_every": 2}
+        ranks = run_spmd(_conformance_rank, nprocs, backend=backend,
+                         args=(cfg,))
+        for rank in ranks:
+            rows = rank.value
+            assert len(rows) == 3
+            for stream_fp, cold_fp, stream_pairs, cold_pairs in rows:
+                assert stream_fp == cold_fp
+                if not (np.isnan(stream_pairs)
+                        and np.isnan(cold_pairs)):
+                    assert stream_pairs == cold_pairs

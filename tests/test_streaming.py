@@ -1,16 +1,23 @@
 """Tests for streaming generation and bounded-memory operation
-(repro.datagen.stream, repro.io.records.RecordFileWriter)."""
+(repro.datagen.stream, repro.io.records.RecordFileWriter) and for the
+delta plumbing that feeds the incremental engine (repro.stream.deltas):
+source ordering, queue backpressure, and end-of-stream semantics."""
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 import pytest
 
 from repro import MafiaParams, mafia, pmafia
 from repro.datagen import ClusterSpec, generate_to_file
-from repro.errors import DataError, ParameterError, RecordFileError
+from repro.errors import (DataError, ParameterError, RecordFileError,
+                          StreamError)
 from repro.io import RecordFile, RecordFileWriter
 from repro.io.chunks import DataSource
+from repro.stream import (BlockDeltaSource, Delta, DeltaQueue,
+                          RecordDeltaSource, StreamingSession)
 
 
 class TestRecordFileWriter:
@@ -168,3 +175,129 @@ class TestBoundedMemory:
                     domains=np.array([[0.0, 100.0]] * 4))
         assert spy.max_block <= B
         assert any(c.subspace.dims == (0, 2) for c in res.clusters)
+
+
+class TestDeltaSources:
+    def test_block_source_orders_and_numbers_deltas(self):
+        records = np.arange(50.0).reshape(25, 2)
+        deltas = list(BlockDeltaSource(records, 7))
+        assert [d.seq for d in deltas] == [0, 1, 2, 3]
+        assert [d.n_records for d in deltas] == [7, 7, 7, 4]
+        np.testing.assert_array_equal(
+            np.concatenate([d.block for d in deltas]), records)
+
+    def test_block_source_first_seq_offsets_numbering(self):
+        records = np.ones((10, 2))
+        deltas = list(BlockDeltaSource(records, 4, first_seq=5))
+        assert [d.seq for d in deltas] == [5, 6, 7]
+
+    def test_record_source_replays_the_file(self, tmp_path):
+        rng = np.random.default_rng(0)
+        records = rng.random((33, 3))
+        from repro.io.records import write_records
+        write_records(tmp_path / "r.bin", records)
+        deltas = list(RecordDeltaSource(tmp_path / "r.bin", 10))
+        assert [d.seq for d in deltas] == [0, 1, 2, 3]
+        np.testing.assert_allclose(
+            np.concatenate([d.block for d in deltas]), records)
+
+    def test_source_validation(self):
+        with pytest.raises(DataError):
+            BlockDeltaSource(np.ones((4, 2)), 0)
+        with pytest.raises(DataError):
+            BlockDeltaSource(np.ones(4), 2)
+        with pytest.raises(DataError):
+            DeltaQueue(maxsize=0)
+
+
+class TestDeltaQueue:
+    def _delta(self, seq, n=3):
+        return Delta(seq=seq, block=np.full((n, 2), float(seq)))
+
+    def test_fifo_ordering_across_threads(self):
+        queue = DeltaQueue(maxsize=4)
+        n = 25
+
+        def produce():
+            for seq in range(n):
+                queue.put(self._delta(seq))
+            queue.close()
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        seen = [d.seq for d in queue]
+        producer.join()
+        assert seen == list(range(n))
+
+    def test_put_backpressures_until_a_get(self):
+        queue = DeltaQueue(maxsize=1)
+        queue.put(self._delta(0))
+        released = threading.Event()
+
+        def produce():
+            queue.put(self._delta(1), timeout=5.0)  # blocks on full
+            released.set()
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        assert not released.wait(0.05)  # still parked: queue is full
+        assert queue.get().seq == 0
+        assert released.wait(5.0)
+        producer.join()
+        assert queue.get().seq == 1
+
+    def test_put_timeout_raises_instead_of_hanging(self):
+        queue = DeltaQueue(maxsize=1)
+        queue.put(self._delta(0))
+        with pytest.raises(StreamError):
+            queue.put(self._delta(1), timeout=0.01)
+
+    def test_get_timeout_raises_instead_of_hanging(self):
+        with pytest.raises(StreamError):
+            DeltaQueue().get(timeout=0.01)
+
+    def test_close_drains_then_signals_end_of_stream(self):
+        queue = DeltaQueue(maxsize=4)
+        queue.put(self._delta(0))
+        queue.put(self._delta(1))
+        queue.close()
+        assert queue.closed
+        assert queue.get().seq == 0     # queued deltas still drain
+        assert queue.get().seq == 1
+        assert queue.get() is None      # then end-of-stream
+        assert queue.get() is None      # idempotently
+
+    def test_put_after_close_raises(self):
+        queue = DeltaQueue()
+        queue.close()
+        queue.close()  # idempotent
+        with pytest.raises(StreamError):
+            queue.put(self._delta(0))
+
+    def test_bounded_producer_to_session_pipeline(self):
+        """End to end through the queue: a backpressured producer
+        thread feeds a session; the drained stream clusters exactly
+        like a cold batch over the same records."""
+        rng = np.random.default_rng(1)
+        records = rng.uniform(0.0, 100.0, size=(300, 3))
+        records[:200, 1] = rng.uniform(30.0, 42.0, 200)
+        domains = np.array([[0.0, 100.0]] * 3)
+        params = MafiaParams(fine_bins=80, window_size=2,
+                             chunk_records=128)
+        queue = DeltaQueue(maxsize=2)
+
+        def produce():
+            for delta in BlockDeltaSource(records, 40):
+                queue.put(delta, timeout=10.0)
+            queue.close()
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        with StreamingSession(params, domains=domains) as session:
+            for delta in queue:
+                session.ingest(delta.block, seq=delta.seq)
+            snap = session.snapshot()
+        producer.join()
+        cold = mafia(records, params, domains=domains)
+        from repro.stream.soak import result_fingerprint
+        assert result_fingerprint(snap) == result_fingerprint(cold)
