@@ -47,6 +47,7 @@ which is what the CI smoke job uploads as workflow artifacts.
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import platform
 import statistics
@@ -64,6 +65,8 @@ import numpy as np  # noqa: E402
 from repro.analysis.verify import verify_result  # noqa: E402
 from repro.core.candidates import (hash_join_all, hash_join_block,  # noqa: E402
                                    hash_join_plan, join_all)
+from repro.core.dedup import drop_repeats  # noqa: E402
+from repro.core.directmine import DirectMiner, lattice_step  # noqa: E402
 from repro.core.fptree import fptree_join_plan  # noqa: E402
 from repro.core.histogram import fine_histogram_local  # noqa: E402
 from repro.core.mafia import mafia  # noqa: E402
@@ -174,11 +177,16 @@ def min_time(fn, runs: int) -> float:
     return min(times)
 
 
-def build_suite(smoke: bool):
+def build_suite(smoke: bool, only: str | None = None):
     """The pinned kernel set at full or smoke scale.
 
-    Returns ``(kernels, e2e_config)`` where kernels maps name ->
-    (callable, runs).
+    Returns ``(kernels, e2e_config, *loads)`` where kernels maps name ->
+    (callable, runs).  ``only`` is an fnmatch glob over kernel names:
+    kernels it doesn't match are dropped *and* the expensive workload
+    staging behind them (bitmap index, serving model, streaming
+    session, deep lattice) is skipped entirely, so
+    ``--only 'deep_lattice_*'`` builds just that workload.  Loads whose
+    block was skipped come back ``None``.
     """
     if smoke:
         n_records, n_dims, nbins = 20_000, 8, 8
@@ -201,7 +209,16 @@ def build_suite(smoke: bool):
     units = random_units(n_units, 4 if not smoke else 3, n_dims, nbins,
                          seed=8)
     comm = SerialComm()
-    store = stage_binned(source, comm, grid, chunk)
+
+    def wanted(*names):
+        """Does the ``--only`` glob (if any) match one of ``names``?"""
+        return only is None or any(fnmatch.fnmatch(n, only)
+                                   for n in names)
+
+    store = None
+    if wanted("populate_local_binned",
+              *(f"populate_level{lv}_binned" for lv in (2, 3, 4))):
+        store = stage_binned(source, comm, grid, chunk)
 
     # overflow load: radix product 200^9 >> 2**62 forces the fallback.
     # Many units per subspace (the usual MAFIA shape) so the per-unit
@@ -227,12 +244,16 @@ def build_suite(smoke: bool):
     # where the pairwise sweep's O(Ndu^2) pivot loop dominates and the
     # sub-signature hash join's single lexsort wins by an order of
     # magnitude.
-    if smoke:
-        bulk = clustered_units(3, 8, 3, 20, nbins, seed=12)
-    else:
-        bulk = clustered_units(8, 12, 3, 30, nbins, seed=12)
-    bulk_plan = hash_join_plan(bulk)
-    bulk_raw = hash_join_all(bulk).cdus
+    bulk = bulk_plan = bulk_raw = None
+    if wanted("cdu_join_pairwise_bulk", "cdu_join_hash_bulk",
+              "cdu_join_fptree_bulk", "hash_join_plan_bulk",
+              "fptree_join_plan_bulk", "cdu_dedup_bulk"):
+        if smoke:
+            bulk = clustered_units(3, 8, 3, 20, nbins, seed=12)
+        else:
+            bulk = clustered_units(8, 12, 3, 30, nbins, seed=12)
+        bulk_plan = hash_join_plan(bulk)
+        bulk_raw = hash_join_all(bulk).cdus
 
     # high-dimensionality join load: cluster cores over a d >= 50 noise
     # floor (the Fig. 7 cluster-dim scaling regime).  Drop-one
@@ -241,21 +262,26 @@ def build_suite(smoke: bool):
     # engine's support prune skips the hash join's O(Ndu*m^2) key
     # factory.  Tokens are pre-packed for both engines, matching the
     # driver's overlapped pack.
-    if smoke:
-        hd_dims, hd_level = 50, 4
-        hd_core = clustered_units(2, 8, hd_level, hd_dims, nbins, seed=21)
-        hd_noise = random_units(8_000, hd_level, hd_dims, nbins, seed=22)
-    else:
-        hd_dims, hd_level = 60, 6
-        hd_core = clustered_units(4, 12, hd_level, hd_dims, nbins, seed=21)
-        hd_noise = random_units(60_000, hd_level, hd_dims, nbins, seed=22)
-    highdim = UnitTable(
-        dims=np.concatenate([hd_core.dims, hd_noise.dims]),
-        bins=np.concatenate([hd_core.bins, hd_noise.bins])).unique()
-    hd_tokens = highdim.tokens()
-    hd_auto, _ = resolved_join_strategy(
-        bench_params(join_strategy="auto"), comm, highdim.n_units,
-        hd_level, tokens=hd_tokens)
+    hd_dims, hd_level = (50, 4) if smoke else (60, 6)
+    highdim = hd_tokens = hd_auto = None
+    if wanted(f"join_level{hd_level}_hash", f"join_level{hd_level}_fptree"):
+        if smoke:
+            hd_core = clustered_units(2, 8, hd_level, hd_dims, nbins,
+                                      seed=21)
+            hd_noise = random_units(8_000, hd_level, hd_dims, nbins,
+                                    seed=22)
+        else:
+            hd_core = clustered_units(4, 12, hd_level, hd_dims, nbins,
+                                      seed=21)
+            hd_noise = random_units(60_000, hd_level, hd_dims, nbins,
+                                    seed=22)
+        highdim = UnitTable(
+            dims=np.concatenate([hd_core.dims, hd_noise.dims]),
+            bins=np.concatenate([hd_core.bins, hd_noise.bins])).unique()
+        hd_tokens = highdim.tokens()
+        hd_auto, _ = resolved_join_strategy(
+            bench_params(join_strategy="auto"), comm, highdim.n_units,
+            hd_level, tokens=hd_tokens)
 
     # level-N population loads: one *nested* clustered lattice — every
     # level's units extend the previous level's, the shape real level
@@ -264,20 +290,25 @@ def build_suite(smoke: bool):
     # and pre-warmed bottom-up, exactly as the driver runs it: by the
     # time level k counts, level k-1's leaves seed the prefix memo and
     # each unit costs one AND + its share of a batched popcount.
-    index = stage_bitmap_index(source, comm, grid, chunk,
-                               policy="resident")
-    indexed_pop = IndexedPopulator(index)
-    lattice_clusters = 8 if smoke else 40
-    lattice_dim = 5 if smoke else 6
-    level_units = {
-        lv: clustered_units(lattice_clusters, lattice_dim, lv, n_dims,
-                            nbins, seed=20)
-        for lv in (1, 2, 3, 4)
-    }
-    for lvu in level_units.values():
-        populate_local(source, comm, grid, lvu, chunk,
-                       indexed=indexed_pop)
-    del level_units[1]      # level 1 only seeds the memo
+    index = indexed_pop = None
+    level_units = {}
+    if wanted("bitmap_index_build",
+              *(f"populate_level{lv}_binned" for lv in (2, 3, 4)),
+              *(f"populate_level{lv}_indexed" for lv in (2, 3, 4))):
+        index = stage_bitmap_index(source, comm, grid, chunk,
+                                   policy="resident")
+        indexed_pop = IndexedPopulator(index)
+        lattice_clusters = 8 if smoke else 40
+        lattice_dim = 5 if smoke else 6
+        level_units = {
+            lv: clustered_units(lattice_clusters, lattice_dim, lv, n_dims,
+                                nbins, seed=20)
+            for lv in (1, 2, 3, 4)
+        }
+        for lvu in level_units.values():
+            populate_local(source, comm, grid, lvu, chunk,
+                           indexed=indexed_pop)
+        del level_units[1]      # level 1 only seeds the memo
 
     # serving load: a skewed hot-key trace — every record in the batch
     # is one of ``pool_n`` distinct rows, the shape of production
@@ -286,29 +317,34 @@ def build_suite(smoke: bool):
     # evaluator, and a cache-warm server answering from signatures.
     # same model shape at both scales (the 4-word mask is what makes
     # the evaluator worth caching); smoke just shrinks the batch
-    serve_dims, serve_n_clusters = 12, 32
-    if smoke:
-        serve_batch, serve_pool = 100_000, 1_000
-    else:
-        serve_batch, serve_pool = 1_000_000, 4_000
-    serve_cls = dnf_clusters(serve_n_clusters, serve_dims, seed=31)
-    serve_model = compile_clusters(serve_cls, serve_dims)
-    rng31 = np.random.default_rng(32)
-    pool = rng31.uniform(0.0, 100.0, size=(serve_pool, serve_dims))
-    serve_records = pool[rng31.integers(0, serve_pool, size=serve_batch)]
-    serve_server = ClusterServer(serve_model)
-    serve_server.score_batch(serve_records)       # warm the cache
-    serve_identical = bool(np.array_equal(
-        serve_model.score(serve_records),
-        score_batch_naive(serve_cls, serve_records)))
-    serve_load = {
-        "n_clusters": int(serve_model.n_clusters),
-        "n_terms": int(serve_model.n_terms),
-        "n_dims": int(serve_dims),
-        "batch_records": int(serve_batch),
-        "hot_pool_rows": int(serve_pool),
-        "identical": serve_identical,
-    }
+    serve_load = None
+    serve_cls = serve_model = serve_server = serve_records = None
+    if wanted("score_batch_naive", "score_batch_compiled",
+              "score_batch_cached"):
+        serve_dims, serve_n_clusters = 12, 32
+        if smoke:
+            serve_batch, serve_pool = 100_000, 1_000
+        else:
+            serve_batch, serve_pool = 1_000_000, 4_000
+        serve_cls = dnf_clusters(serve_n_clusters, serve_dims, seed=31)
+        serve_model = compile_clusters(serve_cls, serve_dims)
+        rng31 = np.random.default_rng(32)
+        pool = rng31.uniform(0.0, 100.0, size=(serve_pool, serve_dims))
+        serve_records = pool[rng31.integers(0, serve_pool,
+                                            size=serve_batch)]
+        serve_server = ClusterServer(serve_model)
+        serve_server.score_batch(serve_records)       # warm the cache
+        serve_identical = bool(np.array_equal(
+            serve_model.score(serve_records),
+            score_batch_naive(serve_cls, serve_records)))
+        serve_load = {
+            "n_clusters": int(serve_model.n_clusters),
+            "n_terms": int(serve_model.n_terms),
+            "n_dims": int(serve_dims),
+            "batch_records": int(serve_batch),
+            "hot_pool_rows": int(serve_pool),
+            "identical": serve_identical,
+        }
 
     # streaming load: a warm sliding-window session under drifting
     # traffic.  ``ingest_delta`` slides the window by one delta;
@@ -316,52 +352,174 @@ def build_suite(smoke: bool):
     # its headline ratio (doc["stream"]["snapshot_speedup"]) is
     # against ``cold_batch_window``, a cold batch run over the same
     # live records, and both sides must agree bit for bit.
-    from repro.stream import StreamingSession
-    from repro.stream.soak import result_fingerprint
-    stream_dims = 8
-    stream_domains = np.array([[0.0, 100.0]] * stream_dims)
-    if smoke:
-        stream_delta, stream_window = 400, 3_200
-    else:
-        stream_delta, stream_window = 2_000, 16_000
-    stream_params = bench_params(chunk, tau=16)
-    stream_rng = np.random.default_rng(33)
-    stream_state = {"step": 0, "history": []}
+    stream_load = None
+    stream_session = stream_block = stream_live = stream_params = None
+    stream_domains = None
+    if wanted("ingest_delta", "snapshot_vs_cold", "cold_batch_window"):
+        from repro.stream import StreamingSession
+        from repro.stream.soak import result_fingerprint
+        stream_dims = 8
+        stream_domains = np.array([[0.0, 100.0]] * stream_dims)
+        if smoke:
+            stream_delta, stream_window = 400, 3_200
+        else:
+            stream_delta, stream_window = 2_000, 16_000
+        stream_params = bench_params(chunk, tau=16)
+        stream_rng = np.random.default_rng(33)
+        stream_state = {"step": 0, "history": []}
 
-    def stream_block():
-        i = stream_state["step"]
-        stream_state["step"] += 1
-        block = stream_rng.uniform(0.0, 100.0,
-                                   size=(stream_delta, stream_dims))
-        center = 20.0 + 55.0 * (0.5 + 0.5 * np.sin(i / 17.0))
-        k = (2 * stream_delta) // 3
-        for dim in (1, 3, 5):
-            block[:k, dim] = stream_rng.uniform(center, center + 8.0, k)
-        stream_state["history"].append(block)
-        keep = -(-stream_window // stream_delta) + 1
-        stream_state["history"] = stream_state["history"][-keep:]
-        return block
+        def stream_block():
+            i = stream_state["step"]
+            stream_state["step"] += 1
+            block = stream_rng.uniform(0.0, 100.0,
+                                       size=(stream_delta, stream_dims))
+            center = 20.0 + 55.0 * (0.5 + 0.5 * np.sin(i / 17.0))
+            k = (2 * stream_delta) // 3
+            for dim in (1, 3, 5):
+                block[:k, dim] = stream_rng.uniform(center, center + 8.0,
+                                                    k)
+            stream_state["history"].append(block)
+            keep = -(-stream_window // stream_delta) + 1
+            stream_state["history"] = stream_state["history"][-keep:]
+            return block
 
-    def stream_live():
-        return np.ascontiguousarray(
-            np.concatenate(stream_state["history"])[-stream_window:])
+        def stream_live():
+            return np.ascontiguousarray(
+                np.concatenate(stream_state["history"])[-stream_window:])
 
-    stream_session = StreamingSession(stream_params,
-                                      domains=stream_domains,
-                                      window_records=stream_window)
-    for _ in range(stream_window // stream_delta):
-        stream_session.ingest(stream_block())
-    stream_session.snapshot()           # warm indexes and memos
-    stream_identical = bool(
-        result_fingerprint(stream_session.snapshot())
-        == result_fingerprint(mafia(stream_live(), stream_params,
-                                    domains=stream_domains)))
-    stream_load = {
-        "delta_records": int(stream_delta),
-        "window_records": int(stream_window),
-        "n_dims": int(stream_dims),
-        "identical": stream_identical,
-    }
+        stream_session = StreamingSession(stream_params,
+                                          domains=stream_domains,
+                                          window_records=stream_window)
+        for _ in range(stream_window // stream_delta):
+            stream_session.ingest(stream_block())
+        stream_session.snapshot()           # warm indexes and memos
+        stream_identical = bool(
+            result_fingerprint(stream_session.snapshot())
+            == result_fingerprint(mafia(stream_live(), stream_params,
+                                        domains=stream_domains)))
+        stream_load = {
+            "delta_records": int(stream_delta),
+            "window_records": int(stream_window),
+            "n_dims": int(stream_dims),
+            "identical": stream_identical,
+        }
+
+    # deep-lattice direct-mining load: the d >= 50 regime the one-pass
+    # miner was built for.  Disjoint planted clusters seed a genuinely
+    # dense level-4 lattice whose walk to exhaustion is combinatorial
+    # in cluster_dim.  The classic leg runs the production per-level
+    # cycle — fptree plan -> hash join -> repeat elimination -> warm
+    # IndexedPopulator AND/popcount — while the direct leg projects
+    # transactions once and answers every deeper level from the merged
+    # count table.  Both legs must agree on every level's CDUs, counts
+    # and dense survivors: the in-suite identical-results gate.
+    direct_load = None
+    deep_walk_classic = deep_walk_direct = None
+    if wanted("deep_lattice_classic", "deep_lattice_direct"):
+        from itertools import combinations
+        if smoke:
+            deep_n, deep_cdim, deep_nclusters = 30_000, 8, 6
+        else:
+            deep_n, deep_cdim, deep_nclusters = 400_000, 12, 12
+        deep_dims, deep_nbins = 50, 50
+        rng41 = np.random.default_rng(41)
+        # background mass lives in the upper half of every domain;
+        # cluster bins come from the lower half, so off-cluster records
+        # never touch a dense token and the lattice signal is pure —
+        # the walk depth, not accidental bin collisions, is what the
+        # two engines race over
+        deep_records = 50.0 + rng41.random((deep_n, deep_dims)) * 50.0
+        member_frac = 20 if smoke else 16     # 1/frac of records each
+        membership = rng41.permutation(deep_n)
+        width = 100.0 / deep_nbins
+        seed_pairs = []
+        for c in range(deep_nclusters):
+            dims_c = sorted(rng41.choice(deep_dims, size=deep_cdim,
+                                         replace=False).tolist())
+            bins_c = {d: int(rng41.integers(0, deep_nbins // 2))
+                      for d in dims_c}
+            members = membership[c * (deep_n // member_frac):
+                                 (c + 1) * (deep_n // member_frac)]
+            for d in dims_c:
+                deep_records[members, d] = (
+                    bins_c[d] * width
+                    + width * rng41.random(members.size))
+            for subset in combinations(dims_c, 4):
+                seed_pairs.append([(d, bins_c[d]) for d in subset])
+        deep_source = ArraySource(deep_records)
+        deep_grid = uniform_grid(deep_dims, deep_nbins)
+        deep_store = stage_binned(deep_source, comm, deep_grid, chunk)
+        core4 = UnitTable.from_pairs(seed_pairs)
+        noise4 = random_units(3_000, 4, deep_dims, deep_nbins, seed=42)
+        seed4 = UnitTable(
+            dims=np.concatenate([core4.dims, noise4.dims]),
+            bins=np.concatenate([core4.bins, noise4.bins])).unique()
+        seed_counts = populate_local(deep_source, comm, deep_grid, seed4,
+                                     chunk, binned=deep_store)
+        deep_support = deep_n // (2 * member_frac)
+        deep_dense = seed4.select(seed_counts >= deep_support)
+        deep_index = stage_bitmap_index(deep_source, comm, deep_grid,
+                                        chunk, policy="resident")
+        deep_pop = IndexedPopulator(deep_index)
+
+        def deep_walk_classic():
+            dense = deep_dense
+            traj = []
+            while dense.n_units >= 2:
+                plan = fptree_join_plan(dense, dense.tokens())
+                raw = hash_join_block(dense, 0, dense.n_units,
+                                      plan=plan).cdus
+                if raw.n_units == 0:
+                    break
+                cdus = drop_repeats(raw, raw.repeat_mask())
+                counts = populate_local(deep_source, comm, deep_grid,
+                                        cdus, chunk, indexed=deep_pop)
+                dense = cdus.select(counts >= deep_support)
+                traj.append((int(cdus.level), int(cdus.n_units), counts,
+                             int(dense.n_units)))
+            return traj
+
+        def deep_walk_direct():
+            miner = DirectMiner(deep_store, comm, chunk_records=chunk,
+                                max_level=deep_cdim + 2,
+                                max_subsets=50_000_000,
+                                max_transactions=1 << 20)
+            dense = deep_dense
+            if not miner.try_engage(dense.tokens(), dense.level):
+                raise RuntimeError(
+                    "direct miner declined the deep benchmark lattice")
+            traj = []
+            while dense.n_units >= 2:
+                step = lattice_step(dense)
+                if step.n_raw == 0:
+                    break
+                cdus = step.cdus
+                counts = miner.counts_for(cdus)
+                dense = cdus.select(counts >= deep_support)
+                traj.append((int(cdus.level), int(cdus.n_units), counts,
+                             int(dense.n_units)))
+            return traj
+
+        classic_traj = deep_walk_classic()    # also warms the index memo
+        direct_traj = deep_walk_direct()
+        deep_identical = (
+            len(classic_traj) == len(direct_traj) > 0
+            and all(a[0] == b[0] and a[1] == b[1]
+                    and np.array_equal(a[2], b[2]) and a[3] == b[3]
+                    for a, b in zip(classic_traj, direct_traj)))
+        direct_load = {
+            "n_records": int(deep_n),
+            "n_dims": int(deep_dims),
+            "nbins": int(deep_nbins),
+            "n_clusters": int(deep_nclusters),
+            "cluster_dim": int(deep_cdim),
+            "start_level": int(deep_dense.level),
+            "start_units": int(deep_dense.n_units),
+            "levels_walked": len(classic_traj),
+            "cdus_walked": int(sum(t[1] for t in classic_traj)),
+            "min_support": int(deep_support),
+            "identical": bool(deep_identical),
+        }
 
     dense = random_units(join_units, 3, min(n_dims, 12), 6, seed=9)
     rng10 = np.random.default_rng(10)
@@ -426,26 +584,36 @@ def build_suite(smoke: bool):
         kernels[f"populate_level{lv}_indexed"] = (
             lambda u=lvu: populate_local(source, comm, grid, u, chunk,
                                          indexed=indexed_pop), runs)
+    if direct_load is not None:
+        kernels["deep_lattice_classic"] = (deep_walk_classic, runs)
+        kernels["deep_lattice_direct"] = (deep_walk_direct, runs)
 
-    index_load = {
-        "levels": sorted(level_units),
-        "units_per_level": {str(lv): int(u.n_units)
-                            for lv, u in level_units.items()},
-        "index_nbytes": int(index.nbytes),
-        "resident": bool(index.resident),
-        "memo_entries": len(indexed_pop.memo),
-        "memo_nbytes": int(indexed_pop.memo.nbytes),
-    }
+    kernels = {name: kv for name, kv in kernels.items() if wanted(name)}
 
-    join_load = {"n_units": int(bulk.n_units),
-                 "raw_cdus": int(bulk_plan.n_pairs),
-                 "highdim": {"n_units": int(highdim.n_units),
-                             "n_dims": int(hd_dims),
-                             "level": int(hd_level),
-                             "raw_pairs":
-                             int(fptree_join_plan(highdim,
-                                                  hd_tokens).n_pairs),
-                             "auto_strategy": hd_auto}}
+    index_load = None
+    if index is not None:
+        index_load = {
+            "levels": sorted(level_units),
+            "units_per_level": {str(lv): int(u.n_units)
+                                for lv, u in level_units.items()},
+            "index_nbytes": int(index.nbytes),
+            "resident": bool(index.resident),
+            "memo_entries": len(indexed_pop.memo),
+            "memo_nbytes": int(indexed_pop.memo.nbytes),
+        }
+
+    join_load = {}
+    if bulk is not None:
+        join_load.update(n_units=int(bulk.n_units),
+                         raw_cdus=int(bulk_plan.n_pairs))
+    if highdim is not None:
+        join_load["highdim"] = {"n_units": int(highdim.n_units),
+                                "n_dims": int(hd_dims),
+                                "level": int(hd_level),
+                                "raw_pairs":
+                                int(fptree_join_plan(highdim,
+                                                     hd_tokens).n_pairs),
+                                "auto_strategy": hd_auto}
 
     if smoke:
         e2e = dict(n_records=20_000, n_dims=8, n_clusters=2, cluster_dim=4,
@@ -453,7 +621,8 @@ def build_suite(smoke: bool):
     else:
         e2e = dict(n_records=200_000, n_dims=15, n_clusters=10,
                    cluster_dim=5, chunk=50_000)
-    return kernels, e2e, join_load, index_load, serve_load, stream_load
+    return (kernels, e2e, join_load, index_load, serve_load, stream_load,
+            direct_load)
 
 
 def cluster_signature(result):
@@ -660,6 +829,12 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
                     help="scaled-down suite for CI")
+    ap.add_argument("--only", metavar="KERNEL_GLOB", default=None,
+                    help="run only kernels matching this fnmatch glob "
+                         "(e.g. 'deep_lattice_*' or 'populate_*'); "
+                         "workload staging behind unmatched kernels is "
+                         "skipped and their summary sections are "
+                         "omitted")
     ap.add_argument("--output", type=Path, default=None,
                     help="write the JSON document here")
     ap.add_argument("--compare", type=Path, default=None,
@@ -674,6 +849,11 @@ def main(argv=None) -> int:
                     help="fail unless the level>=2 population kernels' "
                          "median indexed-vs-binned speedup reaches this "
                          "factor")
+    ap.add_argument("--min-direct-speedup", type=float, default=0.0,
+                    help="fail unless the one-pass direct miner beats "
+                         "the classic fptree+indexed deep-lattice walk "
+                         "by this factor (or the two walks disagree on "
+                         "any level)")
     ap.add_argument("--min-serve-speedup", type=float, default=0.0,
                     help="fail unless the compiled serving evaluator "
                          "beats the naive per-term scorer by this "
@@ -694,87 +874,130 @@ def main(argv=None) -> int:
 
     suite = "smoke" if args.smoke else "full"
     print(f"suite: {suite}")
-    kernels, e2e_cfg, join_load, index_load, serve_load, stream_load = \
-        build_suite(args.smoke)
+    (kernels, e2e_cfg, join_load, index_load, serve_load, stream_load,
+     direct_load) = build_suite(args.smoke, only=args.only)
+    if not kernels:
+        print(f"no kernel matches --only {args.only!r}", file=sys.stderr)
+        return 2
 
     doc = {"schema": SCHEMA, "suite": suite, "machine": machine_info(),
            "kernels": {}}
+    if args.only:
+        doc["only"] = args.only
     for name, (fn, runs) in kernels.items():
         median = median_time(fn, runs)
         doc["kernels"][name] = {"median_s": round(median, 5), "runs": runs}
         print(f"  {name:32s} {median:.4f}s  (median of {runs})")
 
-    pair_s = doc["kernels"]["cdu_join_pairwise_bulk"]["median_s"]
-    hash_s = doc["kernels"]["cdu_join_hash_bulk"]["median_s"]
-    doc["join"] = dict(join_load,
-                       speedup=round(pair_s / hash_s, 2) if hash_s else None)
-    print(f"  bulk join: {join_load['n_units']} units -> "
-          f"{join_load['raw_cdus']} raw CDUs, hash is "
-          f"{doc['join']['speedup']}x faster than pairwise")
+    def have(*names):
+        return all(n in doc["kernels"] for n in names)
 
-    hd = join_load["highdim"]
-    hd_hash_s = doc["kernels"][f"join_level{hd['level']}_hash"]["median_s"]
-    hd_fp_s = doc["kernels"][f"join_level{hd['level']}_fptree"]["median_s"]
-    doc["join"]["highdim"] = dict(
-        hd, fptree_speedup=round(hd_hash_s / hd_fp_s, 2) if hd_fp_s
-        else None)
-    print(f"  highdim join (d={hd['n_dims']}, level {hd['level']}, "
-          f"{hd['n_units']} units): fptree is "
-          f"{doc['join']['highdim']['fptree_speedup']}x faster than hash, "
-          f"auto resolves to {hd['auto_strategy']!r}")
+    if join_load.get("raw_cdus") is not None \
+            and have("cdu_join_pairwise_bulk", "cdu_join_hash_bulk"):
+        pair_s = doc["kernels"]["cdu_join_pairwise_bulk"]["median_s"]
+        hash_s = doc["kernels"]["cdu_join_hash_bulk"]["median_s"]
+        doc["join"] = dict(join_load,
+                           speedup=round(pair_s / hash_s, 2)
+                           if hash_s else None)
+        doc["join"].pop("highdim", None)
+        print(f"  bulk join: {join_load['n_units']} units -> "
+              f"{join_load['raw_cdus']} raw CDUs, hash is "
+              f"{doc['join']['speedup']}x faster than pairwise")
 
-    per_level = {}
-    speedups = []
-    for lv in index_load["levels"]:
-        b = doc["kernels"][f"populate_level{lv}_binned"]["median_s"]
-        i = doc["kernels"][f"populate_level{lv}_indexed"]["median_s"]
-        s = round(b / i, 2) if i else None
-        per_level[f"level{lv}"] = {"binned_s": b, "indexed_s": i,
-                                   "speedup": s}
-        if s is not None:
-            speedups.append(s)
-    doc["index"] = dict(index_load, per_level=per_level,
-                        median_speedup=round(statistics.median(speedups), 2)
-                        if speedups else None)
-    print(f"  bitmap index: {index_load['index_nbytes'] / 1e6:.2f} MB "
-          f"resident, level>=2 population median speedup "
-          f"{doc['index']['median_speedup']}x over binned streaming")
+    hd = join_load.get("highdim")
+    if hd is not None and have(f"join_level{hd['level']}_hash",
+                               f"join_level{hd['level']}_fptree"):
+        hd_hash_s = \
+            doc["kernels"][f"join_level{hd['level']}_hash"]["median_s"]
+        hd_fp_s = \
+            doc["kernels"][f"join_level{hd['level']}_fptree"]["median_s"]
+        doc.setdefault("join", {})["highdim"] = dict(
+            hd, fptree_speedup=round(hd_hash_s / hd_fp_s, 2) if hd_fp_s
+            else None)
+        print(f"  highdim join (d={hd['n_dims']}, level {hd['level']}, "
+              f"{hd['n_units']} units): fptree is "
+              f"{doc['join']['highdim']['fptree_speedup']}x faster than "
+              f"hash, auto resolves to {hd['auto_strategy']!r}")
 
-    naive_s = doc["kernels"]["score_batch_naive"]["median_s"]
-    comp_s = doc["kernels"]["score_batch_compiled"]["median_s"]
-    cache_s = doc["kernels"]["score_batch_cached"]["median_s"]
-    doc["serve"] = dict(
-        serve_load,
-        compiled_speedup=round(naive_s / comp_s, 2) if comp_s else None,
-        cached_speedup=round(comp_s / cache_s, 2) if cache_s else None,
-        compiled_records_per_s=round(serve_load["batch_records"] / comp_s)
-        if comp_s else None,
-        cached_records_per_s=round(serve_load["batch_records"] / cache_s)
-        if cache_s else None)
-    print(f"  serving: {serve_load['n_clusters']} clusters / "
-          f"{serve_load['n_terms']} terms, "
-          f"{serve_load['batch_records']} records over "
-          f"{serve_load['hot_pool_rows']} hot rows — compiled is "
-          f"{doc['serve']['compiled_speedup']}x over naive "
-          f"({doc['serve']['compiled_records_per_s']:,} rec/s), "
-          f"cache-warm {doc['serve']['cached_speedup']}x over compiled "
-          f"({doc['serve']['cached_records_per_s']:,} rec/s), "
-          f"identical: {serve_load['identical']}")
+    if index_load is not None:
+        per_level = {}
+        speedups = []
+        for lv in index_load["levels"]:
+            if not have(f"populate_level{lv}_binned",
+                        f"populate_level{lv}_indexed"):
+                continue
+            b = doc["kernels"][f"populate_level{lv}_binned"]["median_s"]
+            i = doc["kernels"][f"populate_level{lv}_indexed"]["median_s"]
+            s = round(b / i, 2) if i else None
+            per_level[f"level{lv}"] = {"binned_s": b, "indexed_s": i,
+                                       "speedup": s}
+            if s is not None:
+                speedups.append(s)
+        doc["index"] = dict(index_load, per_level=per_level,
+                            median_speedup=round(
+                                statistics.median(speedups), 2)
+                            if speedups else None)
+        print(f"  bitmap index: {index_load['index_nbytes'] / 1e6:.2f} MB "
+              f"resident, level>=2 population median speedup "
+              f"{doc['index']['median_speedup']}x over binned streaming")
 
-    snap_s = doc["kernels"]["snapshot_vs_cold"]["median_s"]
-    cold_s = doc["kernels"]["cold_batch_window"]["median_s"]
-    ingest_s = doc["kernels"]["ingest_delta"]["median_s"]
-    doc["stream"] = dict(
-        stream_load,
-        snapshot_speedup=round(cold_s / snap_s, 2) if snap_s else None,
-        ingest_records_per_s=round(stream_load["delta_records"]
-                                   / ingest_s) if ingest_s else None)
-    print(f"  streaming: {stream_load['window_records']}-record window, "
-          f"{stream_load['delta_records']}-record deltas — incremental "
-          f"snapshot is {doc['stream']['snapshot_speedup']}x over a "
-          f"cold batch run "
-          f"({doc['stream']['ingest_records_per_s']:,} rec/s ingest), "
-          f"identical: {stream_load['identical']}")
+    if serve_load is not None and have("score_batch_naive",
+                                       "score_batch_compiled",
+                                       "score_batch_cached"):
+        naive_s = doc["kernels"]["score_batch_naive"]["median_s"]
+        comp_s = doc["kernels"]["score_batch_compiled"]["median_s"]
+        cache_s = doc["kernels"]["score_batch_cached"]["median_s"]
+        doc["serve"] = dict(
+            serve_load,
+            compiled_speedup=round(naive_s / comp_s, 2) if comp_s else None,
+            cached_speedup=round(comp_s / cache_s, 2) if cache_s else None,
+            compiled_records_per_s=round(serve_load["batch_records"]
+                                         / comp_s) if comp_s else None,
+            cached_records_per_s=round(serve_load["batch_records"]
+                                       / cache_s) if cache_s else None)
+        print(f"  serving: {serve_load['n_clusters']} clusters / "
+              f"{serve_load['n_terms']} terms, "
+              f"{serve_load['batch_records']} records over "
+              f"{serve_load['hot_pool_rows']} hot rows — compiled is "
+              f"{doc['serve']['compiled_speedup']}x over naive "
+              f"({doc['serve']['compiled_records_per_s']:,} rec/s), "
+              f"cache-warm {doc['serve']['cached_speedup']}x over compiled "
+              f"({doc['serve']['cached_records_per_s']:,} rec/s), "
+              f"identical: {serve_load['identical']}")
+
+    if stream_load is not None and have("snapshot_vs_cold",
+                                        "cold_batch_window",
+                                        "ingest_delta"):
+        snap_s = doc["kernels"]["snapshot_vs_cold"]["median_s"]
+        cold_s = doc["kernels"]["cold_batch_window"]["median_s"]
+        ingest_s = doc["kernels"]["ingest_delta"]["median_s"]
+        doc["stream"] = dict(
+            stream_load,
+            snapshot_speedup=round(cold_s / snap_s, 2) if snap_s else None,
+            ingest_records_per_s=round(stream_load["delta_records"]
+                                       / ingest_s) if ingest_s else None)
+        print(f"  streaming: {stream_load['window_records']}-record "
+              f"window, {stream_load['delta_records']}-record deltas — "
+              f"incremental snapshot is "
+              f"{doc['stream']['snapshot_speedup']}x over a cold batch "
+              f"run ({doc['stream']['ingest_records_per_s']:,} rec/s "
+              f"ingest), identical: {stream_load['identical']}")
+
+    if direct_load is not None and have("deep_lattice_classic",
+                                        "deep_lattice_direct"):
+        classic_s = doc["kernels"]["deep_lattice_classic"]["median_s"]
+        direct_s = doc["kernels"]["deep_lattice_direct"]["median_s"]
+        doc["direct"] = dict(
+            direct_load, classic_s=classic_s, direct_s=direct_s,
+            speedup=round(classic_s / direct_s, 2) if direct_s else None)
+        print(f"  deep lattice (d={direct_load['n_dims']}, "
+              f"{direct_load['start_units']} level-"
+              f"{direct_load['start_level']} units, "
+              f"{direct_load['cdus_walked']} CDUs over "
+              f"{direct_load['levels_walked']} deeper levels): direct "
+              f"mining is {doc['direct']['speedup']}x over the classic "
+              f"fptree+indexed walk, identical: "
+              f"{direct_load['identical']}")
 
     if not args.skip_e2e:
         print("running end-to-end bin_cache off vs memory ...")
@@ -812,20 +1035,33 @@ def main(argv=None) -> int:
     if args.compare is not None:
         rc = compare(doc, args.compare, args.fail_over)
     if args.min_index_speedup and \
-            (doc["index"]["median_speedup"] or 0) < args.min_index_speedup:
+            (doc.get("index", {}).get("median_speedup")
+             or 0) < args.min_index_speedup:
         print(f"FAIL: indexed population median speedup "
-              f"{doc['index']['median_speedup']}x below required "
-              f"{args.min_index_speedup}x")
+              f"{doc.get('index', {}).get('median_speedup')}x below "
+              f"required {args.min_index_speedup}x")
         rc = 1
-    if not doc["serve"]["identical"]:
+    if "serve" in doc and not doc["serve"]["identical"]:
         print("FAIL: compiled serving evaluator disagrees with the "
               "naive per-term scorer")
         rc = 1
     if args.min_serve_speedup and \
-            (doc["serve"]["compiled_speedup"] or 0) < args.min_serve_speedup:
+            (doc.get("serve", {}).get("compiled_speedup")
+             or 0) < args.min_serve_speedup:
         print(f"FAIL: compiled serving speedup "
-              f"{doc['serve']['compiled_speedup']}x below required "
-              f"{args.min_serve_speedup}x")
+              f"{doc.get('serve', {}).get('compiled_speedup')}x below "
+              f"required {args.min_serve_speedup}x")
+        rc = 1
+    if "direct" in doc and not doc["direct"]["identical"]:
+        print("FAIL: direct-mining deep-lattice walk disagrees with the "
+              "classic fptree+indexed walk")
+        rc = 1
+    if args.min_direct_speedup and \
+            (doc.get("direct", {}).get("speedup")
+             or 0) < args.min_direct_speedup:
+        print(f"FAIL: direct mining speedup "
+              f"{doc.get('direct', {}).get('speedup')}x below required "
+              f"{args.min_direct_speedup}x")
         rc = 1
     if not args.skip_e2e:
         e = doc["e2e"]

@@ -139,7 +139,7 @@ def clique_rank(comm: Comm, data: Any, params: CliqueParams | None = None,
             comm, dense_sorted, params.tau, block_join)
         if raw.n_units == 0:
             break
-        cdus = _eliminate_repeat_cdus(comm, raw, params.tau)
+        cdus, _ = _eliminate_repeat_cdus(comm, raw, params.tau)
         if params.apriori_prune and cdus.n_units:
             keep = apriori_prune(cdus, dense_sorted)
             comm.charge_pairs(cdus.n_units)

@@ -252,6 +252,27 @@ def hash_join_plan(dense: UnitTable,
                         n_units=n, level=m)
 
 
+def assemble_unions(dense: UnitTable, left: np.ndarray,
+                    right_token: np.ndarray) -> UnitTable:
+    """Assemble the joined CDU rows for already-mined pairs: append each
+    pair's leftover ``dim << 8 | bin`` token to its pivot row and
+    dim-sort the union.
+
+    This is the one kernel every join engine shares — pairwise, hash,
+    fptree and direct mining all emit CDU rows through it, which is what
+    makes their outputs comparable array-for-array.
+    """
+    extra_dim = (right_token >> np.uint16(8)).astype(np.uint8)
+    extra_bin = (right_token & np.uint16(0xFF)).astype(np.uint8)
+    union_dims = np.concatenate(
+        [dense.dims[left], extra_dim[:, None]], axis=1)
+    union_bins = np.concatenate(
+        [dense.bins[left], extra_bin[:, None]], axis=1)
+    order = np.argsort(union_dims, axis=1, kind="stable")
+    return UnitTable(dims=np.take_along_axis(union_dims, order, axis=1),
+                     bins=np.take_along_axis(union_bins, order, axis=1))
+
+
 def hash_join_block(dense: UnitTable, start: int = 0, stop: int | None = None,
                     plan: HashJoinPlan | None = None) -> JoinResult:
     """Hash-join rows ``[start, stop)`` of ``dense`` against all later
@@ -285,15 +306,7 @@ def hash_join_block(dense: UnitTable, start: int = 0, stop: int | None = None,
     combined[left] = True
     combined[right] = True
 
-    extra_dim = (token >> np.uint16(8)).astype(np.uint8)
-    extra_bin = (token & np.uint16(0xFF)).astype(np.uint8)
-    union_dims = np.concatenate(
-        [dense.dims[left], extra_dim[:, None]], axis=1)
-    union_bins = np.concatenate(
-        [dense.bins[left], extra_bin[:, None]], axis=1)
-    order = np.argsort(union_dims, axis=1, kind="stable")
-    cdus = UnitTable(dims=np.take_along_axis(union_dims, order, axis=1),
-                     bins=np.take_along_axis(union_bins, order, axis=1))
+    cdus = assemble_unions(dense, left, token)
     return JoinResult(cdus=cdus, combined=combined, pairs_examined=pairs)
 
 

@@ -22,18 +22,21 @@ from .units import UnitTable
 
 
 def repeat_flags_block(cdus: UnitTable, start: int = 0,
-                       stop: int | None = None) -> np.ndarray:
+                       stop: int | None = None,
+                       words: np.ndarray | None = None) -> np.ndarray:
     """Length-``Ncdu`` mask with this block's repeats marked.
 
     ``mask[j]`` is True iff ``start <= j < stop`` and row ``j`` equals
     some earlier row of the *full* array.  Entries outside the block are
     False so the masks from all ranks can simply be OR-reduced.
+    ``words`` forwards a precomputed packed-key matrix to
+    :meth:`~repro.core.units.UnitTable.repeat_mask`.
     """
     n = cdus.n_units
     stop = n if stop is None else stop
     if not 0 <= start <= stop <= n:
         raise DataError(f"block [{start}, {stop}) out of bounds for {n}")
-    full = cdus.repeat_mask()
+    full = cdus.repeat_mask(words)
     mask = np.zeros(n, dtype=bool)
     mask[start:stop] = full[start:stop]
     return mask

@@ -1,0 +1,538 @@
+"""Direct transaction mining — one-pass dense-unit discovery for deep
+lattice levels (the arXiv 1811.02722 idea, adapted to pMAFIA's
+bit-identity contract).
+
+Once the lattice is deep and prefix-sparse (PR 7's fptree probe), the
+classic per-level cycle — candidate join, repeat elimination, a full
+AND/popcount population pass, identify — still pays a data pass per
+level even though the surviving lattice is tiny.  This module mines the
+support of *every remaining candidate at every remaining level* in one
+shot instead:
+
+1. **Project** — each rank digitises its staged bin-index columns
+   (:class:`~repro.io.binned.BinnedStore`) into *dense-bin
+   transactions*: per record, the set of engagement-level alphabet
+   tokens (the distinct ``(dim, bin)`` cells of the current dense-unit
+   table) the record falls in, packed as uint64 bitsets.  Identical
+   transactions are collapsed with multiplicity weights.
+2. **Filter** — the structural theorem behind the engine: every CDU at
+   a level deeper than the engagement level ``L`` is, by induction over
+   the join, a *union of level-``L`` dense-unit token sets*.  So a
+   transaction containing no dense unit supports nothing that will ever
+   be asked for, and tokens outside the union of the dense units a
+   transaction contains can be masked off without changing any needed
+   containment.  Both cuts are exact, not heuristic.
+3. **Enumerate** — for each distinct filtered transaction, all token
+   subsets of sizes ``L+1 .. max_dimensionality`` are emitted with the
+   transaction's weight (conditional FP-growth unrolled over the tiny
+   filtered alphabet); per-size tables are grouped on canonical
+   big-endian :func:`~repro.core.units.pack_tokens` byte keys.
+4. **Merge** — one ``allgather`` of the per-rank tables; every rank
+   folds them in rank order into one canonically-ordered global count
+   table.  Supports are partition-additive, and a key absent from the
+   merged table has true global support 0, so the table answers *exact*
+   global counts for every unit the remaining levels can query.
+
+Engagement is guarded by two budgets — distinct transactions and the
+enumeration size estimate — both decided by symmetric allreduces, so
+every rank falls back to the classic engines together when the lattice
+is not actually sparse.  Results are bit-identical to the classic path
+by construction: the per-level CDU tables come from the same
+:func:`~repro.core.fptree.mined_pairs` +
+:func:`~repro.core.candidates.assemble_unions` kernels
+(:func:`lattice_step`), and the counts are exact integers equal to what
+a population pass would have counted.  Per-rank ``pairs_examined``
+metrics are replayed from the same fence arithmetic the classic join
+and dedup phases use (:func:`replay_join_charges` /
+:func:`replay_dedup_charges`); the simulated-time backend never builds
+a miner at all (the virtual SP2 models the paper's per-level sweep).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError
+from .candidates import assemble_unions
+from .fptree import mined_pairs
+from .partition import (prefix_work, proportional_splits, triangular_splits,
+                        weighted_splits)
+from .units import UnitTable, first_occurrence, pack_tokens
+
+__all__ = ["DirectMiner", "LatticeStep", "lattice_step",
+           "replay_dedup_charges", "replay_join_charges"]
+
+#: row-slice budget for the subset-enumeration scratch (subset rows
+#: materialised per vectorised batch)
+_ENUM_BATCH = 1 << 22
+
+
+def _byte_keys(words: np.ndarray) -> np.ndarray:
+    """One fixed-width byte-string key per packed-word row.
+
+    Big-endian conversion makes byte order equal numeric lexicographic
+    order, so the keys feed ``np.argsort`` / ``np.searchsorted`` as
+    scalars while preserving :func:`~repro.core.units.group_sort`'s
+    multi-word order exactly.
+    """
+    w = np.ascontiguousarray(words.astype(">u8"))
+    return w.view(f"S{8 * w.shape[1]}").ravel()
+
+
+def _dedup_weighted(rows: np.ndarray, weights: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse equal ``(n, W)`` uint64 rows, summing int64 weights;
+    returns rows in canonical (byte-key ascending) order."""
+    if rows.shape[0] == 0:
+        return rows, weights
+    keys = _byte_keys(rows)
+    order = np.argsort(keys, kind="stable")
+    ks = keys[order]
+    starts = np.ones(ks.shape[0], dtype=bool)
+    starts[1:] = ks[1:] != ks[:-1]
+    firsts = np.flatnonzero(starts)
+    sums = np.add.reduceat(weights[order], firsts)
+    return rows[order[firsts]], sums
+
+
+def _popcounts(rows: np.ndarray) -> np.ndarray:
+    """Per-row set-bit counts of an ``(n, W)`` uint64 bitset matrix."""
+    return np.bitwise_count(rows).sum(axis=1, dtype=np.int64)
+
+
+def _subset_estimate(t: int, lo: int, hi: int, cap: int) -> int:
+    """``sum(C(t, k) for k in [lo, min(t, hi)])`` clamped at ``cap``."""
+    total = 0
+    for k in range(lo, min(t, hi) + 1):
+        total += math.comb(t, k)
+        if total >= cap:
+            return cap
+    return total
+
+
+@dataclass(frozen=True)
+class LatticeStep:
+    """One level's join + dedup outcome, classic-order identical.
+
+    Attributes
+    ----------
+    n_raw:
+        Raw CDU count before repeat elimination (what the classic path
+        reports as ``n_cdus_raw``).
+    combined:
+        Global mask over the dense units that joined at least once —
+        equal to the classic lor-allreduce of per-rank block masks.
+    row_pair_counts:
+        ``bincount(left)`` of the mined pairs — the weights the classic
+        hash/fptree fences balance; the pairs-replay helpers recompute
+        the per-rank fence charges from these.
+    cdus:
+        The deduplicated CDU table, bit-identical (rows and order) to
+        the classic raw-concat + first-occurrence elimination.
+    """
+
+    n_raw: int
+    combined: np.ndarray
+    row_pair_counts: np.ndarray
+    cdus: UnitTable
+
+
+def lattice_step(dense: UnitTable, tokens: np.ndarray | None = None,
+                 keep: np.ndarray | None = None, obs=None) -> LatticeStep:
+    """Join + repeat-eliminate one level entirely locally (every rank
+    computes the identical full tables — no collectives).
+
+    The pair set comes from :func:`~repro.core.fptree.mined_pairs` in
+    ``(pivot, partner)`` order, union assembly from
+    :func:`~repro.core.candidates.assemble_unions` — the same kernels
+    the classic engines run — so the raw table equals the classic
+    rank-order fragment concatenation for *any* fences, and the
+    first-occurrence elimination below equals Algorithm 4's output.
+    """
+    n = dense.n_units
+    left, right, right_token = mined_pairs(dense, tokens, obs=obs,
+                                           keep=keep)
+    combined = np.zeros(n, dtype=bool)
+    combined[left] = True
+    combined[right] = True
+    row_pair_counts = np.bincount(left, minlength=n)
+    n_raw = int(left.shape[0])
+    if n_raw == 0:
+        return LatticeStep(n_raw=0, combined=combined,
+                           row_pair_counts=row_pair_counts,
+                           cdus=UnitTable.empty(dense.level + 1))
+    raw = assemble_unions(dense, left, right_token)
+    repeats = first_occurrence(pack_tokens(raw.tokens())) \
+        != np.arange(n_raw)
+    return LatticeStep(n_raw=n_raw, combined=combined,
+                       row_pair_counts=row_pair_counts,
+                       cdus=raw.select(~repeats))
+
+
+def replay_join_charges(comm, n_units: int, row_pair_counts: np.ndarray,
+                        tau: int, shares: np.ndarray | None = None) -> int:
+    """Charge this rank the ``pairs_examined`` the classic join phase
+    would have reported for the same level — identical fence arithmetic
+    (:func:`~repro.core.partition.weighted_splits` over the plan's
+    realised pair counts, triangular prefix work over the fenced rows),
+    no join executed."""
+    if comm.size > 1 and n_units > tau:
+        if shares is not None:
+            offsets = proportional_splits(row_pair_counts, shares)
+        else:
+            offsets = weighted_splits(row_pair_counts, comm.size)
+        lo, hi = offsets[comm.rank], offsets[comm.rank + 1]
+        pairs = prefix_work(n_units, hi) - prefix_work(n_units, lo)
+    else:
+        pairs = prefix_work(n_units, n_units)
+    comm.charge_pairs(pairs)
+    if comm.obs is not None:
+        comm.obs.add_pairs("join", pairs)
+    return pairs
+
+
+def replay_dedup_charges(comm, n_raw: int, tau: int,
+                         shares: np.ndarray | None = None) -> int:
+    """Charge this rank the dedup-phase ``pairs_examined`` of the
+    classic repeat elimination over ``n_raw`` raw CDUs (Algorithm 4's
+    fences), no elimination executed."""
+    if comm.size > 1 and n_raw > tau:
+        if shares is not None:
+            offsets = proportional_splits(
+                np.arange(n_raw - 1, -1, -1, dtype=np.float64), shares)
+        else:
+            offsets = triangular_splits(n_raw, comm.size)
+        lo, hi = offsets[comm.rank], offsets[comm.rank + 1]
+        pairs = prefix_work(n_raw, hi) - prefix_work(n_raw, lo)
+    else:
+        pairs = n_raw
+    comm.charge_pairs(pairs)
+    if comm.obs is not None:
+        comm.obs.add_pairs("dedup", pairs)
+    return pairs
+
+
+class DirectMiner:
+    """Per-rank direct-mining engine over the rank's staged bin-index
+    store.
+
+    Built once per run by the driver (wall-clock backends only) and
+    engaged at most once: :meth:`try_engage` either builds the global
+    count table — after which :meth:`counts_for` answers every deeper
+    level with zero data passes and zero collectives — or declines
+    symmetrically on every rank (budget overrun), leaving the classic
+    engines in charge.  :meth:`reset` rewinds the engine for recovery
+    replay so survivors and replacements re-engage at the same levels.
+    """
+
+    def __init__(self, binned, comm, *, chunk_records: int,
+                 max_level: int, max_subsets: int = 4_000_000,
+                 max_transactions: int = 262_144) -> None:
+        if chunk_records <= 0:
+            raise DataError(
+                f"chunk_records must be positive, got {chunk_records}")
+        self.binned = binned
+        self.comm = comm
+        self.chunk_records = int(chunk_records)
+        self.max_level = int(max_level)
+        self.max_subsets = int(max_subsets)
+        self.max_transactions = int(max_transactions)
+        self.engaged = False
+        self.level = 0
+        self._tables: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._attempted: set[int] = set()
+
+    # -- lifecycle --------------------------------------------------------
+    def reset(self) -> None:
+        """Forget engagement state (recovery replay: every rank —
+        survivor or replacement — re-runs the level loop from the
+        restore level and must make the engage decisions afresh and in
+        lockstep)."""
+        self.engaged = False
+        self.level = 0
+        self._tables = {}
+        self._attempted = set()
+
+    # -- engagement -------------------------------------------------------
+    def try_engage(self, tokens: np.ndarray, level: int) -> bool:
+        """Attempt to take over the lattice at ``level``: project +
+        filter the local transactions, check both budgets (symmetric
+        allreduces), enumerate and merge the global count table.
+
+        ``tokens`` is the *global* dense-unit token matrix (identical
+        on every rank).  Returns True when engaged; a declined level is
+        never re-attempted (the decision is deterministic in the level
+        frontier, so the retry would decline again).
+        """
+        if self.engaged:
+            return True
+        if level in self._attempted:
+            return False
+        self._attempted.add(level)
+        obs = self.comm.obs
+        tokens = np.asarray(tokens, dtype=np.uint16)
+        n_dense, m = tokens.shape
+        if n_dense == 0 or m != level:
+            return False
+
+        with _span(obs, "join.direct.project", level=level):
+            alphabet = np.unique(tokens.ravel())
+            ubits = _token_bitsets(tokens, alphabet)
+            trans, weights, over = self._project(alphabet, level)
+        flag = np.array([over], dtype=bool)
+        if bool(self.comm.allreduce(flag, op="lor")[0]):
+            _declined(obs, level, "transactions")
+            return False
+
+        with _span(obs, "join.direct.filter", level=level):
+            trans, weights = _filter_transactions(trans, weights, ubits,
+                                                  level)
+        est = np.array([self._estimate(trans, level)], dtype=np.int64)
+        if int(self.comm.allreduce(est, op="sum")[0]) > self.max_subsets:
+            _declined(obs, level, "subsets")
+            return False
+
+        with _span(obs, "join.direct.enumerate", level=level,
+                   transactions=int(trans.shape[0])):
+            local = self._enumerate(trans, weights, alphabet, level)
+        with _span(obs, "join.direct.merge", level=level):
+            self._tables = self._merge(local)
+
+        self.engaged = True
+        self.level = level
+        if obs is not None:
+            obs.instant("direct.engaged", cat="join", level=level,
+                        transactions=int(trans.shape[0]))
+            if obs.metrics is not None:
+                obs.metrics.counter("direct.transactions").inc(
+                    int(trans.shape[0]))
+                entries = sum(k.shape[0]
+                              for k, _ in self._tables.values())
+                nbytes = sum(k.nbytes + c.nbytes
+                             for k, c in self._tables.values())
+                obs.metrics.counter("direct.itemsets").inc(entries)
+                obs.metrics.gauge("direct.table_bytes").set(nbytes)
+        return True
+
+    # -- serving ----------------------------------------------------------
+    def counts_for(self, cdus: UnitTable,
+                   words: np.ndarray | None = None) -> np.ndarray:
+        """Exact global record counts per CDU, straight off the merged
+        table (absent key = true global support 0)."""
+        if not self.engaged:
+            raise DataError("direct miner is not engaged")
+        n = cdus.n_units
+        out = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return out
+        table = self._tables.get(cdus.level)
+        if table is None or table[0].shape[0] == 0:
+            return out
+        if words is None:
+            words = pack_tokens(cdus.tokens())
+        keys = _byte_keys(words)
+        tk, tc = table
+        pos = np.searchsorted(tk, keys)
+        np.minimum(pos, tk.shape[0] - 1, out=pos)
+        hit = tk[pos] == keys
+        out[hit] = tc[pos[hit]]
+        return out
+
+    # -- internals --------------------------------------------------------
+    def _project(self, alphabet: np.ndarray, level: int
+                 ) -> tuple[np.ndarray, np.ndarray, bool]:
+        """Digitise the rank's bin-index columns into deduplicated
+        alphabet-bitset transactions; ``over`` reports a local distinct
+        count past the budget (the decision is still collective)."""
+        n_words = -(-alphabet.shape[0] // 64)
+        a_dims = (alphabet >> np.uint16(8)).astype(np.int64)
+        a_bins = (alphabet & np.uint16(0xFF))
+        word_of = np.arange(alphabet.shape[0]) // 64
+        bit_of = np.uint64(1) << (
+            np.arange(alphabet.shape[0], dtype=np.uint64) % np.uint64(64))
+        acc_rows: list[np.ndarray] = []
+        acc_w: list[np.ndarray] = []
+        acc_n = 0
+        rows = np.zeros((0, n_words), dtype=np.uint64)
+        weights = np.zeros(0, dtype=np.int64)
+        over = False
+        n_records = 0 if self.binned is None else self.binned.n_records
+        for lo in range(0, n_records, self.chunk_records):
+            hi = min(lo + self.chunk_records, n_records)
+            cols = self.binned.read_columns(lo, hi)
+            chunk = np.zeros((hi - lo, n_words), dtype=np.uint64)
+            for j in range(alphabet.shape[0]):
+                member = cols[a_dims[j]] == a_bins[j]
+                chunk[:, word_of[j]] |= member.astype(np.uint64) * bit_of[j]
+            chunk = chunk[_popcounts(chunk) > level]
+            if chunk.shape[0] == 0:
+                continue
+            urows, uw = _dedup_weighted(
+                chunk, np.ones(chunk.shape[0], dtype=np.int64))
+            acc_rows.append(urows)
+            acc_w.append(uw)
+            acc_n += urows.shape[0]
+            if acc_n > 2 * self.max_transactions:
+                rows, weights = _dedup_weighted(
+                    np.concatenate([rows] + acc_rows),
+                    np.concatenate([weights] + acc_w))
+                acc_rows, acc_w, acc_n = [], [], 0
+                if rows.shape[0] > self.max_transactions:
+                    over = True
+                    break
+        if acc_rows:
+            rows, weights = _dedup_weighted(
+                np.concatenate([rows] + acc_rows),
+                np.concatenate([weights] + acc_w))
+        over = over or rows.shape[0] > self.max_transactions
+        return rows, weights, over
+
+    def _estimate(self, trans: np.ndarray, level: int) -> int:
+        """Local enumeration size (table entries this rank would emit),
+        clamped just past the budget so the sum-allreduce stays small."""
+        cap = self.max_subsets + 1
+        total = 0
+        for t, reps in zip(*np.unique(_popcounts(trans),
+                                      return_counts=True)):
+            total += int(reps) * _subset_estimate(int(t), level + 1,
+                                                  self.max_level, cap)
+            if total >= cap:
+                return cap
+        return total
+
+    def _enumerate(self, trans: np.ndarray, weights: np.ndarray,
+                   alphabet: np.ndarray, level: int
+                   ) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        """Emit every subset of sizes ``level+1 .. max_level`` of every
+        distinct transaction, grouped per size into weighted local
+        count tables."""
+        per_k: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+        if trans.shape[0]:
+            # flat column w*64+b is bit b of word w = alphabet id w*64+b
+            flat = _bit_expand(trans)
+            tvals = flat.sum(axis=1)
+            for t in np.unique(tvals):
+                t = int(t)
+                sel = np.flatnonzero(tvals == t)
+                ids = np.nonzero(flat[sel])[1].reshape(sel.shape[0], t)
+                w_t = weights[sel]
+                for k in range(level + 1, min(t, self.max_level) + 1):
+                    comb = np.array(
+                        list(itertools.combinations(range(t), k)),
+                        dtype=np.int64)
+                    step = max(1, _ENUM_BATCH // (comb.shape[0] * k))
+                    for lo in range(0, sel.shape[0], step):
+                        sub = ids[lo:lo + step][:, comb]
+                        toks = alphabet[sub.reshape(-1, k)]
+                        per_k.setdefault(k, []).append(
+                            (pack_tokens(toks),
+                             np.repeat(w_t[lo:lo + step], comb.shape[0])))
+        return {k: _dedup_weighted(np.concatenate([w for w, _ in parts]),
+                                   np.concatenate([c for _, c in parts]))
+                for k, parts in per_k.items()}
+
+    def _merge(self, local: dict[int, tuple[np.ndarray, np.ndarray]]
+               ) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        """One allgather, then a deterministic rank-order fold into the
+        canonically-sorted global table (supports are
+        partition-additive, so summing per-rank counts per key is the
+        exact global support)."""
+        payload = {
+            k: (words.shape[1], words.tobytes(), counts.tobytes())
+            for k, (words, counts) in local.items()}
+        gathered = self.comm.allgather(payload)
+        merged: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for k in sorted({k for part in gathered for k in part}):
+            words_l, counts_l = [], []
+            for part in gathered:
+                if k not in part:
+                    continue
+                n_words, wb, cb = part[k]
+                words_l.append(np.frombuffer(wb, dtype=np.uint64)
+                               .reshape(-1, n_words))
+                counts_l.append(np.frombuffer(cb, dtype=np.int64))
+            words, counts = _dedup_weighted(np.concatenate(words_l),
+                                            np.concatenate(counts_l))
+            merged[k] = (_byte_keys(words), counts)
+        return merged
+
+
+def _token_bitsets(tokens: np.ndarray, alphabet: np.ndarray) -> np.ndarray:
+    """Pack each unit's token row into an alphabet bitset (one word
+    column scattered at a time — every row has exactly one target word
+    per column, so the fancy ``|=`` never collides)."""
+    n, m = tokens.shape
+    n_words = -(-alphabet.shape[0] // 64)
+    idx = np.searchsorted(alphabet, tokens)
+    bits = np.zeros((n, n_words), dtype=np.uint64)
+    rows = np.arange(n)
+    for j in range(m):
+        bits[rows, idx[:, j] // 64] |= \
+            np.uint64(1) << (idx[:, j].astype(np.uint64) % np.uint64(64))
+    return bits
+
+
+def _bit_expand(rows: np.ndarray) -> np.ndarray:
+    """``(n, n_words)`` uint64 bitsets -> ``(n, n_words * 64)`` bool,
+    alphabet id ``w * 64 + b`` at column ``w * 64 + b``."""
+    n, n_words = rows.shape
+    flat = np.zeros((n, n_words * 64), dtype=bool)
+    for b in range(64):
+        flat[:, b::64] = (rows >> np.uint64(b)) & np.uint64(1) != 0
+    return flat
+
+
+def _filter_transactions(trans: np.ndarray, weights: np.ndarray,
+                         ubits: np.ndarray, level: int
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """The structural cut: drop transactions containing no dense unit,
+    mask tokens outside the union of the dense units each transaction
+    contains, and re-collapse.  Exact for every containment the deeper
+    levels can query (their token sets are unions of dense-unit sets).
+
+    A unit can only be contained in transactions that carry its rarest
+    token, so each unit's containment scan runs over that token's
+    transaction list instead of the full table — on contaminated
+    inputs (noise tokens keeping most transactions distinct) this cuts
+    the quadratic sweep by the token's selectivity."""
+    if trans.shape[0] == 0 or ubits.shape[0] == 0:
+        return trans[:0], weights[:0]
+    covered = np.zeros(trans.shape[0], dtype=bool)
+    union = np.zeros_like(trans)
+    freq = _bit_expand(trans).sum(axis=0)
+    uflat = _bit_expand(ubits)
+    anchors = np.where(uflat, freq[None, :],
+                       np.iinfo(np.int64).max).argmin(axis=1)
+    token_rows = {int(a): np.flatnonzero(
+        trans[:, a // 64] & (np.uint64(1) << np.uint64(a % 64)) != 0)
+        for a in np.unique(anchors)}
+    for i in range(ubits.shape[0]):
+        rows = token_rows[int(anchors[i])]
+        if rows.size == 0:
+            continue
+        ub = ubits[i]
+        inside = ((trans[rows] & ub) == ub).all(axis=1)
+        hit = rows[inside]
+        covered[hit] = True
+        union[hit] |= ub
+    trans = trans[covered] & union[covered]
+    weights = weights[covered]
+    trans, weights = _dedup_weighted(trans, weights)
+    keep = _popcounts(trans) > level
+    return trans[keep], weights[keep]
+
+
+def _declined(obs, level: int, reason: str) -> None:
+    if obs is not None:
+        obs.instant("direct.declined", cat="join", level=level,
+                    reason=reason)
+
+
+def _span(obs, name: str, **attrs):
+    from contextlib import nullcontext
+    return nullcontext(None) if obs is None \
+        else obs.span(name, cat="join", **attrs)

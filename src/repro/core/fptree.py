@@ -57,7 +57,8 @@ from ..errors import DataError
 from .candidates import HashJoinPlan, _empty_plan
 from .units import UnitTable, group_sort, pack_tokens
 
-__all__ = ["FPTree", "fptree_join_plan", "prune_entries", "suffix_ids"]
+__all__ = ["FPTree", "fptree_join_plan", "mined_pairs", "prune_entries",
+           "suffix_ids"]
 
 #: bit layout of the flat edge keys: ``parent << 16 | token``
 _TOKEN_BITS = np.int64(16)
@@ -118,6 +119,17 @@ class FPTree:
                        edge_child=np.zeros(0, dtype=np.int64),
                        path=np.zeros((n, m + 1), dtype=np.int64),
                        node_count=np.full(1, n, dtype=np.int64))
+        if n == 1:
+            # single transaction: the trie is one chain — a rank whose
+            # shard keeps a lone dense row at the probe level reaches
+            # this, and the row-shift vectorisation below has no
+            # previous row to compare against
+            chain = np.arange(m + 1, dtype=np.int64)
+            return cls(edge_keys=(chain[:m] << _TOKEN_BITS)
+                       | ts[0].astype(np.int64),
+                       edge_child=chain[1:].copy(),
+                       path=chain[np.newaxis, :].copy(),
+                       node_count=np.ones(m + 1, dtype=np.int64))
         neq = np.ones((n, m), dtype=bool)
         if n > 1:
             neq[1:] = ts[1:] != ts[:-1]
@@ -176,6 +188,10 @@ def suffix_ids(ts: np.ndarray) -> np.ndarray:
     them with node ids whose depth fixes the column.
     """
     n, m = ts.shape
+    if n == 0 or n == 1:
+        # no rows — or one row, whose suffixes are trivially the only
+        # members of their equivalence classes (id 0 each)
+        return np.zeros((n, m + 1), dtype=np.int64)
     sfx = np.zeros((n, m + 1), dtype=np.int64)
     for c in range(m - 1, -1, -1):
         key = (ts[:, c] << _SFX_BITS) | sfx[:, c + 1]
@@ -237,13 +253,18 @@ def prune_entries(tokens: np.ndarray, n: int, m: int) -> np.ndarray:
     return keep.reshape(n, m)
 
 
-def fptree_join_plan(dense: UnitTable,
-                     tokens: np.ndarray | None = None,
-                     obs=None,
-                     keep: np.ndarray | None = None) -> HashJoinPlan:
-    """Mine every valid join pair of ``dense`` from a prefix trie —
-    drop-in for :func:`~repro.core.candidates.hash_join_plan`, returning
-    an array-for-array identical :class:`HashJoinPlan`.
+def mined_pairs(dense: UnitTable,
+                tokens: np.ndarray | None = None,
+                obs=None,
+                keep: np.ndarray | None = None,
+                ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Mine every valid join pair of ``dense`` from a prefix trie,
+    returning ``(left, right, right_token)`` lexsorted by
+    ``(left, right)`` — the raw pair arrays both
+    :func:`fptree_join_plan` (which wraps them in a
+    :class:`~repro.core.candidates.HashJoinPlan`) and the direct-mining
+    engine (:mod:`repro.core.directmine`, which feeds them straight to
+    union assembly) build on.
 
     ``tokens`` may pass a precomputed ``dense.tokens()`` matrix (the
     driver packs it overlapping the population reduce).  ``obs`` is an
@@ -257,8 +278,10 @@ def fptree_join_plan(dense: UnitTable,
     n, m = dense.n_units, dense.level
     if tokens is None:
         tokens = dense.tokens()
+    empty = (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+             np.zeros(0, dtype=np.uint16))
     if n < 2:
-        return _empty_plan(n, m)
+        return empty
 
     # -- support prune: drop entries that provably pair with nothing ----
     with _span(obs, "join.fptree.prune", n_units=n, level=m) as sp:
@@ -270,7 +293,7 @@ def fptree_join_plan(dense: UnitTable,
         if obs is not None and obs.metrics is not None:
             obs.metrics.counter("fptree.entries_pruned").inc(n * m - n_kept)
         if n_kept == 0:
-            return _empty_plan(n, m)
+            return empty
 
     # -- build: lex-sort surviving rows, raise the trie, id suffixes ----
     # Every pairable entry lives on a surviving row, and a walk only
@@ -343,7 +366,7 @@ def fptree_join_plan(dense: UnitTable,
         after = run_end - pos - 1
         total = int(after.sum())
         if total == 0:
-            return _empty_plan(n, m)
+            return empty
         first = np.repeat(pos, after)
         excl = np.cumsum(after) - after
         second = first + 1 + (np.arange(total, dtype=np.int64)
@@ -354,17 +377,36 @@ def fptree_join_plan(dense: UnitTable,
         e1, e2, t1, t2 = e1[valid], e2[valid], t1[valid], t2[valid]
 
     if e1.size == 0:
-        return _empty_plan(n, m)
+        return empty
 
-    # -- assemble the plan in the hash join's exact order ---------------
+    # -- emit the pairs in the hash join's exact order ------------------
     o1 = orig[e_row[e1]]
     o2 = orig[e_row[e2]]
     left = np.minimum(o1, o2)
     right = np.maximum(o1, o2)
     right_token = np.where(o2 > o1, t2, t1).astype(np.uint16)
     pair_order = np.lexsort((right, left))
-    plan = HashJoinPlan(left=left[pair_order], right=right[pair_order],
-                        right_token=right_token[pair_order],
+    return left[pair_order], right[pair_order], right_token[pair_order]
+
+
+def fptree_join_plan(dense: UnitTable,
+                     tokens: np.ndarray | None = None,
+                     obs=None,
+                     keep: np.ndarray | None = None) -> HashJoinPlan:
+    """Mine every valid join pair of ``dense`` from a prefix trie —
+    drop-in for :func:`~repro.core.candidates.hash_join_plan`, returning
+    an array-for-array identical :class:`HashJoinPlan`.
+
+    Thin wrapper over :func:`mined_pairs`; see there for the ``tokens``
+    / ``obs`` / ``keep`` contracts.
+    """
+    n, m = dense.n_units, dense.level
+    if tokens is None:
+        tokens = dense.tokens()
+    left, right, right_token = mined_pairs(dense, tokens, obs, keep)
+    if left.size == 0:
+        return _empty_plan(n, m)
+    plan = HashJoinPlan(left=left, right=right, right_token=right_token,
                         row_pair_counts=np.bincount(left, minlength=n),
                         n_units=n, level=m)
     if obs is not None and obs.metrics is not None:

@@ -54,6 +54,8 @@ from .checkpoint import (check_compatible, checkpoint_path,
                          load_latest_checkpoint, load_shard_manifest,
                          save_checkpoint, save_shard_manifest)
 from .candidates import hash_join_block, hash_join_plan, join_block
+from .directmine import (DirectMiner, lattice_step, replay_dedup_charges,
+                         replay_join_charges)
 from .fptree import fptree_join_plan, prune_entries
 from .dedup import drop_repeats, repeat_flags_block
 from .dnf import dnf_terms, maximal_mask, merged_mask
@@ -66,7 +68,7 @@ from .rebalance import StragglerMonitor
 from .population import IndexedPopulator, OverlapRunner, populate_global
 from .result import ClusteringResult, LevelTrace
 from .timing import phase
-from .units import MAX_DIMS, UnitTable
+from .units import MAX_DIMS, UnitTable, group_sort, pack_tokens
 
 #: below this many dense units the ``auto`` join policy stays pairwise —
 #: the hash join's grouping overhead only pays off once the triangular
@@ -95,7 +97,8 @@ def _ospan(obs: RankObs | None, name: str, cat: str = "task", **attrs):
 
 def resolved_join_strategy(params: MafiaParams, comm: Comm,
                            n_dense: int, level: int = 2,
-                           tokens: np.ndarray | None = None
+                           tokens: np.ndarray | None = None,
+                           miner: "DirectMiner | None" = None
                            ) -> tuple[str, "np.ndarray | None"]:
     """The concrete join implementation ``params.join_strategy`` selects
     for a ``level``-dimensional join over ``n_dense`` dense units,
@@ -117,9 +120,31 @@ def resolved_join_strategy(params: MafiaParams, comm: Comm,
     signature of a prefix-sparse lattice, where trie walks die early
     and the hash join's O(Ndu·m²) key factory is wasted.  All
     implementations produce bit-identical CDU tables either way.
+
+    ``miner`` is the run's :class:`~repro.core.directmine.DirectMiner`
+    (or ``None`` — the sim backend, ``direct_mining=False``, and
+    engines without a staged bin store never build one).  An explicit
+    ``"direct"`` tries to engage it at any level and falls back to the
+    ``auto`` tiers while it declines; under ``"auto"`` the miner is
+    only offered levels the fptree probe already called sparse and
+    that reach ``params.direct_min_level`` — a sparse deep lattice is
+    exactly where one-shot mining beats the per-level trie.  Every
+    engage decision is collective (symmetric budget allreduces inside
+    ``try_engage``), so all ranks route identically.
     """
-    if params.join_strategy != "auto":
-        return params.join_strategy, None
+    strategy = params.join_strategy
+    if strategy == "direct":
+        if miner is not None and tokens is not None and (
+                miner.engaged or miner.try_engage(tokens, level)):
+            return "direct", None
+        strategy = "auto"
+    if strategy != "auto":
+        return strategy, None
+    if miner is not None and miner.engaged:
+        # sticky: the merged count table already answers every deeper
+        # level for free — never hand an engaged lattice back to the
+        # per-level engines, however small Ndu shrinks
+        return "direct", None
     if getattr(comm, "models_paper_costs", False):
         return "pairwise", None
     if n_dense <= HASH_JOIN_MIN_UNITS:
@@ -127,6 +152,10 @@ def resolved_join_strategy(params: MafiaParams, comm: Comm,
     if level >= FPTREE_MIN_LEVEL and n_dense >= 2 and tokens is not None:
         keep = prune_entries(tokens, n_dense, level)
         if keep.mean() <= FPTREE_MAX_KEPT:
+            if miner is not None and level >= params.direct_min_level \
+                    and (miner.engaged
+                         or miner.try_engage(tokens, level)):
+                return "direct", keep
             return "fptree", keep
     return "hash", None
 
@@ -269,14 +298,32 @@ def _find_candidate_dense_units(comm: Comm, dense: UnitTable, tau: int,
 
 
 def _eliminate_repeat_cdus(comm: Comm, raw: UnitTable, tau: int,
-                           shares: np.ndarray | None = None) -> UnitTable:
+                           shares: np.ndarray | None = None,
+                           want_order: bool = False
+                           ) -> tuple[UnitTable, np.ndarray | None]:
     """Algorithm 4: drop repeated CDUs, task-parallel above τ.
 
     ``shares`` re-fences the flag-marking split for stragglers (see
     :func:`_find_candidate_dense_units`); the even rebuild split below
     is untouched — it is pure cheap selection, not pair work.
+
+    With ``want_order`` the packed token keys this pass sorts anyway
+    are reused to also return the unique table's lexicographic
+    permutation — the exact order the indexed populator's shared-prefix
+    walk wants (pair ids are monotone in the tokens), handed to
+    ``populate_global(order=...)`` so the populate pass skips its own
+    lexsort.  Otherwise the second element is ``None``.
     """
     n = raw.n_units
+    words = pack_tokens(raw.tokens())
+
+    def kept_order(keep: np.ndarray) -> np.ndarray | None:
+        # both branches produce raw.select(keep) in original index
+        # order (the rank-order fragment concatenation re-assembles
+        # exactly that), so one sort of the kept keys is the unique
+        # table's canonical permutation on every rank
+        return group_sort(words[keep]) if want_order else None
+
     if comm.size > 1 and n > tau:
         if shares is not None:
             offsets = proportional_splits(
@@ -288,7 +335,7 @@ def _eliminate_repeat_cdus(comm: Comm, raw: UnitTable, tau: int,
         comm.charge_pairs(pairs)
         if comm.obs is not None:
             comm.obs.add_pairs("dedup", pairs)
-        flags = repeat_flags_block(raw, lo, hi)
+        flags = repeat_flags_block(raw, lo, hi, words=words)
         repeats = comm.allreduce(flags, op="lor")
         # build-cdu-with-unique-elements: each rank rebuilds its even
         # 1/p-th of the unique table; parent concatenates in rank order.
@@ -306,11 +353,12 @@ def _eliminate_repeat_cdus(comm: Comm, raw: UnitTable, tau: int,
         else:
             payload = None
         payload = comm.bcast(payload, root=0)
-        return UnitTable.frombytes(payload)
+        return UnitTable.frombytes(payload), kept_order(keep)
     comm.charge_pairs(n)
     if comm.obs is not None:
         comm.obs.add_pairs("dedup", n)
-    return drop_repeats(raw, raw.repeat_mask())
+    repeats = raw.repeat_mask(words)
+    return drop_repeats(raw, repeats), kept_order(~repeats)
 
 
 def _identify_dense(comm: Comm, cdus: UnitTable, counts: np.ndarray,
@@ -572,6 +620,19 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
         compute_threads=params.compute_threads)
     runner = OverlapRunner()
 
+    # the direct-mining engine needs a staged bin store to project
+    # transactions from and is never built on the virtual clock (the
+    # sim backend models the paper's per-level sweep; see ISSUE 10)
+    miner = None
+    if (params.direct_mining and binned is not None
+            and params.join_strategy in ("auto", "direct")
+            and not getattr(comm, "models_paper_costs", False)):
+        miner = DirectMiner(binned, comm,
+                            chunk_records=params.chunk_records,
+                            max_level=params.max_dimensionality,
+                            max_subsets=params.direct_max_subsets,
+                            max_transactions=params.direct_max_transactions)
+
     # each rank records what its shard is made of next to the level
     # checkpoints; a future replacement verifies the witness against the
     # checkpointed grid before trusting the staged on-disk artifacts
@@ -602,11 +663,12 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
     # token packing for the *next* level's hash/fptree join can overlap
     # the population reduce — it only reads the CDU table, which is
     # fixed before the pass starts
-    may_pack = params.join_strategy in ("hash", "fptree") or (
+    may_pack = params.join_strategy in ("hash", "fptree", "direct") or (
         params.join_strategy == "auto"
         and not getattr(comm, "models_paper_costs", False))
 
-    def level_pass(cdus: UnitTable, raw_count: int, level: int
+    def level_pass(cdus: UnitTable, raw_count: int, level: int,
+                   counts_fn=None, order: np.ndarray | None = None
                    ) -> tuple[LevelTrace, np.ndarray | None]:
         announce("populate", level)
         with _ospan(obs, "level", cat="level", level=level) as sp:
@@ -617,12 +679,22 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
                     packed["tokens"] = cdus.tokens()
             pop_start = time.perf_counter()
             with phase("population"):
-                counts = populate_global(source, comm, grid, cdus,
-                                         params.chunk_records, start, stop,
-                                         retry, binned=binned,
-                                         indexed=indexed,
-                                         prefetch=params.prefetch,
-                                         overlap=overlap, runner=runner)
+                if counts_fn is not None:
+                    # direct-mining levels: counts come straight off
+                    # the merged table — no data pass, no reduce (the
+                    # token pack the classic path overlaps with the
+                    # reduce runs inline; it is the lookup key anyway)
+                    if overlap is not None:
+                        overlap()
+                    counts = counts_fn(cdus)
+                else:
+                    counts = populate_global(source, comm, grid, cdus,
+                                             params.chunk_records, start,
+                                             stop, retry, binned=binned,
+                                             indexed=indexed,
+                                             prefetch=params.prefetch,
+                                             overlap=overlap,
+                                             runner=runner, order=order)
             pop_seconds = time.perf_counter() - pop_start
             mask, ndu = _identify_dense(comm, cdus, counts, grid,
                                         params.tau, params.min_bin_points)
@@ -686,28 +758,51 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
                             dense_tokens = dense.tokens()
                         strategy, keep = resolved_join_strategy(
                             params, comm, dense.n_units, current.level,
-                            tokens=dense_tokens)
+                            tokens=dense_tokens, miner=miner)
                         if obs is not None:
                             obs.join_strategy(current.level, strategy)
-                        raw, combined = _find_candidate_dense_units(
-                            comm, dense, params.tau, strategy=strategy,
-                            tokens=dense_tokens, shares=shares, keep=keep)
+                        if strategy == "direct":
+                            # join + dedup entirely local (all ranks
+                            # hold the full dense table); charge the
+                            # fences the classic join would have
+                            step = lattice_step(dense, dense_tokens,
+                                                keep=keep, obs=obs)
+                            replay_join_charges(comm, dense.n_units,
+                                                step.row_pair_counts,
+                                                params.tau, shares=shares)
+                            raw_count, combined = step.n_raw, step.combined
+                        else:
+                            step = None
+                            raw, combined = _find_candidate_dense_units(
+                                comm, dense, params.tau, strategy=strategy,
+                                tokens=dense_tokens, shares=shares,
+                                keep=keep)
+                            raw_count = raw.n_units
                     # non-combinable dense units are registered as
                     # potential clusters
                     if (~combined).any():
                         registered.append((dense.select(~combined),
                                            dense_counts[~combined]))
-                    if raw.n_units == 0:
+                    if raw_count == 0:
                         if combined.any():
                             registered.append((dense.select(combined),
                                                dense_counts[combined]))
                         break
                     announce("dedup", current.level)
                     with phase("dedup"):
-                        cdus = _eliminate_repeat_cdus(comm, raw, params.tau,
-                                                      shares=shares)
-                    nxt, dense_tokens = level_pass(cdus, raw.n_units,
-                                                   current.level + 1)
+                        if step is not None:
+                            replay_dedup_charges(comm, step.n_raw,
+                                                 params.tau, shares=shares)
+                            cdus, pop_order = step.cdus, None
+                        else:
+                            cdus, pop_order = _eliminate_repeat_cdus(
+                                comm, raw, params.tau, shares=shares,
+                                want_order=indexed is not None)
+                    nxt, dense_tokens = level_pass(
+                        cdus, raw_count, current.level + 1,
+                        counts_fn=miner.counts_for
+                        if step is not None else None,
+                        order=pop_order)
                     trace.append(nxt)
                     if nxt.n_dense == 0 and combined.any():
                         # the combinable units were the top of the
@@ -735,6 +830,12 @@ def _pmafia_rank(comm: Comm, data: Any, params: MafiaParams,
                 trace = list(trace_t)
                 registered = list(reg_t)
                 dense_tokens = None
+                if miner is not None:
+                    # replay re-decides engagement level by level; a
+                    # replacement has no miner history, so survivors
+                    # must forget theirs to keep the collective engage
+                    # sequence symmetric
+                    miner.reset()
                 if monitor is not None:
                     # the replacement has no timing history; fences must
                     # be derived from data every rank agrees on

@@ -401,14 +401,16 @@ class IndexedPopulator:
         self._grid_ok = True
 
     def populate_local(self, comm: Comm, grid: Grid, units: UnitTable,
-                       chunk_records: int, counts: np.ndarray) -> np.ndarray:
+                       chunk_records: int, counts: np.ndarray,
+                       order: np.ndarray | None = None) -> np.ndarray:
         """This rank's counts per CDU, straight off the index.
 
         The virtual clock is charged the streaming engines' exact
         per-chunk sequence (float-width I/O, then the naive per-CDU
         cell cost) over the same chunk boundaries — same additions in
         the same order, so simulated times are bit-identical to a pass
-        that actually read the data.
+        that actually read the data.  ``order`` forwards a precomputed
+        lexicographic unit permutation to :meth:`_count`.
         """
         if chunk_records <= 0:
             raise DataError(
@@ -424,19 +426,26 @@ class IndexedPopulator:
             if obs is not None:
                 obs.io_chunk(rows, nbytes, kind="indexed")
             comm.charge_cells(rows * per_record_cost)
-        stats = self._count(units, counts)
+        stats = self._count(units, counts, order=order)
         if obs is not None:
             obs.indexed_pass(units.n_units, stats.hits, stats.misses,
                              stats.and_ops, self.memo.nbytes)
         return counts
 
-    def _count(self, units: UnitTable, counts: np.ndarray) -> _PassStats:
+    def _count(self, units: UnitTable, counts: np.ndarray,
+               order: np.ndarray | None = None) -> _PassStats:
         pairs = self.index.pair_ids(units.dims, units.bins)
         k = pairs.shape[1]
         # lexicographic subspace order maximises shared prefixes; the
         # np.array_split segments stay contiguous runs of that order,
-        # so each thread keeps its own intra-segment prefix stack
-        order = np.lexsort(tuple(pairs[:, j] for j in range(k - 1, -1, -1)))
+        # so each thread keeps its own intra-segment prefix stack.
+        # ``order`` may pass the identical permutation precomputed from
+        # the dedup phase's packed token keys (pair ids are monotone in
+        # the (dim, bin) tokens, so the two sorts agree row for row) —
+        # the shared-prefix walk below is the same either way.
+        if order is None:
+            order = np.lexsort(
+                tuple(pairs[:, j] for j in range(k - 1, -1, -1)))
         total = _PassStats()
         if self.compute_threads == 1 or units.n_units < 2:
             self._count_segment(pairs, order, counts, total)
@@ -646,7 +655,8 @@ def populate_local(source: DataSource | None, comm: Comm, grid: Grid,
                    retry: RetryPolicy | None = None, *,
                    binned: BinnedStore | None = None,
                    indexed: IndexedPopulator | None = None,
-                   prefetch: bool = False) -> np.ndarray:
+                   prefetch: bool = False,
+                   order: np.ndarray | None = None) -> np.ndarray:
     """Counts of this rank's local records per CDU (one data pass).
 
     ``start``/``stop`` select the rank's block when the source holds the
@@ -672,7 +682,7 @@ def populate_local(source: DataSource | None, comm: Comm, grid: Grid,
                     f"bitmap index holds {indexed.index.n_records} records "
                     f"but the rank's block has {expected}")
         return indexed.populate_local(comm, grid, units, chunk_records,
-                                      counts)
+                                      counts, order=order)
     if binned is not None:
         if source is not None:
             expected = (source.n_records if stop is None else stop) - start
@@ -700,7 +710,8 @@ def populate_global(source: DataSource | None, comm: Comm, grid: Grid,
                     indexed: IndexedPopulator | None = None,
                     prefetch: bool = False,
                     overlap: "Callable[[], None] | None" = None,
-                    runner: OverlapRunner | None = None) -> np.ndarray:
+                    runner: OverlapRunner | None = None,
+                    order: np.ndarray | None = None) -> np.ndarray:
     """Global CDU counts: local pass + sum Reduce (§4.1).
 
     ``overlap``, when given, is run on a background thread concurrently
@@ -717,7 +728,7 @@ def populate_global(source: DataSource | None, comm: Comm, grid: Grid,
     """
     local = populate_local(source, comm, grid, units, chunk_records,
                            start, stop, retry, binned=binned,
-                           indexed=indexed, prefetch=prefetch)
+                           indexed=indexed, prefetch=prefetch, order=order)
     if overlap is None:
         return comm.allreduce(local, op="sum")
     owned = OverlapRunner() if runner is None else None

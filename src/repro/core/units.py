@@ -168,19 +168,23 @@ class UnitTable:
         """Lexicographically sorted copy (deterministic canonical form)."""
         return self.select(self.canonical_order())
 
-    def repeat_mask(self) -> np.ndarray:
+    def repeat_mask(self, words: np.ndarray | None = None) -> np.ndarray:
         """Boolean mask marking every unit that duplicates an
         earlier-indexed unit (the paper's Nrepeat elements).
 
         Grouping runs over the packed uint64 row keys — the same key
         space the sub-signature hash join sorts — so marking costs one
         integer sort instead of a byte-string ``np.unique`` over the
-        2k-wide rows.
+        2k-wide rows.  ``words`` may pass a precomputed
+        ``pack_tokens(self.tokens())`` matrix so a caller that already
+        packed the keys (the dedup phase shares them with the populate
+        order) pays the pack once.
         """
         if self.n_units == 0:
             return np.zeros(0, dtype=bool)
-        return first_occurrence(pack_tokens(self.tokens())) \
-            != np.arange(self.n_units)
+        if words is None:
+            words = pack_tokens(self.tokens())
+        return first_occurrence(words) != np.arange(self.n_units)
 
     def unique(self) -> "UnitTable":
         """Drop repeated units; result is in canonical (sorted) order."""

@@ -573,7 +573,7 @@ class StreamingSession:
             return UnitTable.frombytes(cdus_bytes)
         self._snap_misses += 1
         tally = _PairsTally(self.comm)
-        cdus = _eliminate_repeat_cdus(tally, raw, self.params.tau)
+        cdus, _ = _eliminate_repeat_cdus(tally, raw, self.params.tau)
         self._dedup_cache[key] = (cdus.tobytes(), tally.pairs)
         return cdus
 
@@ -584,7 +584,10 @@ class StreamingSession:
         grid = self._current_grid()
         n_live = self._window.g_live
 
-        may_pack = params.join_strategy in ("hash", "fptree") or (
+        # no DirectMiner here: the streaming window has no staged bin
+        # store to project transactions from, so ``"direct"`` resolves
+        # through the classic tiers (resolved_join_strategy, miner=None)
+        may_pack = params.join_strategy in ("hash", "fptree", "direct") or (
             params.join_strategy == "auto"
             and not getattr(comm, "models_paper_costs", False))
 

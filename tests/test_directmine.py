@@ -1,0 +1,418 @@
+"""The direct transaction-mining engine is a bit-identical drop-in for
+the classic per-level join + dedup + populate cycle.
+
+Three layers of conformance: :func:`~repro.core.directmine.lattice_step`
+must reproduce the classic raw table, combined mask, realised pair
+counts and first-occurrence dedup on arbitrary lattices (hypothesis);
+:class:`~repro.core.directmine.DirectMiner` must answer *exact* global
+counts for every level its structural theorem covers, merged across
+ranks, and decline symmetrically when its budgets say so; and full runs
+under ``join_strategy='direct'`` must match the classic engines byte
+for byte — clusters, traces, per-rank ``pairs_examined`` metrics, and
+simulated virtual times — on every backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import MafiaParams, mafia, pmafia
+from repro.core.candidates import hash_join_all, hash_join_plan
+from repro.core.dedup import drop_repeats
+from repro.core.directmine import (DirectMiner, lattice_step,
+                                   replay_dedup_charges,
+                                   replay_join_charges)
+from repro.core.pmafia import (FPTREE_MIN_LEVEL, pmafia_rank,
+                               resolved_join_strategy)
+from repro.core.units import UnitTable
+from repro.errors import DataError, ParameterError
+from repro.io.binned import BinnedStore
+from repro.io.partition import block_range
+from repro.parallel import SerialComm, run_spmd
+from tests.test_join_strategies import lattices
+
+# -- lattice_step vs the classic kernels --------------------------------
+
+
+class TestLatticeStep:
+    @given(lattices())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_classic_join_and_dedup(self, t):
+        step = lattice_step(t)
+        jr = hash_join_all(t)
+        assert step.n_raw == jr.cdus.n_units
+        assert np.array_equal(step.combined, jr.combined)
+        assert np.array_equal(step.row_pair_counts,
+                              hash_join_plan(t).row_pair_counts)
+        assert step.cdus == drop_repeats(jr.cdus, jr.cdus.repeat_mask())
+
+    @given(lattices())
+    @settings(max_examples=60, deadline=None)
+    def test_iterated_steps_close_the_lattice_identically(self, t):
+        """Feeding each step's unique CDUs back in (as the engaged
+        driver does level after level) walks the same lattice the
+        classic loop walks."""
+        table = t
+        for _ in range(3):
+            step = lattice_step(table)
+            jr = hash_join_all(table)
+            assert step.cdus == drop_repeats(jr.cdus,
+                                             jr.cdus.repeat_mask())
+            if step.n_raw == 0:
+                break
+            table = step.cdus
+
+
+class TestChargeReplay:
+    """The replay helpers must reproduce the classic fence arithmetic
+    exactly — serial, above-τ balanced, and share-skewed."""
+
+    class _Recorder(SerialComm):
+        def __init__(self, size=1, rank=0):
+            super().__init__()
+            self.size, self.rank = size, rank
+            self.pairs = 0
+
+        def charge_pairs(self, n):
+            self.pairs += int(n)
+
+    def test_join_replay_matches_classic_fences(self):
+        from repro.core.partition import prefix_work, weighted_splits
+        rng = np.random.default_rng(0)
+        counts = rng.integers(0, 9, size=400)
+        n = counts.size
+        total = 0
+        for rank in range(4):
+            comm = self._Recorder(size=4, rank=rank)
+            replay_join_charges(comm, n, counts, tau=10)
+            offsets = weighted_splits(counts, 4)
+            lo, hi = offsets[rank], offsets[rank + 1]
+            assert comm.pairs == prefix_work(n, hi) - prefix_work(n, lo)
+            total += comm.pairs
+        assert total == prefix_work(n, n)
+
+    def test_join_replay_below_tau_charges_full_triangle(self):
+        from repro.core.partition import prefix_work
+        comm = self._Recorder(size=4, rank=2)
+        replay_join_charges(comm, 8, np.zeros(8, dtype=np.int64), tau=100)
+        assert comm.pairs == prefix_work(8, 8)
+
+    def test_dedup_replay_matches_classic_fences(self):
+        from repro.core.partition import prefix_work, triangular_splits
+        n = 300
+        for rank in range(3):
+            comm = self._Recorder(size=3, rank=rank)
+            replay_dedup_charges(comm, n, tau=10)
+            offsets = triangular_splits(n, 3)
+            lo, hi = offsets[rank], offsets[rank + 1]
+            assert comm.pairs == prefix_work(n, hi) - prefix_work(n, lo)
+        serial = self._Recorder()
+        replay_dedup_charges(serial, n, tau=10)
+        assert serial.pairs == n
+
+
+# -- the miner itself ---------------------------------------------------
+
+N_RECORDS = 2000
+N_DIMS = 6
+N_BINS = 5
+
+
+def _columns(seed=0):
+    """A binned data set with a 6-dim planted cluster at bin 1."""
+    rng = np.random.default_rng(seed)
+    cols = rng.integers(0, N_BINS, size=(N_DIMS, N_RECORDS)).astype(np.uint8)
+    members = rng.choice(N_RECORDS, 700, replace=False)
+    cols[:, members] = 1
+    return cols
+
+
+def _dense_l2():
+    """All 15 level-2 units over the cluster dims at bin 1."""
+    from itertools import combinations
+    return UnitTable.from_pairs(
+        [[(a, 1), (b, 1)] for a, b in combinations(range(N_DIMS), 2)])
+
+
+def _brute_counts(cols, units):
+    out = np.zeros(units.n_units, dtype=np.int64)
+    for i in range(units.n_units):
+        m = np.ones(cols.shape[1], dtype=bool)
+        for d, b in zip(units.dims[i], units.bins[i]):
+            m &= cols[int(d)] == int(b)
+        out[i] = int(m.sum())
+    return out
+
+
+def _miner(cols, comm=None, **kw):
+    store = BinnedStore.in_memory(cols, b"\x00" * 16)
+    kw.setdefault("chunk_records", 256)
+    kw.setdefault("max_level", 8)
+    return DirectMiner(store, comm or SerialComm(), **kw)
+
+
+class TestDirectMiner:
+    def test_counts_exact_at_every_deeper_level(self):
+        cols = _columns()
+        dense = _dense_l2()
+        miner = _miner(cols)
+        assert miner.try_engage(dense.tokens(), 2)
+        assert miner.engaged and miner.level == 2
+        table = dense
+        for _ in range(4):
+            step = lattice_step(table)
+            if step.n_raw == 0:
+                break
+            cdus = step.cdus
+            assert np.array_equal(miner.counts_for(cdus),
+                                  _brute_counts(cols, cdus))
+            table = cdus
+        assert table.level > 3  # the walk actually went deep
+
+    def test_counts_for_requires_engagement(self):
+        miner = _miner(_columns())
+        with pytest.raises(DataError):
+            miner.counts_for(_dense_l2())
+
+    def test_absent_level_counts_zero(self):
+        cols = _columns()
+        miner = _miner(cols)
+        assert miner.try_engage(_dense_l2().tokens(), 2)
+        deep = UnitTable.from_pairs(
+            [[(d, 3) for d in range(N_DIMS)]])  # no record, no table key
+        assert (miner.counts_for(deep) == 0).all()
+
+    def test_transaction_budget_declines_and_never_retries(self):
+        cols = _columns()
+        miner = _miner(cols, max_transactions=1)
+        dense = _dense_l2()
+        assert not miner.try_engage(dense.tokens(), 2)
+        assert not miner.engaged
+        # a declined level is never re-attempted, even if the budget
+        # is lifted afterwards — the level-frontier decision is final
+        miner.max_transactions = 1 << 20
+        assert not miner.try_engage(dense.tokens(), 2)
+        fresh = _miner(cols)
+        assert fresh.try_engage(dense.tokens(), 2)
+
+    def test_subset_budget_declines(self):
+        cols = _columns()
+        miner = _miner(cols, max_subsets=3)
+        assert not miner.try_engage(_dense_l2().tokens(), 2)
+        assert not miner.engaged
+
+    def test_reset_forgets_everything(self):
+        cols = _columns()
+        miner = _miner(cols)
+        assert miner.try_engage(_dense_l2().tokens(), 2)
+        miner.reset()
+        assert not miner.engaged and miner.level == 0
+        assert miner._tables == {} and miner._attempted == set()
+        assert miner.try_engage(_dense_l2().tokens(), 2)
+
+    def test_multi_rank_merge_is_globally_exact(self):
+        cols = _columns(seed=3)
+        dense = _dense_l2()
+        step = lattice_step(dense)
+        expected = _brute_counts(cols, step.cdus)
+
+        def rank_fn(comm):
+            lo, hi = block_range(cols.shape[1], comm.size, comm.rank)
+            miner = _miner(cols[:, lo:hi], comm)
+            assert miner.try_engage(dense.tokens(), 2)
+            return miner.counts_for(step.cdus)
+
+        for nprocs in (1, 3, 4):
+            ranks = run_spmd(rank_fn, nprocs, backend="thread")
+            for rank in ranks:
+                assert np.array_equal(rank.value, expected)
+
+
+# -- routing ------------------------------------------------------------
+
+
+class _StubMiner:
+    def __init__(self, willing=True):
+        self.engaged = False
+        self.willing = willing
+        self.attempts = []
+
+    def try_engage(self, tokens, level):
+        self.attempts.append(level)
+        self.engaged = self.willing
+        return self.willing
+
+
+class _StubComm(SerialComm):
+    def __init__(self, size=1):
+        super().__init__()
+        self.size = size
+
+
+def _sparse_tokens(level, n=600, n_dims=40, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = np.stack([np.sort(rng.choice(n_dims, size=level, replace=False))
+                     for _ in range(n)]).astype(np.uint8)
+    bins = rng.integers(0, 8, size=(n, level)).astype(np.uint8)
+    return UnitTable(dims=rows, bins=bins).unique()
+
+
+class TestRouting:
+    def test_explicit_direct_engages_at_any_level(self):
+        params = MafiaParams(join_strategy="direct")
+        miner = _StubMiner()
+        t = _sparse_tokens(2)
+        assert resolved_join_strategy(params, _StubComm(), t.n_units, 2,
+                                      tokens=t.tokens(), miner=miner) \
+            == ("direct", None)
+        assert miner.attempts == [2]
+
+    def test_explicit_direct_falls_back_while_declined(self):
+        params = MafiaParams(join_strategy="direct")
+        miner = _StubMiner(willing=False)
+        strategy, keep = resolved_join_strategy(
+            params, _StubComm(), 10, 2, tokens=None, miner=miner)
+        assert strategy == "pairwise" and keep is None
+
+    def test_explicit_direct_without_miner_uses_classic_tiers(self):
+        params = MafiaParams(join_strategy="direct")
+        assert resolved_join_strategy(params, _StubComm(), 10, 2) \
+            == ("pairwise", None)
+
+    def test_auto_offers_sparse_deep_levels_to_the_miner(self):
+        level = max(FPTREE_MIN_LEVEL, 4)
+        params = MafiaParams(join_strategy="auto", direct_min_level=level)
+        miner = _StubMiner()
+        t = _sparse_tokens(level + 1)
+        strategy, keep = resolved_join_strategy(
+            params, _StubComm(), t.n_units, t.level,
+            tokens=t.tokens(), miner=miner)
+        assert strategy == "direct"
+        assert keep is not None and keep.shape == (t.n_units, t.level)
+        assert miner.attempts == [t.level]
+
+    def test_auto_respects_direct_min_level(self):
+        level = FPTREE_MIN_LEVEL + 1
+        params = MafiaParams(join_strategy="auto",
+                             direct_min_level=level + 1)
+        miner = _StubMiner()
+        t = _sparse_tokens(level)
+        strategy, _keep = resolved_join_strategy(
+            params, _StubComm(), t.n_units, t.level,
+            tokens=t.tokens(), miner=miner)
+        assert strategy == "fptree" and miner.attempts == []
+
+    def test_auto_falls_back_to_fptree_when_miner_declines(self):
+        level = FPTREE_MIN_LEVEL + 1
+        params = MafiaParams(join_strategy="auto", direct_min_level=2)
+        miner = _StubMiner(willing=False)
+        t = _sparse_tokens(level)
+        strategy, keep = resolved_join_strategy(
+            params, _StubComm(), t.n_units, t.level,
+            tokens=t.tokens(), miner=miner)
+        assert strategy == "fptree" and keep is not None
+        assert miner.attempts == [t.level]
+
+    def test_engagement_is_sticky_however_small_the_level(self):
+        params = MafiaParams(join_strategy="auto")
+        miner = _StubMiner()
+        miner.engaged = True
+        assert resolved_join_strategy(params, _StubComm(), 3, 7,
+                                      miner=miner) == ("direct", None)
+        assert miner.attempts == []
+
+    def test_params_validation(self):
+        with pytest.raises(ParameterError):
+            MafiaParams(direct_mining="yes")
+        for name in ("direct_min_level", "direct_max_subsets",
+                     "direct_max_transactions"):
+            with pytest.raises(ParameterError):
+                MafiaParams(**{name: 0})
+
+
+# -- full-run conformance -----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def deep_dataset():
+    rng = np.random.default_rng(7)
+    data = rng.random((4000, 12))
+    members = rng.choice(4000, 1200, replace=False)
+    for j in range(6):
+        data[members, j] = 0.15 + 0.02 * rng.random(1200)
+    return data
+
+
+RUN_PARAMS = MafiaParams(alpha=1.5, beta=0.35, chunk_records=1000)
+
+
+def _fingerprint(result):
+    sig = [result.cdus_per_level(), result.dense_per_level()]
+    for t in result.trace:
+        sig.append(t.dense.tobytes())
+        sig.append(t.dense_counts.tobytes())
+    for c in result.clusters:
+        sig.append((c.subspace.dims, c.units_bins.tolist(),
+                    c.point_count, c.dnf))
+    return sig
+
+
+class TestFullRunsIdentical:
+    @pytest.fixture(scope="class")
+    def reference(self, deep_dataset):
+        return _fingerprint(mafia(
+            deep_dataset,
+            RUN_PARAMS.with_(join_strategy="hash", direct_mining=False)))
+
+    def test_serial_direct_and_auto_match_classic(self, deep_dataset,
+                                                  reference):
+        for kw in (dict(join_strategy="direct"),
+                   dict(join_strategy="auto"),
+                   dict(join_strategy="direct", direct_mining=False)):
+            result = mafia(deep_dataset, RUN_PARAMS.with_(**kw))
+            assert _fingerprint(result) == reference, kw
+
+    @pytest.mark.parametrize("backend,nprocs", [
+        ("thread", 2), ("thread", 5), ("process", 2)])
+    def test_parallel_backends_match_classic(self, deep_dataset,
+                                             reference, backend, nprocs):
+        params = RUN_PARAMS.with_(join_strategy="direct", tau=1)
+        ranks = run_spmd(pmafia_rank, nprocs, backend=backend,
+                         args=(deep_dataset, params))
+        for rank in ranks:
+            assert _fingerprint(rank.value) == reference
+
+    def test_per_rank_pair_metrics_replay_exactly(self, deep_dataset):
+        """Every rank must report the same join/dedup pairs_examined
+        under direct mining as under the classic engines — the replay
+        contract, per rank, not just in aggregate."""
+        def metrics(strategy, direct):
+            params = RUN_PARAMS.with_(join_strategy=strategy,
+                                      direct_mining=direct, tau=1,
+                                      metrics=True)
+            run = pmafia(deep_dataset, 3, params, backend="thread")
+            out = []
+            for rank in run.obs.ranks:
+                m = rank.metrics
+                out.append((m["join.pairs_examined"]["value"],
+                            m["dedup.pairs_examined"]["value"]))
+            return out
+
+        classic = metrics("fptree", False)
+        direct = metrics("direct", True)
+        assert direct == classic
+        assert any(v != (0, 0) for v in classic)
+
+    def test_sim_backend_results_and_virtual_times(self, deep_dataset):
+        """On the simulated-time backend ``direct`` never builds a
+        miner — results *and* virtual clocks must equal the paper's
+        pairwise path exactly."""
+        base = pmafia(deep_dataset, 3, RUN_PARAMS.with_(
+            join_strategy="pairwise", direct_mining=False), backend="sim")
+        direct = pmafia(deep_dataset, 3, RUN_PARAMS.with_(
+            join_strategy="direct"), backend="sim")
+        assert direct.rank_times == base.rank_times
+        assert direct.makespan == base.makespan
+        assert _fingerprint(direct.result) == _fingerprint(base.result)

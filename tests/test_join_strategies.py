@@ -26,7 +26,8 @@ from repro.core.candidates import (HashJoinPlan, hash_join_all,
                                    hash_join_block, hash_join_plan,
                                    join_all, join_block)
 from repro.core.dedup import drop_repeats
-from repro.core.fptree import FPTree, fptree_join_plan, prune_entries
+from repro.core.fptree import (FPTree, fptree_join_plan, prune_entries,
+                               suffix_ids)
 from repro.core.partition import triangular_splits, weighted_splits
 from repro.core.pmafia import (FPTREE_MAX_KEPT, FPTREE_MIN_LEVEL,
                                HASH_JOIN_MIN_UNITS, pmafia_rank,
@@ -228,6 +229,107 @@ class TestFPTreeEqualsHash:
                   UnitTable.from_pairs([[(0, 1)]]),
                   UnitTable.from_pairs([[(0, 1), (2, 0)]])):
             assert_plans_equal(hash_join_plan(t), fptree_join_plan(t))
+
+
+class TestFPTreeGuards:
+    """Empty and single-transaction inputs — reachable from a rank
+    whose shard keeps no (or one) dense row at the probe level — must
+    build degenerate but well-formed tries, not crash the row-shift
+    vectorisation."""
+
+    def test_build_no_transactions(self):
+        for m in (1, 3, 6):
+            tree = FPTree.build(np.zeros((0, m), dtype=np.int64))
+            assert tree.node_count[0] == 0
+            assert tree.n_edges == 0
+            assert tree.path.shape == (0, m + 1)
+
+    def test_build_zero_width_rows(self):
+        tree = FPTree.build(np.zeros((5, 0), dtype=np.int64))
+        assert tree.n_edges == 0
+        assert tree.node_count[0] == 5  # the root supports every row
+
+    def test_build_single_transaction_is_one_chain(self):
+        ts = np.array([[3, 7, 11]], dtype=np.int64)
+        tree = FPTree.build(ts)
+        assert tree.n_nodes == 4 and tree.n_edges == 3
+        assert (tree.node_count == 1).all()
+        assert tree.path.tolist() == [[0, 1, 2, 3]]
+
+    def test_suffix_ids_degenerate_inputs(self):
+        assert suffix_ids(np.zeros((0, 4), dtype=np.int64)).shape == (0, 5)
+        one = suffix_ids(np.array([[5, 9]], dtype=np.int64))
+        assert one.tolist() == [[0, 0, 0]]
+
+    def test_single_unit_plan_matches_hash(self):
+        t = UnitTable.from_pairs([[(0, 1), (2, 0), (4, 3)]])
+        assert_plans_equal(hash_join_plan(t), fptree_join_plan(t))
+
+
+class TestPruneDegenerates:
+    """Degenerate support-prune cascades: the mask must collapse to
+    all-kept or all-pruned exactly when the lattice structure says so,
+    for any table the generators produce."""
+
+    @given(lattices(min_level=1, max_level=1))
+    @settings(max_examples=60, deadline=None)
+    def test_level_one_keeps_all_or_nothing(self, t):
+        """m=1: every drop-one sequence is the empty sequence, so every
+        entry pairs with every other — all kept iff a partner exists."""
+        if t.n_units == 0:
+            return
+        keep = prune_entries(t.tokens(), t.n_units, 1)
+        if t.n_units == 1:
+            assert not keep.any()
+        else:
+            assert keep.all()
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_single_unit_prunes_everything(self, level):
+        t = UnitTable.from_pairs(
+            [[(d, 1) for d in range(level)]])
+        keep = prune_entries(t.tokens(), 1, level)
+        assert not keep.any()
+
+    @given(st.integers(2, 6), st.integers(2, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_disjoint_token_blocks_prune_everything(self, level, n):
+        """Each unit lives in its own private dim block, so no two
+        drop-one sequences share even one token — the cascade must
+        drain the whole table."""
+        dims = np.arange(n * level, dtype=np.uint8).reshape(n, level)
+        bins = np.zeros((n, level), dtype=np.uint8)
+        t = UnitTable(dims=dims, bins=bins)
+        keep = prune_entries(t.tokens(), n, level)
+        assert not keep.any()
+
+    @given(lattices(min_level=2))
+    @settings(max_examples=60, deadline=None)
+    def test_duplicated_rows_keep_everything(self, t):
+        """Doubling the table gives every entry an identical twin, so
+        the prune may not drop a single entry."""
+        if t.n_units == 0:
+            return
+        dup = UnitTable.concat_all([t, t])
+        keep = prune_entries(dup.tokens(), dup.n_units, t.level)
+        assert keep.all()
+
+    @given(lattices(min_level=2))
+    @settings(max_examples=40, deadline=None)
+    def test_prune_is_sound_under_any_cascade_outcome(self, t):
+        """Whatever the cascade converged to, the surviving entries
+        account for every pair the exact engines find (restating the
+        pure-false-positive-filter contract on the degenerate shapes
+        this class constructs)."""
+        if t.n_units < 2:
+            return
+        keep = prune_entries(t.tokens(), t.n_units, t.level)
+        plan = hash_join_plan(t)
+        pairable = np.zeros(t.n_units, dtype=bool)
+        pairable[plan.left] = True
+        pairable[plan.right] = True
+        assert keep.any(axis=1)[pairable].all()
 
 
 class TestWeightedSplits:

@@ -337,6 +337,23 @@ class TestMetricsAgainstGroundTruth:
         key = metric_key("io.records_read", {"kind": "indexed"})
         assert m[key]["value"] == levels * n
 
+    def test_memo_hit_rate_gauge(self, one_cluster_dataset, small_params):
+        """The indexed engine publishes its prefix-memo hit rate as a
+        gauge reconciling exactly with the hit/miss counters."""
+        result = mafia(one_cluster_dataset.records,
+                       small_params.with_(metrics=True),
+                       domains=DOMAINS_10D)
+        m = result.obs.metrics
+        assert m["index.memo_hit_rate"]["kind"] == "gauge"
+        hits = m["index.memo_hits"]["value"]
+        misses = m["index.memo_misses"]["value"]
+        rate = m["index.memo_hit_rate"]["value"]
+        if hits + misses:
+            assert rate == hits / (hits + misses)
+        else:
+            assert rate == 0.0
+        assert 0.0 <= rate <= 1.0
+
     def test_prefetch_hit_miss_counters(self, one_cluster_dataset,
                                         small_params):
         # prefetch only exists on the streaming engines, so pin the
